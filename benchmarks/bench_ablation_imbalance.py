@@ -1,0 +1,59 @@
+"""Ablation: heterogeneous LACE nodes (why the paper used uniform halves).
+
+The real LACE mixed RS6000/560 and /590 nodes (and varying memory sizes);
+the paper ran each experiment on a *uniform* half of the cluster.  This
+bench simulates the alternative — an SPMD run spanning both halves — and
+quantifies the imbalance penalty: with a balanced (equal-columns) domain
+decomposition, every step waits for the slowest node, so the fast 590s
+idle and the mixed cluster barely beats the slow half.
+"""
+
+from repro.analysis.metrics import balance_spread
+from repro.analysis.report import format_table
+from repro.machines.platforms import LACE_560
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.workload import NAVIER_STOKES
+
+from conftest import run_and_print
+
+#: 590-class nodes are ~1.7x the 560s (anchored CPU models).
+FAST = 27.5 / 16.0
+
+
+def _study() -> str:
+    p = 16
+    configs = [
+        ("16 x 560 (paper's upper half)", [1.0] * p),
+        ("16 x 590-equivalent", [FAST] * p),
+        ("8 x 560 + 8 x 590 (mixed)", [1.0] * 8 + [FAST] * 8),
+        ("alternating 560/590", [1.0, FAST] * 8),
+    ]
+    rows = []
+    for label, factors in configs:
+        r = SimulatedMachine(
+            LACE_560, p, node_speed_factors=factors
+        ).run(NAVIER_STOKES, steps_window=25)
+        rows.append(
+            [
+                label,
+                f"{r.execution_time:,.0f}",
+                f"{balance_spread(r.per_rank_busy) * 100:.0f}%",
+            ]
+        )
+    table = format_table(
+        ["cluster composition", "NS exec @ p=16 (s)", "busy-time spread"],
+        rows,
+        title="Heterogeneous-cluster ablation (equal-columns decomposition):",
+    )
+    return table + (
+        "\nThe mixed cluster runs at nearly the slow half's speed — the "
+        "fast nodes idle at every halo exchange.  This is why the paper "
+        "benchmarks uniform halves, and why its Figure-13 balance holds: "
+        "equal work only balances equal nodes."
+    )
+
+
+def test_imbalance_ablation(benchmark):
+    run_and_print(
+        benchmark, _study, "Ablation: heterogeneous LACE node mix"
+    )

@@ -1,0 +1,57 @@
+"""Ablation: message-passing startup cost on the NOW (paper's Conclusion).
+
+"NOW have the potential to be cost-effective parallel architectures if the
+networks are made reasonably fast and message passing libraries are
+efficiently implemented to circumvent the traditional overheads" — this
+bench sweeps the PVM per-message software cost on LACE/ALLNODE-S and shows
+the cluster's 16-processor execution time (and speedup) as the library
+approaches the T3D's thin shim.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.machines.platforms import LACE_560
+from repro.msglib.libmodel import PVM
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.workload import NAVIER_STOKES
+
+from conftest import run_and_print
+
+
+def _sweep() -> str:
+    rows = []
+    for factor, label in [
+        (1.0, "PVM 3.2.2 as measured"),
+        (0.5, "2x leaner library"),
+        (0.25, "4x leaner"),
+        (0.1, "10x leaner"),
+        (0.02, "T3D-shim-class (50x)"),
+    ]:
+        lib = PVM.scaled(factor)
+        lib = replace(lib, name=f"PVM x{factor}", scale_with_cpu=False)
+        t1 = SimulatedMachine(LACE_560, 1, library=lib).run(
+            NAVIER_STOKES, steps_window=20
+        )
+        t16 = SimulatedMachine(LACE_560, 16, library=lib).run(
+            NAVIER_STOKES, steps_window=20
+        )
+        rows.append(
+            [
+                label,
+                f"{lib.cpu_send_overhead * 1e3:.2f}",
+                f"{t16.execution_time:,.0f}",
+                f"{t1.execution_time / t16.execution_time:.1f}x",
+            ]
+        )
+    return format_table(
+        ["library", "send overhead (ms)", "NS exec @ p=16 (s)", "speedup"],
+        rows,
+        title="Library-overhead sweep on LACE/560 + ALLNODE-S:",
+    )
+
+
+def test_startup_ablation(benchmark):
+    run_and_print(
+        benchmark, _sweep, "Ablation: message-library overhead on the NOW"
+    )

@@ -1,0 +1,57 @@
+"""Ablation: Y-MP vector lengths (the paper's Section-5 partitioning rule).
+
+"[We] partitioned the domain along the orthogonal direction of the sweep to
+keep the vector lengths large and to avoid non-stride access" — this bench
+quantifies the rule: with orthogonal partitioning the vector length stays
+at the full dimension regardless of processor count; partitioning *along*
+the sweep would shrink vectors to ``n/p`` and fall down the Hockney curve.
+"""
+
+from repro.analysis.report import format_table
+from repro.machines.platforms import CRAY_YMP
+from repro.simulate.sharedmem import SharedMemoryMachine
+from repro.simulate.workload import NAVIER_STOKES
+
+from conftest import run_and_print
+
+
+def _study() -> str:
+    vcpu = CRAY_YMP.vector_cpu
+    rows = []
+    for p in (1, 2, 4, 8):
+        # Orthogonal partitioning: vectors stay the full 100-point radius.
+        good = SharedMemoryMachine(CRAY_YMP, p).run(
+            NAVIER_STOKES, vector_length=100
+        )
+        # Anti-pattern: partitioning along the sweep shrinks vectors.
+        bad = SharedMemoryMachine(CRAY_YMP, p).run(
+            NAVIER_STOKES, vector_length=100 / p
+        )
+        rows.append(
+            [
+                p,
+                f"{vcpu.sustained_mflops(100):.0f}",
+                f"{good.execution_time:,.0f}",
+                f"{vcpu.sustained_mflops(100 / p):.0f}",
+                f"{bad.execution_time:,.0f}",
+                f"{bad.execution_time / good.execution_time:.2f}x",
+            ]
+        )
+    return format_table(
+        [
+            "p",
+            "MFLOPS (vl=100)",
+            "exec orthogonal (s)",
+            "MFLOPS (vl=100/p)",
+            "exec along-sweep (s)",
+            "penalty",
+        ],
+        rows,
+        title="Y-MP partitioning-direction ablation (Navier-Stokes):",
+    )
+
+
+def test_vector_ablation(benchmark):
+    run_and_print(
+        benchmark, _study, "Ablation: Y-MP vector length vs partitioning"
+    )

@@ -1,0 +1,19 @@
+"""Reproduction benchmark: Figure 1 — axial momentum of the excited jet.
+
+Runs the *real* Navier-Stokes solver (vectorized numpy) at reduced
+resolution; ``examples/excited_jet.py --full`` runs the paper's exact
+250x100 / 16,000-step configuration.
+"""
+
+from repro.experiments.runners import run_fig01
+
+from conftest import run_and_print
+
+
+def test_fig01(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_fig01(nx=100, nr=40, steps=800),
+        "Figure 1: X MOMENTUM in an excited axisymmetric jet "
+        "(reduced-size real solver run)",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 2: Single-processor execution time, Versions 1..7 (RS6000/560)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig02(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig02"),
+        "Figure 2: Single-processor execution time, Versions 1..7 (RS6000/560)",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 3: Navier-Stokes execution time on LACE (ALLNODE-F / ALLNODE-S / Ethernet)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig03(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig03"),
+        "Figure 3: Navier-Stokes execution time on LACE (ALLNODE-F / ALLNODE-S / Ethernet)",
+    )

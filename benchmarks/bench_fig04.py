@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 4: Euler execution time on LACE."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig04(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig04"),
+        "Figure 4: Euler execution time on LACE",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 5: Components of execution time (Navier-Stokes; LACE)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig05(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig05"),
+        "Figure 5: Components of execution time (Navier-Stokes; LACE)",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 6: Components of execution time (Euler; LACE)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig06(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig06"),
+        "Figure 6: Components of execution time (Euler; LACE)",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 7: Communication optimization V5/V6/V7 (Navier-Stokes; LACE)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig07(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig07"),
+        "Figure 7: Communication optimization V5/V6/V7 (Navier-Stokes; LACE)",
+    )

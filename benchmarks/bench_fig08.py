@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 8: Communication optimization V5/V6/V7 (Euler; LACE)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig08(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig08"),
+        "Figure 8: Communication optimization V5/V6/V7 (Euler; LACE)",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 9: Navier-Stokes execution time on all computing platforms."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig09(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig09"),
+        "Figure 9: Navier-Stokes execution time on all computing platforms",
+    )

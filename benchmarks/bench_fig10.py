@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 10: Euler execution time on all computing platforms."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig10(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig10"),
+        "Figure 10: Euler execution time on all computing platforms",
+    )

@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 11: MPL vs PVMe (Navier-Stokes; IBM SP)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig11(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig11"),
+        "Figure 11: MPL vs PVMe (Navier-Stokes; IBM SP)",
+    )

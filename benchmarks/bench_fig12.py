@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 12: MPL vs PVMe (Euler; IBM SP)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig12(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig12"),
+        "Figure 12: MPL vs PVMe (Euler; IBM SP)",
+    )

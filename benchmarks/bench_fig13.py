@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Figure 13: Processor busy times / load balance (Navier-Stokes; IBM SP)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig13(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("fig13"),
+        "Figure 13: Processor busy times / load balance (Navier-Stokes; IBM SP)",
+    )

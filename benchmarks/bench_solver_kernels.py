@@ -1,0 +1,39 @@
+"""Raw solver throughput: wall time per time step of this implementation.
+
+Not a paper artifact — this measures the *reproduction's own* kernels
+(vectorized numpy) so regressions in the numerics are caught, and gives the
+basis for the "full Figure 1 run takes minutes, not Y-MP hours" claim in
+the README.
+"""
+
+import pytest
+
+from repro import jet_scenario
+
+
+@pytest.mark.parametrize("viscous", [True, False], ids=["navier-stokes", "euler"])
+def test_step_throughput(benchmark, viscous):
+    sc = jet_scenario(nx=125, nr=50, viscous=viscous)
+    sc.solver.run(2)  # warm the pipeline (dt cache, allocations)
+
+    benchmark(sc.solver.step)
+
+
+def test_paper_grid_step(benchmark):
+    """One step at the paper's full 250x100 resolution."""
+    sc = jet_scenario(nx=250, nr=100, viscous=True)
+    sc.solver.run(2)
+    benchmark(sc.solver.step)
+
+
+def test_distributed_step_4ranks(benchmark):
+    """One distributed step (4 ranks, real message passing) — measures the
+    virtual-cluster overhead relative to the serial step."""
+    from repro.parallel.runner import ParallelJetSolver
+
+    sc = jet_scenario(nx=120, nr=50, viscous=True)
+
+    def run_block():
+        ParallelJetSolver(sc.state, sc.solver.config, nranks=4).run(5)
+
+    benchmark.pedantic(run_block, rounds=3, iterations=1)

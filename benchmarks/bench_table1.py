@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Table 1: Application characteristics (paper values + measured from this package's instrumented solver)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("table1"),
+        "Table 1: Application characteristics (paper values + measured from this package's instrumented solver)",
+    )

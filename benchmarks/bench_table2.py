@@ -1,0 +1,13 @@
+"""Reproduction benchmark: Table 2: Computation-communication ratios (exact reproduction)."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_table2(benchmark):
+    run_and_print(
+        benchmark,
+        lambda: run_experiment("table2"),
+        "Table 2: Computation-communication ratios (exact reproduction)",
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""NOW scalability: how the LACE interconnects shape application speedup.
+
+Reproduces the paper's Section 7.1 analysis: simulates the jet workload on
+the cluster under all five networks (Ethernet, FDDI, ATM, ALLNODE-F,
+ALLNODE-S), locates the Ethernet saturation point, and replays the paper's
+back-of-envelope saturation argument ("consider a 1 second interval...")
+with the model's own numbers.
+
+Usage::
+
+    python examples/network_study.py [--euler]
+"""
+
+import argparse
+
+from repro.analysis.metrics import minimum_location
+from repro.analysis.report import format_table, render_series
+from repro.machines.platforms import (
+    LACE_560,
+    LACE_560_ETHERNET,
+    LACE_560_FDDI,
+    LACE_590,
+    LACE_590_ATM,
+)
+from repro.simulate import SimulatedMachine
+from repro.simulate.workload import EULER, NAVIER_STOKES
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--euler", action="store_true")
+    args = ap.parse_args()
+    app = EULER if args.euler else NAVIER_STOKES
+    procs = [1, 2, 4, 6, 8, 10, 12, 14, 16]
+
+    nets = [LACE_590, LACE_590_ATM, LACE_560, LACE_560_FDDI, LACE_560_ETHERNET]
+    series = {}
+    for plat in nets:
+        series[plat.name] = [
+            SimulatedMachine(plat, p).run(app, steps_window=30).execution_time
+            for p in procs
+        ]
+
+    print(render_series(procs, series,
+                        title=f"{app.name} on the LACE interconnects"))
+    rows = [[p] + [f"{series[k][i]:,.0f}" for k in series]
+            for i, p in enumerate(procs)]
+    print()
+    print(format_table(["p"] + list(series), rows))
+
+    eth = series[LACE_560_ETHERNET.name]
+    p_min, t_min = minimum_location(procs, eth)
+    print(
+        f"\nEthernet minimum: p={p_min} at {t_min:,.0f}s "
+        f"(paper: peak at 8 processors for Navier-Stokes, 10 for Euler)"
+    )
+
+    # The paper's saturation argument with model numbers.
+    mflops = LACE_560.cpu.sustained_mflops(5)
+    vol_per_step = sum(
+        m.nbytes for ph in __import__("repro.simulate.workload", fromlist=["Workload"])
+        .Workload.paper(app).phases for m in ph.messages
+    )
+    flops_per_step = app.flops_per_step
+    for p in (8, 10, 12):
+        compute_s = flops_per_step / p / (mflops * 1e6)
+        demand = p * vol_per_step / compute_s * 8 / 1e6
+        print(
+            f"  at p={p:2d}: each step computes {compute_s * 1e3:6.1f} ms and the "
+            f"cluster offers {demand:5.1f} Mb/s to a 10 Mb/s medium"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Cross-platform study: the paper's Figures 9/10 as an interactive sweep.
+
+Simulates the Navier-Stokes (or Euler) workload on every platform of the
+paper — LACE under ALLNODE-F/ALLNODE-S/Ethernet, the IBM SP under MPL and
+PVMe, the Cray T3D, and the Cray Y-MP — and prints execution time,
+speedup, and efficiency per processor count, plus the qualitative findings
+the paper calls out.
+
+Usage::
+
+    python examples/platform_comparison.py [--euler] [--procs 1 2 4 8 16]
+"""
+
+import argparse
+
+from repro.analysis.metrics import crossover, speedup
+from repro.analysis.report import format_table
+from repro.machines.platforms import (
+    CRAY_T3D,
+    CRAY_YMP,
+    IBM_SP,
+    IBM_SP_PVME,
+    LACE_560,
+    LACE_560_ETHERNET,
+    LACE_590,
+)
+from repro.simulate import SharedMemoryMachine, SimulatedMachine
+from repro.simulate.workload import EULER, NAVIER_STOKES
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--euler", action="store_true")
+    ap.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8, 12, 16])
+    args = ap.parse_args()
+    app = EULER if args.euler else NAVIER_STOKES
+    procs = args.procs
+
+    platforms = [
+        LACE_590,
+        LACE_560,
+        LACE_560_ETHERNET,
+        IBM_SP,
+        IBM_SP_PVME,
+        CRAY_T3D,
+    ]
+    results = {}
+    for plat in platforms:
+        results[plat.name] = [
+            SimulatedMachine(plat, p).run(app, steps_window=30).execution_time
+            for p in procs
+        ]
+    ymp_procs = [p for p in procs if p <= CRAY_YMP.max_procs]
+    results["Cray Y-MP"] = [
+        SharedMemoryMachine(CRAY_YMP, p).run(app).execution_time
+        for p in ymp_procs
+    ]
+
+    rows = []
+    for name, times in results.items():
+        row = [name] + [f"{t:,.0f}" for t in times]
+        row += [""] * (len(procs) - len(times))
+        rows.append(row)
+    print(
+        format_table(
+            ["Platform"] + [f"p={p}" for p in procs],
+            rows,
+            title=f"{app.name} execution time (seconds, full 5000-step run)",
+        )
+    )
+
+    print(f"\nSpeedups at p={procs[-1]}:")
+    for name, times in results.items():
+        if len(times) == len(procs):
+            print(f"  {name:24s} {speedup(times[0], times[-1]):5.2f}x")
+
+    t3d = results[CRAY_T3D.name]
+    a_s = results[LACE_560.name]
+    x = crossover(procs, t3d, a_s)
+    print(
+        f"\nT3D crosses below ALLNODE-S at p={x} "
+        "(paper: 'Beyond 8 processors, T3D ... performs better than ALLNODE-S')"
+    )
+    af, asn = results[LACE_590.name], results[LACE_560.name]
+    print(
+        f"ALLNODE-F vs ALLNODE-S: {asn[0] / af[0]:.2f}x at p={procs[0]}, "
+        f"{asn[-1] / af[-1]:.2f}x at p={procs[-1]} "
+        "(paper: 'about 70%-80% faster')"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Inside one simulated time step: per-rank Gantt traces.
+
+Renders what each processor does during the SPMD step on two contrasting
+configurations — the saturated Ethernet cluster (long waits on the shared
+bus) and the ALLNODE switch (steady compute with small library gaps).
+This is the microscopic view behind the paper's busy/non-overlapped-
+communication split (Figures 5-6).
+
+Usage::
+
+    python examples/timeline_trace.py [--procs 8] [--version 5]
+"""
+
+import argparse
+
+from repro.analysis.report import render_gantt
+from repro.machines.platforms import LACE_560, LACE_560_ETHERNET
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.workload import NAVIER_STOKES
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--procs", type=int, default=8)
+    ap.add_argument("--version", type=int, default=5, choices=(5, 6, 7))
+    args = ap.parse_args()
+
+    for plat in (LACE_560_ETHERNET, LACE_560):
+        r = SimulatedMachine(plat, args.procs, version=args.version).run(
+            NAVIER_STOKES, steps_window=4, trace=True
+        )
+        print(
+            render_gantt(
+                r,
+                title=f"{plat.name}, p={args.procs}, V{args.version} "
+                f"(exec {r.execution_time:,.0f}s scaled; "
+                f"busy {r.busy_time:,.0f}s, comm {r.comm_time:,.0f}s)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

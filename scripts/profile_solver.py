@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Profile the solver's hot path (the optimization workflow of the era).
+
+The paper's Section 6 is a profiling-driven optimization story (stride-1
+access, division removal); this script applies the same discipline to the
+reproduction itself: cProfile over a short paper-resolution run, printed by
+cumulative time.
+
+Usage::
+
+    python scripts/profile_solver.py [steps]
+"""
+
+import cProfile
+import pstats
+import sys
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    from repro import jet_scenario
+
+    sc = jet_scenario(nx=250, nr=100, viscous=True)
+    sc.solver.run(2)  # warm up allocations and the dt cache
+
+    prof = cProfile.Profile()
+    prof.enable()
+    sc.solver.run(steps)
+    prof.disable()
+
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    print(f"=== top functions over {steps} steps at 250x100 ===")
+    stats.print_stats(18)
+    ms = 1e3 * sc.solver.wall_time / sc.solver.nstep
+    print(f"mean wall time per step: {ms:.1f} ms "
+          f"(full 5000-step run ~ {ms * 5:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of Jayasimha, Hayder & Pillay (SC'95).
+
+*Parallelizing Navier-Stokes Computations on a Variety of Architectural
+Platforms.*
+
+The package has three layers:
+
+1. **The application** (``repro.physics``, ``repro.numerics``): a
+   time-accurate compressible Navier-Stokes/Euler solver for an excited
+   supersonic axisymmetric jet, discretized with the fourth-order
+   Gottlieb-Turkel (2-4) MacCormack scheme.
+2. **The parallelization** (``repro.parallel``, ``repro.msglib``): axial
+   block domain decomposition with grouped halo messages (the paper's
+   Version 5) plus the overlapped (V6) and de-burstified (V7) variants,
+   executed for real over an in-process message-passing cluster.
+3. **The architectural platforms** (``repro.machines``, ``repro.simulate``):
+   parametric CPU/cache/memory/network models of the paper's 1995 platforms
+   (LACE cluster under five interconnects, Cray Y-MP, IBM SP, Cray T3D) and
+   a discrete-event simulator that reproduces every table and figure of the
+   paper's evaluation (``repro.analysis``, ``repro.experiments``).
+
+Quickstart::
+
+    from repro import jet_scenario
+    sc = jet_scenario(nx=64, nr=32, viscous=True)
+    sc.solver.run(100)
+    print(sc.state.axial_momentum.max())
+"""
+
+from .grid import Grid, paper_grid
+from .physics.state import FlowState
+from .physics.jet import JetProfile, InflowExcitation
+from .numerics.solver import (
+    EulerSolver,
+    NavierStokesSolver,
+    SolverConfig,
+)
+from .scenarios import (
+    Scenario,
+    acoustic_pulse_scenario,
+    jet_initial_state,
+    jet_scenario,
+    periodic_advection_scenario,
+    shock_tube_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grid",
+    "paper_grid",
+    "FlowState",
+    "JetProfile",
+    "InflowExcitation",
+    "NavierStokesSolver",
+    "EulerSolver",
+    "SolverConfig",
+    "Scenario",
+    "jet_scenario",
+    "jet_initial_state",
+    "periodic_advection_scenario",
+    "acoustic_pulse_scenario",
+    "shock_tube_scenario",
+    "__version__",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show all reproducible experiments.
+``experiment <id>``
+    Regenerate one paper artifact (``table1``, ``table2``, ``fig01`` ..
+    ``fig13``) and print it.
+``characterize``
+    Measure this package's own Table-1 application characteristics with an
+    instrumented distributed run.
+``simulate --platform NAME --procs P [--euler] [--version V]``
+    One simulated-machine run with the execution-time split.
+``jet [--nx N --nr N --steps S --euler]``
+    Run the real solver and print diagnostics plus a momentum contour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from .experiments import EXPERIMENTS
+
+    print("Reproducible experiments (paper tables and figures):")
+    for k in sorted(EXPERIMENTS):
+        print(f"  {k}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import run_experiment
+
+    print(run_experiment(args.id))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analysis.tables import table1, table2
+
+    print(table1("paper"))
+    print()
+    print(table1("measured"))
+    print()
+    print(table2())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .machines.platforms import platform_by_name, CRAY_YMP
+    from .simulate.machine import SimulatedMachine
+    from .simulate.sharedmem import SharedMemoryMachine
+    from .simulate.workload import EULER, NAVIER_STOKES
+
+    app = EULER if args.euler else NAVIER_STOKES
+    plat = platform_by_name(args.platform)
+    if plat is CRAY_YMP or plat.cpu is None:
+        r = SharedMemoryMachine(plat, args.procs).run(app)
+    else:
+        r = SimulatedMachine(plat, args.procs, version=args.version).run(app)
+    print(r.summary())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.sweeps import sweep, sweep_table
+    from .machines.platforms import platform_by_name
+    from .simulate.workload import EULER, NAVIER_STOKES
+
+    platforms = [platform_by_name(n) for n in args.platforms]
+    apps = [EULER] if args.euler else [NAVIER_STOKES]
+    records = sweep(
+        platforms, apps, procs=args.procs, versions=args.versions
+    )
+    print(sweep_table(records))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .analysis.report import render_gantt
+    from .machines.platforms import platform_by_name
+    from .simulate.machine import SimulatedMachine
+    from .simulate.workload import EULER, NAVIER_STOKES
+
+    plat = platform_by_name(args.platform)
+    app = EULER if args.euler else NAVIER_STOKES
+    r = SimulatedMachine(plat, args.procs, version=args.version).run(
+        app, steps_window=4, trace=True
+    )
+    print(render_gantt(r, title=f"{plat.name}, p={args.procs}, V{args.version}"))
+    return 0
+
+
+def _cmd_jet(args) -> int:
+    from .analysis.report import ascii_contour
+    from .scenarios import jet_scenario
+
+    sc = jet_scenario(nx=args.nx, nr=args.nr, viscous=not args.euler)
+    sc.solver.run(args.steps)
+    print(
+        f"t={sc.solver.t:.2f}  physical={sc.state.is_physical()}  "
+        f"{1e3 * sc.solver.wall_time / max(sc.solver.nstep, 1):.1f} ms/step"
+    )
+    print(ascii_contour(sc.state.axial_momentum, width=90, height=18,
+                        title="axial momentum rho*u"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("experiment", help="regenerate one paper artifact")
+    p.add_argument("id", help="table1, table2, fig01 .. fig13")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("characterize", help="measured Table 1 / Table 2")
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("simulate", help="one simulated platform run")
+    p.add_argument("--platform", required=True,
+                   help="e.g. 'LACE/560+ALLNODE-S', 'IBM SP', 'Cray T3D'")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--version", type=int, default=5)
+    p.add_argument("--euler", action="store_true")
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="platform x procs x version grid")
+    p.add_argument("--platforms", nargs="+", required=True)
+    p.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    p.add_argument("--versions", type=int, nargs="+", default=[5])
+    p.add_argument("--euler", action="store_true")
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="per-rank Gantt of a simulated step")
+    p.add_argument("--platform", required=True)
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--version", type=int, default=5)
+    p.add_argument("--euler", action="store_true")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("jet", help="run the real solver")
+    p.add_argument("--nx", type=int, default=96)
+    p.add_argument("--nr", type=int, default=40)
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--euler", action="store_true")
+    p.set_defaults(fn=_cmd_jet)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

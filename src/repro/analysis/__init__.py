@@ -1,0 +1,56 @@
+"""Analysis and reporting: metrics, Table 1-2 generators, Figure 2-13
+series generators, and ASCII rendering."""
+
+from .metrics import (
+    efficiency,
+    flops_per_byte,
+    flops_per_startup,
+    minimum_location,
+    speedup,
+)
+from .report import ascii_contour, format_table, render_gantt, render_series
+from .jetdiag import (
+    ProbeRecorder,
+    dominant_strouhal,
+    momentum_thickness,
+    spectrum,
+    vorticity,
+)
+from .tables import table1, table2
+from .figures import (
+    FigureResult,
+    fig02_versions,
+    fig03_fig04_lace,
+    fig05_fig06_components,
+    fig07_fig08_comm_versions,
+    fig09_fig10_platforms,
+    fig11_fig12_libraries,
+    fig13_load_balance,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "flops_per_byte",
+    "flops_per_startup",
+    "minimum_location",
+    "format_table",
+    "render_series",
+    "ascii_contour",
+    "render_gantt",
+    "ProbeRecorder",
+    "spectrum",
+    "dominant_strouhal",
+    "momentum_thickness",
+    "vorticity",
+    "table1",
+    "table2",
+    "FigureResult",
+    "fig02_versions",
+    "fig03_fig04_lace",
+    "fig05_fig06_components",
+    "fig07_fig08_comm_versions",
+    "fig09_fig10_platforms",
+    "fig11_fig12_libraries",
+    "fig13_load_balance",
+]

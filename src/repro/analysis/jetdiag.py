@@ -1,0 +1,171 @@
+"""Jet-flow diagnostics: the physics the application exists to compute.
+
+The paper's application computes "time accurate flow fields of a supersonic
+axisymmetric jet" whose near field drives the radiated sound (Lighthill's
+acoustic analogy, the paper's Section 1).  These diagnostics extract the
+quantities that matter for that purpose from a solver run:
+
+* :class:`ProbeRecorder` — time series of primitive variables at fixed
+  probe points (e.g. near-field pressure for the acoustic analogy);
+* :func:`spectrum` — amplitude spectrum of a probe series with the
+  Strouhal-number axis the jet community uses (``St = f D / U_jet``);
+* :func:`momentum_thickness` — the shear-layer momentum thickness at each
+  axial station (its growth measures the Kelvin-Helmholtz development);
+* :func:`centerline_velocity` / :func:`shear_layer_radius` — classic jet
+  development measures;
+* :func:`vorticity` — azimuthal vorticity ``omega = dv/dx - du/dr`` (the
+  rolled-up braid structures visible in Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..grid import Grid
+from ..physics.state import FlowState
+
+
+# ---------------------------------------------------------------------------
+# Probes and spectra
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProbeRecorder:
+    """Record primitive time series at fixed grid probes.
+
+    Use as a solver monitor::
+
+        rec = ProbeRecorder.at_locations(grid, [(5.0, 1.0), (10.0, 1.0)])
+        solver.run(2000, monitor=rec, monitor_every=1)
+        St, amp = spectrum(rec.series("p", 0), rec.dt_mean, mach=1.5)
+    """
+
+    indices: list[tuple[int, int]]
+    times: list[float] = field(default_factory=list)
+    _data: dict[str, list[list[float]]] = field(default_factory=dict)
+
+    @classmethod
+    def at_locations(
+        cls, grid: Grid, points: list[tuple[float, float]]
+    ) -> "ProbeRecorder":
+        """Probes at the grid points nearest the given ``(x, r)`` pairs."""
+        idx = []
+        for x, r in points:
+            i = int(np.argmin(np.abs(grid.x - x)))
+            j = int(np.argmin(np.abs(grid.r - r)))
+            idx.append((i, j))
+        return cls(indices=idx)
+
+    def __call__(self, solver) -> None:
+        """Monitor hook: sample the current state."""
+        self.record(solver.state, solver.t)
+
+    def record(self, state: FlowState, t: float) -> None:
+        self.times.append(t)
+        fields = {
+            "rho": state.rho,
+            "u": state.u,
+            "v": state.v,
+            "p": state.p,
+        }
+        for name, arr in fields.items():
+            rows = self._data.setdefault(name, [[] for _ in self.indices])
+            for k, (i, j) in enumerate(self.indices):
+                rows[k].append(float(arr[i, j]))
+
+    def series(self, name: str, probe: int) -> np.ndarray:
+        """The recorded time series of ``name`` at probe index ``probe``."""
+        return np.asarray(self._data[name][probe])
+
+    @property
+    def dt_mean(self) -> float:
+        """Mean sampling interval (the solver's dt is near-constant)."""
+        if len(self.times) < 2:
+            raise ValueError("need at least two samples")
+        return float((self.times[-1] - self.times[0]) / (len(self.times) - 1))
+
+    @property
+    def nsamples(self) -> int:
+        return len(self.times)
+
+
+def spectrum(
+    series: np.ndarray,
+    dt: float,
+    mach: float,
+    detrend: bool = True,
+    window: bool = True,
+):
+    """One-sided amplitude spectrum on a Strouhal-number axis.
+
+    ``St = f D / U_jet`` with the jet diameter ``D = 2`` (radii units) and
+    ``U_jet = mach`` (sound-speed units), so ``St = 2 f / mach``.
+
+    Returns ``(St, amplitude)`` with the zero-frequency bin removed.
+    """
+    y = np.asarray(series, dtype=np.float64)
+    if y.size < 8:
+        raise ValueError("series too short for a spectrum")
+    if detrend:
+        y = y - y.mean()
+    if window:
+        y = y * np.hanning(y.size)
+    amp = np.abs(np.fft.rfft(y)) * 2.0 / y.size
+    freq = np.fft.rfftfreq(y.size, d=dt)
+    St = 2.0 * freq / mach
+    return St[1:], amp[1:]
+
+
+def dominant_strouhal(series: np.ndarray, dt: float, mach: float) -> float:
+    """The Strouhal number of the strongest spectral peak."""
+    St, amp = spectrum(series, dt, mach)
+    return float(St[int(np.argmax(amp))])
+
+
+# ---------------------------------------------------------------------------
+# Mean-flow development
+# ---------------------------------------------------------------------------
+
+
+def momentum_thickness(state: FlowState, i: int) -> float:
+    """Compressible momentum thickness at axial station ``i``:
+
+    ``theta = integral rho u (u_c - u) / (rho_c u_c^2) dr``
+
+    with the local centerline state as reference.  Grows as the shear
+    layer spreads downstream.
+    """
+    r = state.grid.r
+    rho = state.rho[i]
+    u = state.u[i]
+    rho_c, u_c = rho[0], u[0]
+    if abs(u_c) < 1e-12:
+        raise ValueError(f"station {i} has no jet (centerline u ~ 0)")
+    integrand = rho * u * (u_c - u) / (rho_c * u_c**2)
+    return float(np.trapezoid(np.clip(integrand, 0.0, None), r))
+
+
+def centerline_velocity(state: FlowState) -> np.ndarray:
+    """Axial velocity along the first radial line (the near-axis row)."""
+    return state.u[:, 0].copy()
+
+
+def shear_layer_radius(state: FlowState, i: int, level: float = 0.5) -> float:
+    """Radius where ``u`` falls to ``level`` of the local centerline value."""
+    u = state.u[i]
+    target = level * u[0]
+    below = np.nonzero(u < target)[0]
+    if below.size == 0:
+        return float(state.grid.r[-1])
+    return float(state.grid.r[below[0]])
+
+
+def vorticity(state: FlowState) -> np.ndarray:
+    """Azimuthal vorticity ``dv/dx - du/dr`` on the full grid."""
+    g = state.grid
+    dv_dx = np.gradient(state.v, g.dx, axis=0, edge_order=2)
+    du_dr = np.gradient(state.u, g.dr, axis=1, edge_order=2)
+    return dv_dx - du_dr

@@ -1,0 +1,141 @@
+"""Table 1 (application characteristics) and Table 2 (ratios) generators.
+
+Both tables come in two modes:
+
+* ``source="paper"`` — the published numbers (what the simulated-machine
+  figures consume);
+* ``source="measured"`` — characteristics measured from this package: FP
+  counts from the kernel operation inventory
+  (:mod:`repro.numerics.opcount`) and communication from an instrumented
+  real run of the distributed solver at the paper's radial resolution (the
+  per-step, per-processor message counts and volumes are independent of
+  the axial extent and of the processor count, so a short narrow run
+  measures them exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..numerics.opcount import euler_ops, navier_stokes_ops
+from .metrics import flops_per_byte, flops_per_startup
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class AppCharacteristics:
+    """One row of Table 1."""
+
+    name: str
+    total_flops: float
+    startups_per_proc: float
+    volume_bytes_per_proc: float
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            f"{self.total_flops / 1e6:,.0f}",
+            f"{self.startups_per_proc:,.0f}",
+            f"{self.volume_bytes_per_proc / constants.MB:,.0f}",
+        ]
+
+
+PAPER_NS = AppCharacteristics(
+    "N-S",
+    constants.PAPER_TOTAL_FLOPS_NS,
+    constants.PAPER_STARTUPS_NS,
+    constants.PAPER_VOLUME_NS_MB * constants.MB,
+)
+PAPER_EULER = AppCharacteristics(
+    "Euler",
+    constants.PAPER_TOTAL_FLOPS_EULER,
+    constants.PAPER_STARTUPS_EULER,
+    constants.PAPER_VOLUME_EULER_MB * constants.MB,
+)
+
+
+def measured_characteristics(
+    viscous: bool,
+    nx: int = 60,
+    nranks: int = 4,
+    probe_steps: int = 4,
+    steps: int = constants.PAPER_STEPS,
+) -> AppCharacteristics:
+    """Measure our solver's Table-1 row with a short instrumented run.
+
+    Communication per step per interior processor depends only on the
+    radial resolution (messages are full radial columns), so the probe runs
+    the real distributed solver at ``nr = 100`` with a short axial domain
+    and extrapolates linearly in steps.
+    """
+    from ..parallel.runner import ParallelJetSolver
+    from ..scenarios import jet_scenario
+
+    sc = jet_scenario(nx=nx, nr=constants.PAPER_NR, viscous=viscous)
+    result = ParallelJetSolver(
+        sc.state, sc.solver.config, nranks=nranks, version=5
+    ).run(probe_steps)
+    stats = result.interior_rank_stats
+    startups_per_step = stats.startups / probe_steps
+    volume_per_step = stats.bytes_sent / probe_steps
+    ops = navier_stokes_ops() if viscous else euler_ops()
+    return AppCharacteristics(
+        name="N-S" if viscous else "Euler",
+        total_flops=ops.total(steps=steps),
+        startups_per_proc=startups_per_step * steps,
+        volume_bytes_per_proc=volume_per_step * steps,
+    )
+
+
+def table1(source: str = "paper") -> str:
+    """Render Table 1: application characteristics."""
+    if source == "paper":
+        rows = [PAPER_NS, PAPER_EULER]
+        title = "Table 1: Application Characteristics (paper values)"
+    elif source == "measured":
+        rows = [
+            measured_characteristics(viscous=True),
+            measured_characteristics(viscous=False),
+        ]
+        title = "Table 1: Application Characteristics (measured from this package)"
+    else:
+        raise ValueError(f"unknown source {source!r}")
+    return format_table(
+        ["Appln", "Total Comp. (FP Ops x1e6)", "Start-ups/proc", "Volume (MB)/proc"],
+        [r.as_row() for r in rows],
+        title=title,
+    )
+
+
+def table2(
+    procs=(1, 2, 4, 8, 16),
+    ns: AppCharacteristics = PAPER_NS,
+    euler: AppCharacteristics = PAPER_EULER,
+) -> str:
+    """Render Table 2: computation-communication ratios."""
+    rows = []
+    for p in procs:
+        if p < 2:
+            rows.append([p, "inf", "inf", "inf", "inf"])
+            continue
+        rows.append(
+            [
+                p,
+                f"{flops_per_byte(ns.total_flops, p, ns.volume_bytes_per_proc):.0f}",
+                f"{flops_per_byte(euler.total_flops, p, euler.volume_bytes_per_proc):.0f}",
+                f"{flops_per_startup(ns.total_flops, p, ns.startups_per_proc) / 1e3:.0f}K",
+                f"{flops_per_startup(euler.total_flops, p, euler.startups_per_proc) / 1e3:.0f}K",
+            ]
+        )
+    return format_table(
+        [
+            "No. of Procs.",
+            "FPs/Byte N-S",
+            "FPs/Byte Euler",
+            "FPs/Start-up N-S",
+            "FPs/Start-up Euler",
+        ],
+        rows,
+        title="Table 2: Computation-Communication Ratios",
+    )

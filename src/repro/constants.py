@@ -1,0 +1,103 @@
+"""Physical constants and the canonical paper configuration.
+
+All quantities in this reproduction are nondimensional unless stated
+otherwise.  The solver nondimensionalizes by the jet centerline state at
+inflow: lengths by the jet radius ``r_j``, velocities by the centerline speed
+of sound ``c_c`` (so the centerline velocity is the jet Mach number),
+density by the centerline density, and pressure by ``rho_c * c_c**2``.
+
+The ``PAPER_*`` constants record the exact numbers the paper reports so the
+experiment harness and the workload model can compare against them; they are
+never used to *produce* simulated results (see DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Gas properties (perfect gas, air).
+# ---------------------------------------------------------------------------
+GAMMA: float = 1.4
+"""Ratio of specific heats for air."""
+
+PRANDTL: float = 0.72
+"""Prandtl number used for the heat-flux model."""
+
+# ---------------------------------------------------------------------------
+# Jet configuration of the paper (Section 3).
+# ---------------------------------------------------------------------------
+JET_MACH: float = 1.5
+"""Jet centerline Mach number."""
+
+REYNOLDS: float = 1.2e6
+"""Reynolds number based on jet diameter."""
+
+STROUHAL: float = 0.125
+"""Excitation Strouhal number St = 1/8."""
+
+MOMENTUM_THICKNESS: float = 0.10
+"""Shear-layer momentum thickness theta (in jet radii).
+
+The scanned paper text garbles the exact value; published companion papers
+(Hayder, Turkel & Mankbadi 1993; Mankbadi et al. 1994) use thin shear layers
+with theta/r_j of order 0.05-0.15 for this configuration.  The value only
+sets the tanh profile steepness and is exposed as a parameter everywhere.
+"""
+
+TEMPERATURE_RATIO: float = 2.0
+"""Centerline-to-freestream temperature ratio T_c / T_inf.
+
+The paper states ``T_inf/T_c = 1/2``.
+"""
+
+EXCITATION_LEVEL: float = 1e-3
+"""Default excitation amplitude epsilon for the inflow forcing."""
+
+DOMAIN_LENGTH_X: float = 50.0
+"""Axial domain extent in jet radii (paper: 50 radii)."""
+
+DOMAIN_LENGTH_R: float = 5.0
+"""Radial domain extent in jet radii (paper: 5 radii)."""
+
+# ---------------------------------------------------------------------------
+# Canonical run size (Section 3 / Section 6).
+# ---------------------------------------------------------------------------
+PAPER_NX: int = 250
+PAPER_NR: int = 100
+PAPER_STEPS: int = 5000
+PAPER_STEPS_FIGURE1: int = 16000
+
+# ---------------------------------------------------------------------------
+# Paper-reported measurements (Tables 1-2, Figure 2), for comparison only.
+# ---------------------------------------------------------------------------
+PAPER_TOTAL_FLOPS_NS: float = 145_000e6
+"""Total floating-point operations for Navier-Stokes (Table 1)."""
+
+PAPER_TOTAL_FLOPS_EULER: float = 77_000e6
+"""Total floating-point operations for Euler (Table 1)."""
+
+PAPER_STARTUPS_NS: int = 80_000
+"""Per-processor communication startups for Navier-Stokes (Table 1)."""
+
+PAPER_STARTUPS_EULER: int = 60_000
+"""Per-processor communication startups for Euler (Table 1)."""
+
+PAPER_VOLUME_NS_MB: float = 125.0
+"""Per-processor communication volume in MB for Navier-Stokes (Table 1)."""
+
+PAPER_VOLUME_EULER_MB: float = 95.0
+"""Per-processor communication volume in MB for Euler (Table 1)."""
+
+PAPER_MFLOPS_V1_560: float = 9.3
+"""RS6000/560 sustained MFLOPS before optimization (Section 6)."""
+
+PAPER_MFLOPS_V5_560: float = 16.0
+"""RS6000/560 sustained MFLOPS after all optimizations (Section 6)."""
+
+PAPER_DIVISIONS_BEFORE: float = 5.5e9
+"""Division count before the division->multiplication rewrite (Section 6)."""
+
+PAPER_DIVISIONS_AFTER: float = 2.0e9
+"""Division count after the rewrite (Section 6)."""
+
+MB: float = 1e6
+"""Bytes per megabyte as the paper uses it (decimal MB)."""

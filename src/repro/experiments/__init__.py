@@ -1,0 +1,10 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from .runners import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig01,
+    characterize,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_fig01", "characterize"]

@@ -1,0 +1,97 @@
+"""Parameter-sweep utilities over the simulated platforms.
+
+``sweep()`` runs a (platform x processor-count x version x application)
+grid through the simulated machines and returns a tidy list of records —
+the workhorse behind custom studies beyond the paper's figures (the CLI's
+``sweep`` subcommand and notebook-style exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..analysis.report import format_table
+from ..machines.platforms import Platform
+from ..simulate.machine import SimulatedMachine
+from ..simulate.sharedmem import SharedMemoryMachine
+from ..simulate.workload import Application
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One simulated configuration's outcome."""
+
+    platform: str
+    app: str
+    nprocs: int
+    version: int
+    execution_time: float
+    busy_time: float
+    comm_time: float
+    speedup: float
+
+
+def sweep(
+    platforms: Sequence[Platform],
+    apps: Sequence[Application],
+    procs: Sequence[int] = (1, 2, 4, 8, 16),
+    versions: Sequence[int] = (5,),
+    steps_window: int = 25,
+) -> list[SweepRecord]:
+    """Run the full grid; Y-MP-style platforms use the shared-memory model
+    and are clamped to their processor limit."""
+    records: list[SweepRecord] = []
+    for plat in platforms:
+        for app in apps:
+            for version in versions:
+                base: float | None = None
+                for p in procs:
+                    if p > plat.max_procs:
+                        continue
+                    if plat.cpu is None:
+                        r = SharedMemoryMachine(plat, p).run(app, version=version)
+                    else:
+                        r = SimulatedMachine(plat, p, version=version).run(
+                            app, steps_window=steps_window
+                        )
+                    if base is None:
+                        # Extrapolated single-processor time from this
+                        # platform's smallest measured p (ideal scaling).
+                        base = r.execution_time * p
+                    records.append(
+                        SweepRecord(
+                            platform=plat.name,
+                            app=app.name,
+                            nprocs=p,
+                            version=version,
+                            execution_time=r.execution_time,
+                            busy_time=r.busy_time,
+                            comm_time=r.comm_time,
+                            speedup=base / r.execution_time,
+                        )
+                    )
+    return records
+
+
+def sweep_table(records: Iterable[SweepRecord]) -> str:
+    """Render sweep records as an aligned table."""
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r.platform,
+                r.app,
+                r.nprocs,
+                f"V{r.version}",
+                f"{r.execution_time:,.0f}",
+                f"{r.busy_time:,.0f}",
+                f"{r.comm_time:,.0f}",
+                f"{r.speedup:.2f}",
+            ]
+        )
+    return format_table(
+        ["platform", "app", "p", "ver", "exec (s)", "busy (s)", "comm (s)",
+         "speedup"],
+        rows,
+    )

@@ -1,0 +1,133 @@
+"""Structured axisymmetric grids.
+
+The solver works on a uniform structured grid in cylindrical polar
+coordinates ``(x, r)``: ``x`` is the axial direction (index ``i``, the first
+array axis) and ``r`` the radial direction (index ``j``, the second axis).
+
+Radial points are offset half a cell from the axis, ``r_j = (j + 1/2) dr``,
+so the ``1/r`` factors appearing in the axisymmetric equations never hit
+``r = 0``.  This is the standard staggering trick for r-weighted conservative
+formulations; the axis itself is represented by a symmetry boundary
+condition (see :mod:`repro.numerics.boundary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import constants
+
+
+@dataclass(frozen=True)
+class Grid:
+    """Uniform structured grid for the axisymmetric domain.
+
+    Parameters
+    ----------
+    nx, nr:
+        Number of grid points in the axial and radial directions.
+    length_x, length_r:
+        Domain extents in jet radii.  Defaults are the paper's 50 x 5.
+
+    Attributes
+    ----------
+    x : ndarray, shape (nx,)
+        Axial coordinates, ``x_i = i * dx`` starting at the inflow plane.
+    r : ndarray, shape (nr,)
+        Radial coordinates, ``r_j = (j + 1/2) * dr``.
+    """
+
+    nx: int
+    nr: int
+    length_x: float = constants.DOMAIN_LENGTH_X
+    length_r: float = constants.DOMAIN_LENGTH_R
+    x: np.ndarray = field(init=False, repr=False, compare=False)
+    r: np.ndarray = field(init=False, repr=False, compare=False)
+    dx: float = field(init=False, compare=False)
+    dr: float = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.nx < 5 or self.nr < 5:
+            raise ValueError(
+                "the 2-4 MacCormack stencil needs at least 5 points per "
+                f"direction, got nx={self.nx}, nr={self.nr}"
+            )
+        if self.length_x <= 0 or self.length_r <= 0:
+            raise ValueError("domain extents must be positive")
+        # Axial spacing: nx points span length_x; radial: nr half-offset
+        # cells span length_r.  Stored (not recomputed) so that subgrids can
+        # inherit the parent spacing bit-exactly.
+        object.__setattr__(self, "dx", self.length_x / (self.nx - 1))
+        object.__setattr__(self, "dr", self.length_r / self.nr)
+        object.__setattr__(self, "x", np.arange(self.nx) * self.dx)
+        object.__setattr__(self, "r", (np.arange(self.nr) + 0.5) * self.dr)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Array shape ``(nx, nr)`` of fields on this grid."""
+        return (self.nx, self.nr)
+
+    @property
+    def ncells(self) -> int:
+        """Total number of grid points."""
+        return self.nx * self.nr
+
+    def rmesh(self) -> np.ndarray:
+        """Radial coordinate broadcast to the full ``(nx, nr)`` shape."""
+        return np.broadcast_to(self.r[None, :], self.shape)
+
+    def xmesh(self) -> np.ndarray:
+        """Axial coordinate broadcast to the full ``(nx, nr)`` shape."""
+        return np.broadcast_to(self.x[:, None], self.shape)
+
+    def subgrid(self, i_lo: int, i_hi: int) -> "Grid":
+        """Axial slab ``[i_lo, i_hi)`` of this grid as a standalone grid.
+
+        Used by the domain decomposition; the slab keeps the parent's
+        spacing, so ``length_x`` is recomputed from the slab width.
+        """
+        if not (0 <= i_lo < i_hi <= self.nx):
+            raise ValueError(f"invalid slab [{i_lo}, {i_hi}) for nx={self.nx}")
+        n = i_hi - i_lo
+        sub = Grid(
+            nx=n,
+            nr=self.nr,
+            length_x=(n - 1) * self.dx if n > 1 else self.dx,
+            length_r=self.length_r,
+        )
+        # Inherit the parent spacing bit-exactly (recomputing it from the
+        # slab extent can be off by one ulp, which would break the
+        # bitwise serial/parallel equivalence) and shift the coordinates
+        # to the slab's global position.
+        object.__setattr__(sub, "dx", self.dx)
+        object.__setattr__(sub, "x", self.x[i_lo:i_hi].copy())
+        return sub
+
+    def radial_subgrid(self, j_lo: int, j_hi: int) -> "Grid":
+        """Radial slab ``[j_lo, j_hi)`` of this grid as a standalone grid.
+
+        Used by the radial block decomposition (the paper's Section-8
+        variant); keeps the parent spacing bit-exactly and the slab's
+        global radial coordinates.
+        """
+        if not (0 <= j_lo < j_hi <= self.nr):
+            raise ValueError(f"invalid slab [{j_lo}, {j_hi}) for nr={self.nr}")
+        n = j_hi - j_lo
+        sub = Grid(
+            nx=self.nx,
+            nr=n,
+            length_x=self.length_x,
+            length_r=n * self.dr,
+        )
+        object.__setattr__(sub, "dx", self.dx)
+        object.__setattr__(sub, "dr", self.dr)
+        object.__setattr__(sub, "x", self.x.copy())
+        object.__setattr__(sub, "r", self.r[j_lo:j_hi].copy())
+        return sub
+
+
+def paper_grid() -> Grid:
+    """The paper's canonical 250 x 100 grid on the 50 x 5 domain."""
+    return Grid(nx=constants.PAPER_NX, nr=constants.PAPER_NR)

@@ -1,0 +1,39 @@
+"""Architectural platform models (the paper's Section 4 hardware).
+
+The original study ran on 1995 hardware that no longer exists; this package
+substitutes parametric models whose inputs are exactly the hardware
+attributes the paper reasons about — clock rate, cache size/associativity/
+line size, memory-bus width, vector length, network link bandwidth and
+topology, message-library overheads.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from .cache import CacheSpec, CacheSim, sweep_miss_rate
+from .cpu import ScalarCpuModel
+from .vector import VectorCpuModel
+from .platforms import (
+    CRAY_T3D,
+    CRAY_YMP,
+    IBM_SP,
+    LACE_560,
+    LACE_590,
+    NodeModel,
+    Platform,
+    platform_by_name,
+)
+
+__all__ = [
+    "CacheSpec",
+    "CacheSim",
+    "sweep_miss_rate",
+    "ScalarCpuModel",
+    "VectorCpuModel",
+    "NodeModel",
+    "Platform",
+    "LACE_560",
+    "LACE_590",
+    "IBM_SP",
+    "CRAY_T3D",
+    "CRAY_YMP",
+    "platform_by_name",
+]

@@ -1,0 +1,106 @@
+"""Scalar CPU timing model.
+
+Charges cycles per *nominal* application flop from the version's
+instruction/memory mix (:class:`repro.parallel.versions.Version`):
+
+``cycles/flop = 1/flops_per_cycle * loop_overhead            (FP issue)
+              + int_overhead * loop_overhead                  (addressing/loops)
+              + divisions_per_flop * division_cycles
+              + pow_calls_per_flop * pow_cycles
+              + mem_refs_per_flop * miss_rate * miss_penalty  (memory stalls)``
+
+with ``miss_rate`` from :func:`repro.machines.cache.sweep_miss_rate`.  The
+mechanistic terms fix the *ratios* between code versions and between CPUs
+with different caches; the optional ``v5_target_mflops`` anchor rescales the
+absolute level to a documented sustained rate (the paper gives 16.0 MFLOPS
+for Version 5 on the RS6000/560 — other platforms' anchors are derived from
+the paper's relative statements; see :mod:`repro.machines.platforms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.versions import Version, version_by_number
+from .cache import CacheSpec, sweep_miss_rate
+
+#: Default solver working set: the 250x100 grid times ~10 live arrays of
+#: doubles — what one sweep traverses between reuses.
+DEFAULT_WORKING_SET = 250 * 100 * 8 * 10
+
+
+@dataclass(frozen=True)
+class ScalarCpuModel:
+    """A scalar (RISC) processor with one data cache."""
+
+    name: str
+    clock_hz: float
+    cache: CacheSpec
+    flops_per_cycle: float = 2.0
+    """Peak FP issue rate (POWER/Alpha fused multiply-add era)."""
+    division_cycles: float = 17.0
+    pow_cycles: float = 150.0
+    """Cost of a library exponentiation call."""
+    int_overhead_cpf: float = 0.75
+    """Integer/addressing/loop cycles per flop."""
+    v5_target_mflops: float | None = None
+    """Anchor: sustained MFLOPS for Version 5 (None = purely mechanistic)."""
+
+    # -- core model -------------------------------------------------------------
+    def _raw_cycles_per_flop(
+        self, version: Version, working_set: float
+    ) -> float:
+        miss = sweep_miss_rate(
+            self.cache,
+            version.stride1_fraction,
+            working_set,
+            degradation=version.cache_degradation,
+        )
+        return (
+            (1.0 / self.flops_per_cycle + self.int_overhead_cpf)
+            * version.loop_overhead_factor
+            + version.divisions_per_flop * self.division_cycles
+            + version.pow_calls_per_flop * self.pow_cycles
+            + version.mem_refs_per_flop * miss * self.cache.miss_penalty_cycles
+        )
+
+    def _anchor_scale(self) -> float:
+        """Rescaling factor pinning Version 5 at the *default* working set
+        to the documented sustained rate.  Computed at the default (not the
+        query's) working set so that working-set/cache-size sensitivity
+        remains visible around the anchor."""
+        if self.v5_target_mflops is None:
+            return 1.0
+        v5 = version_by_number(5)
+        raw = (
+            self.clock_hz
+            / self._raw_cycles_per_flop(v5, DEFAULT_WORKING_SET)
+            / 1e6
+        )
+        return raw / self.v5_target_mflops
+
+    def cycles_per_flop(
+        self, version: Version | int = 5, working_set: float = DEFAULT_WORKING_SET
+    ) -> float:
+        if isinstance(version, int):
+            version = version_by_number(version)
+        return self._raw_cycles_per_flop(version, working_set) * self._anchor_scale()
+
+    def sustained_mflops(
+        self, version: Version | int = 5, working_set: float = DEFAULT_WORKING_SET
+    ) -> float:
+        """Sustained MFLOPS on the application for a given code version."""
+        return self.clock_hz / self.cycles_per_flop(version, working_set) / 1e6
+
+    def time_for_flops(
+        self,
+        flops: float,
+        version: Version | int = 5,
+        working_set: float = DEFAULT_WORKING_SET,
+    ) -> float:
+        """Seconds to execute ``flops`` nominal flops."""
+        return flops / (self.sustained_mflops(version, working_set) * 1e6)
+
+    @property
+    def peak_mflops(self) -> float:
+        return self.clock_hz * self.flops_per_cycle / 1e6

@@ -1,0 +1,29 @@
+"""Interconnect models for the paper's platforms.
+
+Each network is a *description*: it names the contention resources a
+message must hold (``link_ids``), their capacities, and the occupancy time
+of a transfer.  The discrete-event machine
+(:mod:`repro.simulate.machine`) materializes the resources and runs the
+traffic, so saturation and queueing *emerge* from the description rather
+than being curve-fit.
+"""
+
+from .base import Network
+from .ethernet import EthernetNetwork
+from .fddi import FddiNetwork
+from .atm import AtmNetwork
+from .allnode import AllnodeNetwork
+from .spswitch import SPSwitchNetwork
+from .torus3d import Torus3DNetwork
+from .crossbar import CrossbarNetwork
+
+__all__ = [
+    "Network",
+    "EthernetNetwork",
+    "FddiNetwork",
+    "AtmNetwork",
+    "AllnodeNetwork",
+    "SPSwitchNetwork",
+    "Torus3DNetwork",
+    "CrossbarNetwork",
+]

@@ -1,0 +1,42 @@
+"""Ideal crossbar — contention-free reference network.
+
+Used as the communication fabric stand-in for shared-memory data movement
+and as the 'infinitely good network' baseline in ablation benchmarks: every
+node pair gets a dedicated path at the stated bandwidth.
+"""
+
+from __future__ import annotations
+
+from .base import Network
+
+
+class CrossbarNetwork(Network):
+    """Dedicated full-bandwidth path per ordered node pair."""
+
+    def __init__(
+        self,
+        nnodes: int,
+        bytes_per_s: float = 1e9,
+        latency: float = 1e-6,
+    ) -> None:
+        self.name = "crossbar"
+        self.nnodes = nnodes
+        self.bytes_per_s = bytes_per_s
+        self.latency = latency
+
+    def link_ids(self, src: int, dst: int) -> list[str]:
+        return [f"pair:{src}->{dst}"]
+
+    def capacities(self) -> dict[str, int]:
+        return {
+            f"pair:{s}->{d}": 1
+            for s in range(self.nnodes)
+            for d in range(self.nnodes)
+            if s != d
+        }
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.bytes_per_s
+
+    def saturation_bandwidth(self) -> float:
+        return self.nnodes * self.bytes_per_s

@@ -1,0 +1,45 @@
+"""Shared-bus Ethernet (LACE's 10 Mbps 'parallel use' segment).
+
+Every transfer holds the single shared bus, so aggregate demand beyond
+~10 Mbps queues — reproducing the paper's Section 7.1 argument that eight
+processors generating ~9 Mb/s saturate the medium and that "Ethernet's
+performance gets steadily worse beyond 8 processors".
+"""
+
+from __future__ import annotations
+
+from .base import Network
+
+
+class EthernetNetwork(Network):
+    """CSMA shared bus."""
+
+    def __init__(
+        self,
+        nnodes: int,
+        bandwidth_bps: float = 10e6,
+        efficiency: float = 0.85,
+        frame_overhead_bytes: int = 90,
+        latency: float = 0.4e-3,
+    ) -> None:
+        self.name = "Ethernet"
+        self.nnodes = nnodes
+        self.bandwidth_bps = bandwidth_bps
+        #: Usable fraction of the raw rate (CSMA/CD backoff, interframe gaps).
+        self.efficiency = efficiency
+        #: Ethernet+IP+UDP header bytes added per message by the PVM path.
+        self.frame_overhead_bytes = frame_overhead_bytes
+        self.latency = latency
+
+    def link_ids(self, src: int, dst: int) -> list[str]:
+        return ["bus"]
+
+    def capacities(self) -> dict[str, int]:
+        return {"bus": 1}
+
+    def transfer_time(self, nbytes: int) -> float:
+        wire_bytes = nbytes + self.frame_overhead_bytes
+        return wire_bytes * 8.0 / (self.bandwidth_bps * self.efficiency)
+
+    def saturation_bandwidth(self) -> float:
+        return self.bandwidth_bps * self.efficiency / 8.0

@@ -1,0 +1,44 @@
+"""FDDI token ring (100 Mbps, LACE nodes 9-24).
+
+A shared medium like Ethernet but ten times faster and with token-passing
+access.  The paper found FDDI performance "almost identical" to ALLNODE-S:
+its faster shared link balances the ALLNODE's slower-but-parallel paths.
+"""
+
+from __future__ import annotations
+
+from .base import Network
+
+
+class FddiNetwork(Network):
+    """Single token-ring medium shared by all stations."""
+
+    def __init__(
+        self,
+        nnodes: int,
+        bandwidth_bps: float = 100e6,
+        efficiency: float = 0.75,
+        latency: float = 0.5e-3,
+        frame_overhead_bytes: int = 60,
+    ) -> None:
+        self.name = "FDDI"
+        self.nnodes = nnodes
+        self.bandwidth_bps = bandwidth_bps
+        #: Token rotation and frame overheads eat into the raw 100 Mbps.
+        self.efficiency = efficiency
+        #: Mean token-acquisition delay per message.
+        self.latency = latency
+        self.frame_overhead_bytes = frame_overhead_bytes
+
+    def link_ids(self, src: int, dst: int) -> list[str]:
+        return ["ring"]
+
+    def capacities(self) -> dict[str, int]:
+        return {"ring": 1}
+
+    def transfer_time(self, nbytes: int) -> float:
+        wire_bytes = nbytes + self.frame_overhead_bytes
+        return wire_bytes * 8.0 / (self.bandwidth_bps * self.efficiency)
+
+    def saturation_bandwidth(self) -> float:
+        return self.bandwidth_bps * self.efficiency / 8.0

@@ -1,0 +1,59 @@
+"""Vector processor model (the Cray Y-MP).
+
+Hockney's two-parameter characterization: a vector pipe of asymptotic rate
+``r_inf`` reaches half speed at vector length ``n_half``, so a sweep of
+length ``n`` sustains ``r_inf * n / (n + n_half)``.
+
+The paper's Y-MP parallelization "partitioned the domain along the
+orthogonal direction of the sweep to keep the vector lengths large and to
+avoid non-stride access" — i.e. splitting among processors does *not*
+shorten the vectors, so per-processor rate is preserved and the machine
+scales nearly linearly to its 8 CPUs (paper Figure 9/10 and Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.versions import Version, version_by_number
+
+
+@dataclass(frozen=True)
+class VectorCpuModel:
+    """One vector CPU (Hockney ``r_inf`` / ``n_half`` model)."""
+
+    name: str
+    r_inf_mflops: float
+    """Asymptotic vector rate per CPU in MFLOPS."""
+    n_half: float
+    """Vector length achieving half the asymptotic rate."""
+    vector_fraction: float = 0.95
+    """Fraction of the application's flops that vectorize (Amdahl term)."""
+    scalar_mflops: float = 12.0
+    """Rate of the non-vectorized remainder."""
+
+    def sustained_mflops(self, vector_length: float) -> float:
+        """Sustained rate for sweeps of the given vector length."""
+        rv = self.r_inf_mflops * vector_length / (vector_length + self.n_half)
+        f = self.vector_fraction
+        return 1.0 / (f / rv + (1.0 - f) / self.scalar_mflops)
+
+    def time_for_flops(
+        self, flops: float, vector_length: float, version: Version | int = 5
+    ) -> float:
+        """Seconds for ``flops`` nominal flops at the given vector length.
+
+        Code versions barely matter on the vector machine (the compiler
+        vectorizes the stride-1 form regardless), so only the vectorizable
+        fraction degrades slightly for the pre-interchange versions.
+        """
+        if isinstance(version, int):
+            version = version_by_number(version)
+        # Non-stride-1 versions vectorize less of the code.
+        frac = self.vector_fraction * (
+            0.85 if version.stride1_fraction < 0.6 else 1.0
+        )
+        model = VectorCpuModel(
+            self.name, self.r_inf_mflops, self.n_half, frac, self.scalar_mflops
+        )
+        return flops / (model.sustained_mflops(vector_length) * 1e6)

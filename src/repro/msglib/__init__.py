@@ -1,0 +1,33 @@
+"""Message-passing substrate.
+
+Two halves:
+
+* A **real** in-process message-passing implementation
+  (:class:`~repro.msglib.virtual.VirtualCluster` +
+  :class:`~repro.msglib.virtual.VirtualComm`) with PVM-style buffered sends,
+  tagged receives, reductions and barriers.  The distributed solver runs on
+  it for real — one thread per rank — and is verified bitwise against the
+  serial solver.
+* **Cost models** of the 1995 message-passing libraries the paper used
+  (PVM 3.2.2, IBM's MPL, PVMe) in :mod:`repro.msglib.libmodel`; these feed
+  the discrete-event simulator, not the real executor.
+"""
+
+from .api import CommStats, Communicator, MessageRecord
+from .vchannel import Mailbox
+from .virtual import VirtualCluster, VirtualComm
+from .libmodel import LibraryModel, MPL, PVM, PVME, library_by_name
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "MessageRecord",
+    "Mailbox",
+    "VirtualCluster",
+    "VirtualComm",
+    "LibraryModel",
+    "PVM",
+    "PVME",
+    "MPL",
+    "library_by_name",
+]

@@ -1,0 +1,77 @@
+"""In-process mailboxes with tagged, source-matched delivery.
+
+Each rank owns one :class:`Mailbox`.  Senders deposit ``(source, tag,
+payload)`` envelopes (never blocking — PVM-style buffered semantics);
+receivers block on the mailbox until an envelope matching their
+``(source, tag)`` arrives.  Out-of-order arrivals are stashed so message
+selectivity works exactly like PVM's ``pvm_recv(tid, tag)``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import defaultdict, deque
+
+import numpy as np
+
+
+class DeadlockError(RuntimeError):
+    """Raised when a receive waits longer than the cluster timeout."""
+
+
+class Mailbox:
+    """Tagged mailbox for one receiving rank."""
+
+    def __init__(self, owner: int, timeout: float = 60.0) -> None:
+        self.owner = owner
+        self.timeout = timeout
+        self._incoming: queue.Queue = queue.Queue()
+        self._stash: dict[tuple[int, str], deque] = defaultdict(deque)
+        self._lock = threading.Lock()
+
+    def put(self, source: int, tag: str, payload: np.ndarray) -> None:
+        """Deposit an envelope (called from the sender's thread)."""
+        self._incoming.put((source, tag, payload))
+
+    def try_get(self, source: int, tag: str):
+        """Non-blocking probe: the matching payload, or ``None``.
+
+        Drains any queued envelopes into the stash first, so a message
+        that has already arrived is found regardless of arrival order.
+        """
+        key = (source, tag)
+        with self._lock:
+            while True:
+                try:
+                    src, t, payload = self._incoming.get_nowait()
+                except queue.Empty:
+                    break
+                self._stash[(src, t)].append(payload)
+            if self._stash[key]:
+                return self._stash[key].popleft()
+        return None
+
+    def get(self, source: int, tag: str) -> np.ndarray:
+        """Block until the envelope matching ``(source, tag)`` arrives."""
+        key = (source, tag)
+        with self._lock:
+            if self._stash[key]:
+                return self._stash[key].popleft()
+        while True:
+            try:
+                src, t, payload = self._incoming.get(timeout=self.timeout)
+            except queue.Empty:
+                raise DeadlockError(
+                    f"rank {self.owner}: no message from {source} tag {tag!r} "
+                    f"within {self.timeout}s (likely deadlock or tag mismatch)"
+                ) from None
+            if (src, t) == key:
+                return payload
+            with self._lock:
+                self._stash[(src, t)].append(payload)
+
+    def pending(self) -> int:
+        """Number of stashed (unconsumed) envelopes — should be 0 at exit."""
+        with self._lock:
+            return sum(len(d) for d in self._stash.values()) + self._incoming.qsize()

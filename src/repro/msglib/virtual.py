@@ -1,0 +1,134 @@
+"""The virtual cluster: real SPMD execution with one thread per rank.
+
+This is the *correctness* execution substrate (the performance substrate is
+the discrete-event simulator in :mod:`repro.simulate`).  Rank programs are
+ordinary callables ``fn(comm, *args)``; they exchange numpy arrays through
+:class:`VirtualComm` with buffered sends and tag-matched blocking receives.
+
+Typical use::
+
+    cluster = VirtualCluster(4)
+    results = cluster.run(my_rank_program, extra_arg)
+
+Exceptions in any rank are re-raised in the caller (with the failing rank
+identified), and receives that stall past the timeout raise
+:class:`~repro.msglib.vchannel.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .api import Communicator, CommStats, Request
+from .vchannel import Mailbox
+
+
+class VirtualComm(Communicator):
+    """Communicator endpoint for one rank of a :class:`VirtualCluster`."""
+
+    def __init__(self, cluster: "VirtualCluster", rank: int) -> None:
+        self.cluster = cluster
+        self.rank = rank
+        self.size = cluster.size
+        self.stats = CommStats()
+
+    def send(self, dest: int, tag: str, array: np.ndarray) -> None:
+        if not (0 <= dest < self.size) or dest == self.rank:
+            raise ValueError(f"invalid destination {dest} from rank {self.rank}")
+        payload = np.ascontiguousarray(array).copy()
+        self.stats.record_send(dest, tag, payload.nbytes)
+        self.cluster.mailboxes[dest].put(self.rank, tag, payload)
+
+    def recv(self, source: int, tag: str) -> np.ndarray:
+        payload = self.cluster.mailboxes[self.rank].get(source, tag)
+        self.stats.record_recv(source, tag, payload.nbytes)
+        return payload
+
+    def irecv(self, source: int, tag: str) -> Request:
+        """True non-blocking receive: ``test()`` probes the mailbox."""
+        comm = self
+        mailbox = self.cluster.mailboxes[self.rank]
+
+        class _ProbingRecv(Request):
+            def __init__(self) -> None:
+                self._value = None
+                self._done = False
+
+            def _account(self, payload) -> None:
+                comm.stats.record_recv(source, tag, payload.nbytes)
+                self._value = payload
+                self._done = True
+
+            def test(self) -> bool:
+                if self._done:
+                    return True
+                payload = mailbox.try_get(source, tag)
+                if payload is not None:
+                    self._account(payload)
+                return self._done
+
+            def wait(self):
+                if not self._done:
+                    self._account(mailbox.get(source, tag))
+                return self._value
+
+        return _ProbingRecv()
+
+
+class VirtualCluster:
+    """A fixed-size set of ranks with all-to-all mailbox connectivity."""
+
+    def __init__(self, size: int, timeout: float = 120.0) -> None:
+        if size < 1:
+            raise ValueError("cluster size must be >= 1")
+        self.size = size
+        self.mailboxes = [Mailbox(r, timeout=timeout) for r in range(size)]
+        self.comms = [VirtualComm(self, r) for r in range(size)]
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        per_rank_args: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; returns per-rank results.
+
+        ``per_rank_args`` optionally supplies a distinct argument tuple per
+        rank (appended after the shared ``args``).  Any rank exception is
+        re-raised in the caller after all threads stop.
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, BaseException]] = []
+
+        def worker(rank: int) -> None:
+            extra = per_rank_args[rank] if per_rank_args is not None else ()
+            try:
+                results[rank] = fn(self.comms[rank], *args, *extra)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append((rank, exc))
+
+        if self.size == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(r,), daemon=True)
+                for r in range(self.size)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    def total_stats(self) -> CommStats:
+        """Aggregate statistics over all ranks."""
+        agg = CommStats()
+        for c in self.comms:
+            agg = agg.merged_with(c.stats)
+        return agg

@@ -1,0 +1,445 @@
+"""Serial time-accurate solvers for the jet Navier-Stokes/Euler equations.
+
+:class:`NavierStokesSolver` and :class:`EulerSolver` integrate the
+axisymmetric equations with the alternated split 2-4 MacCormack scheme
+(paper Section 3):
+
+* even steps apply ``Q <- L1x( L1r(Q) )``,
+* odd steps apply ``Q <- L2r( L2x(Q) )``,
+
+each split operator advancing the full ``dt``.  After the sweeps the inflow
+column is pinned to the excited jet profile at the new time, the outflow
+column is advanced with the characteristic treatment, and an optional thin
+sponge relaxes the far field.
+
+A planar, optionally periodic mode (``SolverConfig(axisymmetric=False,
+periodic_x=True, ...)``) exists purely for verification: on periodic
+domains the scheme telescopes and conserves the state sums to round-off and
+its spatial order of accuracy can be measured against smooth exact
+solutions.  All benchmark experiments use the axisymmetric jet mode.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import constants
+from ..grid import Grid
+from ..physics import eos
+from ..physics.fluxes import axisymmetric_source, inviscid_fluxes
+from ..physics.state import FlowState
+from ..physics.viscous import stress_tensor, viscous_fluxes
+from .boundary import (
+    BoundaryConditions,
+    apply_axis_ghosts,
+    characteristic_outflow_rates,
+)
+from .maccormack import PREDICTOR, SplitOperator, SweepWorkspace
+from .timestep import stable_dt
+
+
+@dataclass
+class SolverConfig:
+    """Configuration shared by the serial and distributed solvers."""
+
+    viscous: bool = True
+    gamma: float = constants.GAMMA
+    mu: float | None = None
+    """Dynamic viscosity; ``None`` derives it from Mach/Reynolds."""
+    mu_exponent: float = 0.0
+    """Power-law temperature dependence ``mu(T) = mu_ref * T**exponent``
+    (0 = constant viscosity, the configuration the paper's jet uses;
+    ~0.7 approximates Sutherland over this temperature range)."""
+    mach: float = constants.JET_MACH
+    reynolds: float = constants.REYNOLDS
+    cfl: float = 0.5
+    dt: float | None = None
+    """Fixed time step; ``None`` adapts from the CFL condition."""
+    dt_recompute_every: int = 10
+    """Steps between CFL re-evaluations when adapting."""
+    axisymmetric: bool = True
+    periodic_x: bool = False
+    periodic_r: bool = False
+    boundary: BoundaryConditions | None = None
+    """Jet boundary bundle; ``None`` disables inflow/outflow/sponge
+    treatment (test mode)."""
+    dissipation: float = 0.02
+    """Fourth-difference smoothing coefficient applied once per step.
+
+    The 2-4 MacCormack scheme's built-in dissipation (from the alternating
+    one-sided differences) is marginal for a Reynolds-1.2e6 shear layer at
+    the paper's resolution; production codes of the era added a weak
+    fourth-difference filter.  Applied in conservative difference form so
+    periodic conservation is preserved; set to 0 to disable.
+    """
+
+    def viscosity(self) -> float:
+        if not self.viscous:
+            return 0.0
+        if self.mu is not None:
+            return self.mu
+        return eos.viscosity(mach=self.mach, reynolds=self.reynolds)
+
+
+class FluxModel:
+    """Evaluates the total (inviscid + viscous) split fluxes on any slab.
+
+    Shared verbatim by the serial solver and every rank of the distributed
+    solver; the distributed solver calls it on halo-extended arrays so that
+    its gradients reproduce the serial interior arithmetic exactly.
+    """
+
+    def __init__(self, r: np.ndarray, dx: float, dr: float, config: SolverConfig):
+        self.r = np.asarray(r, dtype=np.float64)
+        self.dx = dx
+        self.dr = dr
+        self.config = config
+        self.mu = config.viscosity()
+        self.gamma = config.gamma
+        # Radial weight for the r-sweep; 1 in planar mode.
+        if config.axisymmetric:
+            self.weight = self.r[None, None, :]
+        else:
+            self.weight = np.ones((1, 1, self.r.size))
+
+    def primitives(self, q: np.ndarray):
+        """``(u, v, T)`` from the conservative array (for halo packing)."""
+        rho = q[0]
+        inv_rho = 1.0 / rho
+        u = q[1] * inv_rho
+        v = q[2] * inv_rho
+        p = (self.gamma - 1.0) * (q[3] - 0.5 * (q[1] * u + q[2] * v))
+        T = self.gamma * p * inv_rho
+        return u, v, T
+
+    #: Axis of uvT halo lines: 0 = columns (axial decomposition), 1 = rows
+    #: (radial decomposition), 2 = both (2-D blocks, where ``uvT_halo`` is
+    #: a ``{'x': pair, 'r': pair}`` dict).  Set by the distributed solvers.
+    halo_axis: int = 0
+
+    def _mu_field(self, T: np.ndarray):
+        """Viscosity at the local temperature (scalar when constant)."""
+        exp = self.config.mu_exponent
+        if exp == 0.0:
+            return self.mu
+        return self.mu * T**exp
+
+    def _viscous(self, q: np.ndarray, uvT_halo=None):
+        u, v, T = self.primitives(q)
+        if self.halo_axis == 2 and uvT_halo is not None:
+            from ..physics.viscous import assemble_stress, field_gradients_2d
+
+            grads = field_gradients_2d(
+                u, v, T, self.dx, self.dr,
+                halo_x=uvT_halo.get("x"),
+                halo_r=uvT_halo.get("r"),
+            )
+            terms = assemble_stress(
+                grads, v, self.r, self._mu_field(T), self.gamma
+            )
+            return u, v, terms
+        halo_lo = halo_hi = None
+        if uvT_halo is not None:
+            halo_lo, halo_hi = uvT_halo
+        terms = stress_tensor(
+            u,
+            v,
+            T,
+            self.r,
+            self.dx,
+            self.dr,
+            self._mu_field(T),
+            self.gamma,
+            halo_lo=halo_lo,
+            halo_hi=halo_hi,
+            halo_axis=min(self.halo_axis, 1),
+        )
+        return u, v, terms
+
+    def axial_flux(self, q: np.ndarray, uvT_halo=None) -> np.ndarray:
+        """Total axial flux ``F`` (no radial weight: r is constant in x).
+
+        ``uvT_halo = (lo, hi)`` optionally supplies neighbour ghost columns
+        of ``(u, v, T)`` so viscous gradients at subdomain edges match the
+        serial interior arithmetic.
+        """
+        F, _G, _p = inviscid_fluxes(q, self.gamma)
+        if self.mu:
+            u, v, terms = self._viscous(q, uvT_halo)
+            Fv, _Gv = viscous_fluxes(u, v, terms)
+            F -= Fv
+        return F
+
+    def radial_flux(self, q: np.ndarray, uvT_halo=None) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted radial flux ``r G`` and source ``S = (0,0,p - tau_tt,0)``.
+
+        In planar mode the weight is 1 and the geometric source is absent.
+        """
+        _F, G, p = inviscid_fluxes(q, self.gamma)
+        tau_tt: np.ndarray | float = 0.0
+        if self.mu:
+            u, v, terms = self._viscous(q, uvT_halo)
+            _Fv, Gv = viscous_fluxes(u, v, terms)
+            G -= Gv
+            tau_tt = terms.tau_tt
+        if not self.config.axisymmetric:
+            return G, np.zeros_like(q)
+        return self.weight * G, axisymmetric_source(q, p, tau_tt)
+
+
+def _wrap_ghosts(flux: np.ndarray, axis: int, side: str) -> np.ndarray:
+    """Periodic ghost planes (ordered outward, nearest first)."""
+    if side == "low":
+        idx = [-1, -2]
+    else:
+        idx = [0, 1]
+    sl = [slice(None)] * flux.ndim
+    planes = []
+    for k in idx:
+        sl[axis] = k
+        planes.append(flux[tuple(sl)])
+    return np.stack(planes)
+
+
+class CompressibleSolver:
+    """Serial integrator; see the module docstring for the step structure.
+
+    Parameters
+    ----------
+    state:
+        Initial :class:`~repro.physics.state.FlowState` (mutated in place).
+    config:
+        :class:`SolverConfig`.  ``config.boundary`` supplies the jet inflow
+        excitation, outflow treatment and sponge.
+    """
+
+    def __init__(self, state: FlowState, config: SolverConfig | None = None):
+        self.state = state
+        self.grid: Grid = state.grid
+        self.config = config or SolverConfig()
+        self.fm = FluxModel(self.grid.r, self.grid.dx, self.grid.dr, self.config)
+        self.t = 0.0
+        self.nstep = 0
+        self._dt_cached: float | None = None
+        self.wall_time = 0.0
+        cfg = self.config
+        if cfg.axisymmetric:
+            self._inv_weight = 1.0 / self.grid.r[None, None, :]
+        else:
+            self._inv_weight = 1.0
+        bc = cfg.boundary
+        if bc is not None and bc.inflow is not None:
+            self._ambient_col = bc.inflow_column(self.grid.r, 0.0, cfg.gamma)
+            # Ambient for the sponge: the freestream (g -> 0) state.
+            prof = bc.inflow.profile
+            t_inf = prof.t_infinity
+            rho_inf = cfg.gamma * prof.pressure / t_inf
+            amb = np.empty_like(self._ambient_col)
+            amb[0] = rho_inf
+            amb[1] = rho_inf * prof.coflow
+            amb[2] = 0.0
+            amb[3] = eos.total_energy(
+                rho_inf, prof.coflow, 0.0, prof.pressure, cfg.gamma
+            )
+            self._sponge_col = amb
+        else:
+            self._sponge_col = None
+
+    # -- sweep plumbing ------------------------------------------------------
+    def _x_workspace(self) -> SweepWorkspace:
+        cfg = self.config
+        if cfg.periodic_x:
+            return SweepWorkspace(
+                flux=lambda q, ph: (self.fm.axial_flux(q), None),
+                low_ghosts=lambda f, ph: _wrap_ghosts(f, 1, "low"),
+                high_ghosts=lambda f, ph: _wrap_ghosts(f, 1, "high"),
+            )
+        return SweepWorkspace(flux=lambda q, ph: (self.fm.axial_flux(q), None))
+
+    def _r_workspace(self) -> SweepWorkspace:
+        return self._r_workspace_serial()
+
+    def _r_workspace_serial(self) -> SweepWorkspace:
+        """Halo-free radial workspace (also used by the outflow helper,
+        whose 5-column window is always local to the owning rank)."""
+        cfg = self.config
+        if cfg.periodic_r:
+            low = lambda f, ph: _wrap_ghosts(f, 2, "low")
+            high = lambda f, ph: _wrap_ghosts(f, 2, "high")
+        elif cfg.axisymmetric:
+            low = lambda f, ph: apply_axis_ghosts(f)
+            high = lambda f, ph: None
+        else:
+            low = lambda f, ph: None
+            high = lambda f, ph: None
+        return SweepWorkspace(
+            flux=lambda q, ph: self.fm.radial_flux(q),
+            low_ghosts=low,
+            high_ghosts=high,
+            inv_weight=self._inv_weight,
+        )
+
+    def _operators(self, variant: int):
+        ws_x = self._x_workspace()
+        ws_r = self._r_workspace()
+        Lx = SplitOperator(axis=1, h=self.grid.dx, variant=variant, workspace=ws_x)
+        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws_r)
+        return Lx, Lr
+
+    # -- time step ------------------------------------------------------------
+    def current_dt(self) -> float:
+        cfg = self.config
+        if cfg.dt is not None:
+            return cfg.dt
+        if (
+            self._dt_cached is None
+            or self.nstep % max(cfg.dt_recompute_every, 1) == 0
+        ):
+            self._dt_cached = stable_dt(
+                self.state.q,
+                self.grid.dx,
+                self.grid.dr,
+                cfl=cfg.cfl,
+                mu=self.fm.mu,
+                gamma=cfg.gamma,
+            )
+        return self._dt_cached
+
+    # -- boundary updates -------------------------------------------------------
+    def _outflow_rates(self, q: np.ndarray, variant: int) -> np.ndarray:
+        """Interior conservative rates at the outflow column, shape (4, nr)."""
+        window = q[:, -5:, :]
+        F = self.fm.axial_flux(window)
+        h = self.grid.dx
+        # Backward one-sided 2-4 difference at the last column.
+        dF = (7.0 * (F[:, -1] - F[:, -2]) - (F[:, -2] - F[:, -3])) / (6.0 * h)
+        # Radial contribution near the boundary via the split machinery
+        # (a 5-column window keeps the viscous x-gradients well-posed).
+        col = np.ascontiguousarray(window)
+        ws = self._r_workspace_serial()
+        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
+        radial_rate = Lr._rate(col, PREDICTOR)[:, -1, :]
+        return -dF + radial_rate
+
+    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):
+        bc = self.config.boundary
+        if bc is None:
+            return
+        q = self.state.q
+        if bc.characteristic_outflow:
+            q_t = self._outflow_rates(q_before, variant)
+            rates = characteristic_outflow_rates(
+                q_before[:, -1, :], q_t, self.config.gamma
+            )
+            q[:, -1, :] = q_before[:, -1, :] + dt * rates
+        if bc.inflow is not None:
+            q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
+        if bc.sponge is not None and self._sponge_col is not None:
+            bc.sponge.apply(q, self._sponge_col)
+
+    # -- fourth-difference filter -------------------------------------------------
+    def _state_ghosts(self, q: np.ndarray, axis: int, side: str):
+        """Ghost planes of the conservative state for the filter stencil.
+
+        Same boundary logic as the flux sweeps: periodic wrap, axis mirror
+        (radial momentum odd), cubic extrapolation elsewhere.  The
+        distributed solver overrides this with halo exchange.
+        """
+        cfg = self.config
+        periodic = cfg.periodic_x if axis == 1 else cfg.periodic_r
+        if periodic:
+            return _wrap_ghosts(q, axis, side)
+        if axis == 2 and side == "low" and cfg.axisymmetric:
+            from .boundary import AXIS_STATE_SIGNS
+
+            signs = AXIS_STATE_SIGNS[:, None]
+            return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
+        return None  # cubic extrapolation
+
+    def apply_filter(self, q: np.ndarray) -> np.ndarray:
+        """One pass of the conservative fourth-difference smoothing.
+
+        ``q <- q - eps * (q_{i-2} - 4 q_{i-1} + 6 q_i - 4 q_{i+1} + q_{i+2})``
+        along each direction.  With cubic-extrapolated ghosts the fourth
+        difference vanishes identically at smooth boundaries, so the filter
+        acts only on marginally-resolved interior content.
+        """
+        eps = self.config.dissipation
+        if eps <= 0.0:
+            return q
+        from .stencils import extend_axis
+
+        for axis in (1, 2):
+            ext = extend_axis(
+                q,
+                axis,
+                low=self._state_ghosts(q, axis, "low"),
+                high=self._state_ghosts(q, axis, "high"),
+            )
+            n = q.shape[axis]
+
+            def s(off: int) -> np.ndarray:
+                sl = [slice(None)] * q.ndim
+                sl[axis] = slice(2 + off, 2 + off + n)
+                return ext[tuple(sl)]
+
+            d4 = s(-2) - 4.0 * s(-1) + 6.0 * s(0) - 4.0 * s(1) + s(2)
+            q = q - eps * d4
+        return q
+
+    # -- main loop ---------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one time step (one ``L1x L1r`` or ``L2r L2x`` composite)."""
+        t0 = _time.perf_counter()
+        dt = self.current_dt()
+        variant = 1 if self.nstep % 2 == 0 else 2
+        Lx, Lr = self._operators(variant)
+        q_before = self.state.q.copy()
+        if variant == 1:
+            q = Lr.apply(self.state.q, dt)
+            q = Lx.apply(q, dt)
+        else:
+            q = Lx.apply(self.state.q, dt)
+            q = Lr.apply(q, dt)
+        q = self.apply_filter(q)
+        self.state.q = q
+        self.t += dt
+        self.nstep += 1
+        self._apply_boundaries(q_before, dt, variant)
+        self.wall_time += _time.perf_counter() - t0
+
+    def run(
+        self,
+        steps: int,
+        monitor: Optional[Callable[["CompressibleSolver"], None]] = None,
+        monitor_every: int = 100,
+    ) -> FlowState:
+        """Advance ``steps`` steps; optionally call ``monitor`` periodically."""
+        for _ in range(steps):
+            self.step()
+            if monitor is not None and self.nstep % monitor_every == 0:
+                monitor(self)
+        return self.state
+
+
+class NavierStokesSolver(CompressibleSolver):
+    """Navier-Stokes jet solver (viscous terms on)."""
+
+    def __init__(self, state: FlowState, config: SolverConfig | None = None):
+        config = config or SolverConfig()
+        config.viscous = True
+        super().__init__(state, config)
+
+
+class EulerSolver(CompressibleSolver):
+    """Euler jet solver — the paper's second application (viscosity and
+    heat conduction set to zero, ~50% of the Navier-Stokes computation)."""
+
+    def __init__(self, state: FlowState, config: SolverConfig | None = None):
+        config = config or SolverConfig()
+        config.viscous = False
+        super().__init__(state, config)

@@ -1,0 +1,32 @@
+"""The paper's core contribution: parallelization of the jet solver.
+
+* :mod:`repro.parallel.decomposition` — block domain decompositions.  The
+  paper decomposes "by blocks along the axial direction only" (Section 5);
+  the radial variant it defers to future work (Section 8) is also provided.
+* :mod:`repro.parallel.versions` — the optimization-version registry
+  (V1..V5 single-processor optimizations, V6 overlapped communication,
+  V7 de-burstified communication).
+* :mod:`repro.parallel.halo` — grouped halo-exchange plans implementing the
+  paper's communication structure: velocity/temperature columns for the
+  viscous stresses, predictor/corrector flux columns for the one-sided
+  stencils, plus the filter's state halo.
+* :mod:`repro.parallel.spmd` — the per-rank distributed solver (bitwise
+  identical to the serial solver for every processor count and version).
+* :mod:`repro.parallel.runner` — high-level facade over the virtual cluster.
+"""
+
+from .decomposition import AxialDecomposition, RadialDecomposition
+from .versions import VERSIONS, Version, version_by_number
+from .halo import ExchangePolicy
+from .runner import ParallelJetSolver, ParallelRunResult
+
+__all__ = [
+    "AxialDecomposition",
+    "RadialDecomposition",
+    "Version",
+    "VERSIONS",
+    "version_by_number",
+    "ExchangePolicy",
+    "ParallelJetSolver",
+    "ParallelRunResult",
+]

@@ -1,0 +1,237 @@
+"""The distributed (SPMD) jet solver — one instance per rank.
+
+:class:`DistributedSolver` subclasses the serial
+:class:`~repro.numerics.solver.CompressibleSolver` and overrides exactly the
+points where subdomain boundaries appear:
+
+* viscous gradients receive neighbour ``(u, v, T)`` ghost columns;
+* the one-sided flux stencils receive neighbour flux columns on the side
+  the current predictor/corrector phase differences toward;
+* the fourth-difference filter receives two conservative-state columns;
+* the stable ``dt`` is the all-reduce minimum of the per-slab values;
+* inflow forcing runs only on rank 0 and the characteristic outflow only on
+  the last rank.
+
+Because every ghost is *real* neighbour data entering the identical
+vectorized expressions, the distributed solver is bitwise-identical to the
+serial solver for any processor count and any communication version —
+verified by the test suite.  This mirrors the paper's property that its
+parallelization changes performance, never the numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Grid
+from ..msglib.api import Communicator
+from ..numerics.boundary import AXIS_STATE_SIGNS
+from ..numerics.maccormack import CORRECTOR, PREDICTOR, SplitOperator, SweepWorkspace
+from ..numerics.solver import CompressibleSolver, SolverConfig
+from ..numerics.timestep import stable_dt
+from ..physics.state import FlowState
+from .decomposition import AxialDecomposition
+from .halo import (
+    ExchangePolicy,
+    exchange_flux_high,
+    exchange_flux_low,
+    exchange_state_halo_high,
+    exchange_state_halo_low,
+    exchange_uvT,
+)
+from .versions import Version, version_by_number
+
+
+class DistributedSolver(CompressibleSolver):
+    """Per-rank solver over an axial block decomposition.
+
+    Parameters
+    ----------
+    comm:
+        A :class:`~repro.msglib.api.Communicator` (e.g. from a
+        :class:`~repro.msglib.virtual.VirtualCluster`).
+    global_grid:
+        The full-domain grid.
+    q_global:
+        Full-domain conservative array to slice the local slab from (shared
+        read-only; each rank copies its slab).
+    config:
+        The same :class:`~repro.numerics.solver.SolverConfig` the serial
+        solver takes.
+    version:
+        Paper code version (5, 6 or 7) controlling message grouping.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        global_grid: Grid,
+        q_global: np.ndarray,
+        config: SolverConfig,
+        version: int | Version = 5,
+    ) -> None:
+        self.comm = comm
+        self.decomp = AxialDecomposition(global_grid.nx, comm.size)
+        self.lo, self.hi = self.decomp.bounds(comm.rank)
+        self.left, self.right = self.decomp.neighbors(comm.rank)
+        if isinstance(version, int):
+            version = version_by_number(version)
+        self.version = version
+        self.policy = ExchangePolicy.from_version(version)
+        self.global_grid = global_grid
+        local_grid = global_grid.subgrid(self.lo, self.hi)
+        local_state = FlowState(
+            local_grid, q_global[:, self.lo : self.hi, :].copy(), config.gamma
+        )
+        super().__init__(local_state, config)
+
+    # -- tags -----------------------------------------------------------------
+    def _tag(self, op: str, phase: str = "") -> str:
+        return f"{self.nstep}:{op}:{phase}"
+
+    # -- halo-aware flux evaluation ------------------------------------------
+    def _uvT_halo(self, q: np.ndarray, tag: str):
+        """Exchange the paper's velocity/temperature ghost columns."""
+        if not self.fm.mu:
+            return None
+        if self.left is None and self.right is None:
+            return None
+        u, v, T = self.fm.primitives(q)
+        return exchange_uvT(self.comm, tag, u, v, T, self.left, self.right)
+
+    def _x_workspace(self, variant: int) -> SweepWorkspace:  # type: ignore[override]
+        solver = self
+
+        def flux(q, phase):
+            halo = solver._uvT_halo(q, solver._tag("x", phase))
+            return solver.fm.axial_flux(q, uvT_halo=halo), None
+
+        def high_ghosts(F, phase):
+            # Forward differencing consumes high-side ghosts.
+            if (variant == 1) == (phase == PREDICTOR):
+                return exchange_flux_high(
+                    solver.comm,
+                    solver._tag("x", phase),
+                    F,
+                    solver.left,
+                    solver.right,
+                    solver.policy,
+                )
+            return None
+
+        def low_ghosts(F, phase):
+            if (variant == 1) == (phase == CORRECTOR):
+                return exchange_flux_low(
+                    solver.comm,
+                    solver._tag("x", phase),
+                    F,
+                    solver.left,
+                    solver.right,
+                    solver.policy,
+                )
+            return None
+
+        return SweepWorkspace(
+            flux=flux, low_ghosts=low_ghosts, high_ghosts=high_ghosts
+        )
+
+    def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
+        solver = self
+        base = super()._r_workspace()
+
+        def flux(q, phase):
+            halo = solver._uvT_halo(q, solver._tag("r", phase))
+            return solver.fm.radial_flux(q, uvT_halo=halo)
+
+        return SweepWorkspace(
+            flux=flux,
+            low_ghosts=base.low_ghosts,
+            high_ghosts=base.high_ghosts,
+            inv_weight=base.inv_weight,
+        )
+
+    def _operators(self, variant: int):  # type: ignore[override]
+        Lx = SplitOperator(
+            axis=1,
+            h=self.grid.dx,
+            variant=variant,
+            workspace=self._x_workspace(variant),
+        )
+        Lr = SplitOperator(
+            axis=2,
+            h=self.grid.dr,
+            variant=variant,
+            workspace=self._r_workspace(variant),
+        )
+        return Lx, Lr
+
+    # -- time step: global reduction ----------------------------------------
+    def current_dt(self) -> float:  # type: ignore[override]
+        cfg = self.config
+        if cfg.dt is not None:
+            return cfg.dt
+        if (
+            self._dt_cached is None
+            or self.nstep % max(cfg.dt_recompute_every, 1) == 0
+        ):
+            local = stable_dt(
+                self.state.q,
+                self.grid.dx,
+                self.grid.dr,
+                cfl=cfg.cfl,
+                mu=self.fm.mu,
+                gamma=cfg.gamma,
+            )
+            self._dt_cached = self.comm.allreduce_min(
+                local, tag=self._tag("dt")
+            )
+        return self._dt_cached
+
+    # -- filter halos ------------------------------------------------------------
+    def _state_ghosts(self, q: np.ndarray, axis: int, side: str):  # type: ignore[override]
+        if axis == 1:
+            tag = self._tag("filter")
+            if side == "low":
+                return exchange_state_halo_low(
+                    self.comm, tag, q, self.left, self.right
+                )
+            ghosts = exchange_state_halo_high(
+                self.comm, tag, q, self.left, self.right
+            )
+            return ghosts
+        # Radial ghosts are local: axis mirror / cubic as in the serial code.
+        cfg = self.config
+        if cfg.periodic_r:
+            return super()._state_ghosts(q, axis, side)
+        if side == "low" and cfg.axisymmetric:
+            signs = AXIS_STATE_SIGNS[:, None]
+            return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
+        return None
+
+    # -- boundaries: only the owning ranks act --------------------------------
+    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):  # type: ignore[override]
+        bc = self.config.boundary
+        if bc is None:
+            return
+        q = self.state.q
+        if bc.characteristic_outflow and self.right is None:
+            q_t = self._outflow_rates(q_before, variant)
+            from ..numerics.boundary import characteristic_outflow_rates
+
+            rates = characteristic_outflow_rates(
+                q_before[:, -1, :], q_t, self.config.gamma
+            )
+            q[:, -1, :] = q_before[:, -1, :] + dt * rates
+        if bc.inflow is not None and self.left is None:
+            q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
+        if bc.sponge is not None and self._sponge_col is not None:
+            bc.sponge.apply(q, self._sponge_col)
+
+    # -- gathering ------------------------------------------------------------
+    def gather_state(self) -> FlowState | None:
+        """Assemble the global state on rank 0 (``None`` elsewhere)."""
+        parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:gather")
+        if parts is None:
+            return None
+        q_full = np.concatenate(parts, axis=1)
+        return FlowState(self.global_grid, q_full, self.config.gamma)

@@ -1,0 +1,132 @@
+"""The paper's code-version registry (Sections 5-6).
+
+Versions 1-5 are *single-processor* optimizations; they change the
+instruction/memory mix (and hence the cost model's predicted MFLOPS) but
+never the arithmetic results.  Versions 6-7 are *communication* variants of
+the parallel code built on Version 5:
+
+=====  ==========================================================
+V1     Original code: exponentiation calls, 5.5e9 divisions,
+       non-stride-1 array sweeps, many COMMON blocks.
+V2     Strength reduction — exponentiations replaced by
+       multiplications.
+V3     Loop interchange — arrays accessed stride-1 wherever
+       possible ("Improved cache performance was the key", ~50%
+       faster than V2).
+V4     Divisions replaced by multiplications where feasible
+       (5.5e9 -> 2.0e9 divisions).
+V5     Multiple COMMON blocks collapsed into one — better register
+       usage.  The production version: all experiments use it.
+V6     V5 + overlapped communication/computation: interior fluxes
+       computed while waiting for neighbour velocity/temperature
+       vectors; extra loop setup and slightly degraded temporal
+       locality offset the gain (paper Section 6/7.1).
+V7     V5 with flux columns sent one at a time to reduce bursty
+       communication (more startups, same volume).
+=====  ==========================================================
+
+The op-mix numbers below are per *nominal* floating-point operation of the
+application (the paper's Table-1 FLOP counts), so the cost model can map a
+version straight to sustained MFLOPS on any CPU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Version:
+    """One code version: instruction/memory mix plus message grouping."""
+
+    number: int
+    name: str
+    description: str
+    # -- instruction mix per nominal flop -------------------------------------
+    divisions_per_flop: float
+    """Floating divisions per nominal flop (paper: 5.5e9 of 145e9 before
+    the rewrite, 2.0e9 after)."""
+    pow_calls_per_flop: float
+    """Library exponentiation calls per nominal flop (removed by V2)."""
+    mem_refs_per_flop: float
+    """Array references per nominal flop reaching the load/store units."""
+    stride1_fraction: float
+    """Fraction of array sweeps that run stride-1 (loop interchange)."""
+    loop_overhead_factor: float = 1.0
+    """Multiplier on integer/loop overhead (V6 splits loops: > 1)."""
+    cache_degradation: float = 1.0
+    """Multiplier on the cache miss rate (V6 loses temporal locality)."""
+    # -- communication grouping -------------------------------------------------
+    overlap_communication: bool = False
+    """V6: post sends early and compute interior while waiting."""
+    split_flux_columns: bool = False
+    """V7: one column per flux message instead of a grouped pair."""
+
+
+_BASE = dict(
+    divisions_per_flop=5.5e9 / 145e9,  # paper Section 6
+    pow_calls_per_flop=0.004,
+    mem_refs_per_flop=1.45,
+    stride1_fraction=0.45,
+)
+
+V1 = Version(
+    number=1,
+    name="V1",
+    description="original code",
+    **_BASE,
+)
+V2 = replace(
+    V1,
+    number=2,
+    name="V2",
+    description="strength reduction: exponentiation -> multiplication",
+    pow_calls_per_flop=0.0,
+)
+V3 = replace(
+    V2,
+    number=3,
+    name="V3",
+    description="loop interchange: stride-1 array access",
+    stride1_fraction=0.95,
+)
+V4 = replace(
+    V3,
+    number=4,
+    name="V4",
+    description="division -> multiplication (5.5e9 -> 2.0e9 divisions)",
+    divisions_per_flop=2.0e9 / 145e9,
+)
+V5 = replace(
+    V4,
+    number=5,
+    name="V5",
+    description="COMMON blocks collapsed: better register usage",
+    mem_refs_per_flop=1.30,
+)
+V6 = replace(
+    V5,
+    number=6,
+    name="V6",
+    description="V5 + overlapped communication and computation",
+    loop_overhead_factor=1.04,
+    cache_degradation=1.03,
+    overlap_communication=True,
+)
+V7 = replace(
+    V5,
+    number=7,
+    name="V7",
+    description="V5 with flux columns sent one at a time (anti-bursty)",
+    split_flux_columns=True,
+)
+
+VERSIONS: dict[int, Version] = {v.number: v for v in (V1, V2, V3, V4, V5, V6, V7)}
+
+
+def version_by_number(n: int) -> Version:
+    """Look up a version; raises ``KeyError`` with the known set."""
+    try:
+        return VERSIONS[n]
+    except KeyError:
+        raise KeyError(f"unknown version {n}; known: {sorted(VERSIONS)}") from None

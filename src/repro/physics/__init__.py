@@ -1,0 +1,44 @@
+"""Governing-equation substrate: gas model, flow state, fluxes, jet profile.
+
+Nondimensionalization used throughout (see :mod:`repro.constants`):
+lengths by the jet radius, velocity by the inflow centerline sound speed,
+density by the centerline density, temperature by the centerline temperature,
+pressure by ``rho_c * c_c**2``.  In these units the centerline state is
+``rho = 1``, ``T = 1``, ``p = 1/gamma``, ``u = M_jet`` and the sound speed is
+``c = sqrt(T)``.
+"""
+
+from .eos import (
+    enthalpy,
+    internal_energy,
+    pressure,
+    sound_speed,
+    temperature,
+    total_energy,
+    viscosity,
+)
+from .state import FlowState
+from .fluxes import inviscid_fluxes, axisymmetric_source
+from .viscous import ViscousTerms, viscous_fluxes
+from .jet import JetProfile, InflowExcitation
+from .linearized import Eigenmode, GaussianEigenmode, solve_temporal_mode
+
+__all__ = [
+    "FlowState",
+    "JetProfile",
+    "InflowExcitation",
+    "Eigenmode",
+    "GaussianEigenmode",
+    "ViscousTerms",
+    "pressure",
+    "temperature",
+    "sound_speed",
+    "total_energy",
+    "internal_energy",
+    "enthalpy",
+    "viscosity",
+    "inviscid_fluxes",
+    "axisymmetric_source",
+    "viscous_fluxes",
+    "solve_temporal_mode",
+]

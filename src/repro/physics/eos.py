@@ -1,0 +1,91 @@
+"""Perfect-gas equation of state in the jet nondimensionalization.
+
+With velocity scaled by the centerline sound speed and temperature by the
+centerline temperature, the perfect-gas relations read
+
+.. math::
+
+    p = \\rho T / \\gamma, \\qquad
+    c = \\sqrt{T}, \\qquad
+    E = \\frac{p}{\\gamma - 1} + \\tfrac12 \\rho (u^2 + v^2),
+
+so the centerline reference state is ``rho = T = c = 1`` and
+``p = 1/gamma``.  All functions are vectorized over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+
+GAMMA = constants.GAMMA
+
+
+def pressure(rho, rho_u, rho_v, E, gamma: float = GAMMA):
+    """Static pressure from the conservative variables.
+
+    ``p = (gamma - 1) (E - (rho_u^2 + rho_v^2) / (2 rho))``.
+    """
+    return (gamma - 1.0) * (E - 0.5 * (rho_u * rho_u + rho_v * rho_v) / rho)
+
+
+def temperature(rho, p, gamma: float = GAMMA):
+    """Static temperature ``T = gamma p / rho`` (so that ``c**2 = T``)."""
+    return gamma * p / rho
+
+
+def sound_speed(rho, p, gamma: float = GAMMA):
+    """Speed of sound ``c = sqrt(gamma p / rho)``."""
+    return np.sqrt(gamma * p / rho)
+
+
+def total_energy(rho, u, v, p, gamma: float = GAMMA):
+    """Total energy per unit volume from primitives."""
+    return p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+
+
+def internal_energy(rho, p, gamma: float = GAMMA):
+    """Specific internal energy ``e = p / ((gamma - 1) rho)``."""
+    return p / ((gamma - 1.0) * rho)
+
+
+def enthalpy(rho, E, p):
+    """Specific total enthalpy ``H = (E + p) / rho``."""
+    return (E + p) / rho
+
+
+def viscosity(
+    T=None,
+    *,
+    mach: float = constants.JET_MACH,
+    reynolds: float = constants.REYNOLDS,
+    exponent: float = 0.0,
+):
+    """Nondimensional dynamic viscosity.
+
+    The Reynolds number of the paper is based on the jet *diameter* and the
+    centerline velocity ``u_c = M_jet`` (in sound-speed units), so the
+    nondimensional reference viscosity is ``mu_ref = 2 * M_jet / Re``.
+
+    Parameters
+    ----------
+    T:
+        Optional temperature field for a power-law dependence
+        ``mu = mu_ref * T**exponent``.  With the default ``exponent = 0``
+        the viscosity is constant, which is the common choice for this
+        jet configuration.
+    """
+    mu_ref = 2.0 * mach / reynolds
+    if T is None or exponent == 0.0:
+        return mu_ref
+    return mu_ref * np.asarray(T) ** exponent
+
+
+def conductivity(mu, gamma: float = GAMMA, prandtl: float = constants.PRANDTL):
+    """Nondimensional thermal conductivity ``k = mu / ((gamma - 1) Pr)``.
+
+    This follows from ``k = cp mu / Pr`` with temperature scaled by ``T_c``
+    and velocity by ``c_c`` so that ``cp T_c / c_c^2 = 1 / (gamma - 1)``.
+    """
+    return mu / ((gamma - 1.0) * prandtl)

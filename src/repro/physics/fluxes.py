@@ -1,0 +1,86 @@
+"""Inviscid fluxes and the axisymmetric source term.
+
+The governing equations in the paper's ``r``-weighted conservative form are
+
+.. math::
+
+    (r q)_t + (r F)_x + (r G)_r = S,
+
+with
+
+.. math::
+
+    q = \\begin{pmatrix} \\rho \\\\ \\rho u \\\\ \\rho v \\\\ E \\end{pmatrix},
+    \\quad
+    F = \\begin{pmatrix} \\rho u \\\\ \\rho u^2 + p - \\tau_{xx} \\\\
+        \\rho u v - \\tau_{xr} \\\\
+        \\rho u H - u\\tau_{xx} - v\\tau_{xr} + q_x \\end{pmatrix},
+    \\quad
+    G = \\begin{pmatrix} \\rho v \\\\ \\rho u v - \\tau_{xr} \\\\
+        \\rho v^2 + p - \\tau_{rr} \\\\
+        \\rho v H - u\\tau_{xr} - v\\tau_{rr} + q_r \\end{pmatrix},
+
+and the geometric source ``S = (0, 0, p - tau_theta_theta, 0)`` acting on the
+radial momentum (it appears because ``d(r p)/dr = r dp/dr + p``).  This module
+provides the *inviscid* parts; :mod:`repro.physics.viscous` supplies the
+stress/heat-flux contributions.  Dropping the viscous terms recovers the
+Euler equations exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+
+
+def inviscid_fluxes(q: np.ndarray, gamma: float = constants.GAMMA):
+    """Inviscid axial and radial flux vectors for a conservative array.
+
+    Parameters
+    ----------
+    q:
+        Conservative array ``(4, ...)`` ordered ``(rho, rho u, rho v, E)``.
+
+    Returns
+    -------
+    (F, G, p):
+        Flux arrays with the same shape as ``q`` plus the pressure field
+        (returned because every caller needs it again for the source term
+        and boundary conditions — recomputing it would double the division
+        count the paper's Version 4 works so hard to remove).
+    """
+    rho, rho_u, rho_v, E = q[0], q[1], q[2], q[3]
+    inv_rho = 1.0 / rho  # single division, reused (paper Version 4 idiom)
+    u = rho_u * inv_rho
+    v = rho_v * inv_rho
+    p = (gamma - 1.0) * (E - 0.5 * (rho_u * u + rho_v * v))
+    Ep = E + p
+
+    F = np.empty_like(q)
+    F[0] = rho_u
+    F[1] = rho_u * u + p
+    F[2] = rho_u * v
+    F[3] = u * Ep
+
+    G = np.empty_like(q)
+    G[0] = rho_v
+    G[1] = rho_v * u
+    G[2] = rho_v * v + p
+    G[3] = v * Ep
+    return F, G, p
+
+
+def axisymmetric_source(
+    q: np.ndarray,
+    p: np.ndarray,
+    tau_tt: np.ndarray | float = 0.0,
+) -> np.ndarray:
+    """Geometric source ``S = (0, 0, p - tau_theta_theta, 0)``.
+
+    ``tau_tt`` is the azimuthal normal stress computed by
+    :func:`repro.physics.viscous.stress_tensor`; it is zero for Euler.
+    """
+    S = np.zeros_like(q)
+    S[2] = p - tau_tt
+    return S

@@ -1,0 +1,155 @@
+"""Flow-state container for the conservative variables.
+
+The solver evolves the conservative vector ``q = (rho, rho*u, rho*v, E)``
+stored as a single ``(4, nx, nr)`` array; the axisymmetric ``r``-weighting
+(the paper's ``Q = r q``) is applied inside the residual evaluation, not in
+the stored state, which keeps boundary conditions and diagnostics simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..grid import Grid
+from . import eos
+
+#: Index of each conservative component in the leading axis.
+RHO, RHO_U, RHO_V, ENERGY = 0, 1, 2, 3
+
+NVARS = 4
+"""Number of conservative variables."""
+
+
+@dataclass
+class FlowState:
+    """Conservative flow variables on a :class:`~repro.grid.Grid`.
+
+    Attributes
+    ----------
+    grid:
+        The grid the state lives on.
+    q:
+        Conservative array of shape ``(4, nx, nr)`` ordered
+        ``(rho, rho*u, rho*v, E)``.
+    """
+
+    grid: Grid
+    q: np.ndarray
+    gamma: float = constants.GAMMA
+
+    def __post_init__(self) -> None:
+        self.q = np.ascontiguousarray(self.q, dtype=np.float64)
+        expected = (NVARS,) + self.grid.shape
+        if self.q.shape != expected:
+            raise ValueError(f"state shape {self.q.shape} != expected {expected}")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_primitive(
+        cls,
+        grid: Grid,
+        rho: np.ndarray | float,
+        u: np.ndarray | float,
+        v: np.ndarray | float,
+        p: np.ndarray | float,
+        gamma: float = constants.GAMMA,
+    ) -> "FlowState":
+        """Build a state from primitive fields (broadcast to the grid)."""
+        shape = grid.shape
+        rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), shape)
+        u = np.broadcast_to(np.asarray(u, dtype=np.float64), shape)
+        v = np.broadcast_to(np.asarray(v, dtype=np.float64), shape)
+        p = np.broadcast_to(np.asarray(p, dtype=np.float64), shape)
+        q = np.empty((NVARS,) + shape)
+        q[RHO] = rho
+        q[RHO_U] = rho * u
+        q[RHO_V] = rho * v
+        q[ENERGY] = eos.total_energy(rho, u, v, p, gamma)
+        return cls(grid, q, gamma)
+
+    @classmethod
+    def quiescent(
+        cls, grid: Grid, rho: float = 1.0, p: float = 1.0 / constants.GAMMA
+    ) -> "FlowState":
+        """A uniform fluid at rest."""
+        return cls.from_primitive(grid, rho, 0.0, 0.0, p)
+
+    # -- primitive accessors -------------------------------------------------
+    @property
+    def rho(self) -> np.ndarray:
+        return self.q[RHO]
+
+    @property
+    def u(self) -> np.ndarray:
+        return self.q[RHO_U] / self.q[RHO]
+
+    @property
+    def v(self) -> np.ndarray:
+        return self.q[RHO_V] / self.q[RHO]
+
+    @property
+    def E(self) -> np.ndarray:
+        return self.q[ENERGY]
+
+    @property
+    def p(self) -> np.ndarray:
+        return eos.pressure(
+            self.q[RHO], self.q[RHO_U], self.q[RHO_V], self.q[ENERGY], self.gamma
+        )
+
+    @property
+    def T(self) -> np.ndarray:
+        return eos.temperature(self.rho, self.p, self.gamma)
+
+    @property
+    def c(self) -> np.ndarray:
+        return eos.sound_speed(self.rho, self.p, self.gamma)
+
+    @property
+    def H(self) -> np.ndarray:
+        return eos.enthalpy(self.rho, self.E, self.p)
+
+    @property
+    def mach(self) -> np.ndarray:
+        """Local Mach number ``|velocity| / c``."""
+        return np.sqrt(self.u**2 + self.v**2) / self.c
+
+    @property
+    def axial_momentum(self) -> np.ndarray:
+        """``rho * u`` — the quantity contoured in the paper's Figure 1."""
+        return self.q[RHO_U]
+
+    # -- utilities ------------------------------------------------------------
+    def copy(self) -> "FlowState":
+        return FlowState(self.grid, self.q.copy(), self.gamma)
+
+    def is_physical(self) -> bool:
+        """True when density and pressure are everywhere positive and finite."""
+        rho, p = self.q[RHO], self.p
+        return bool(
+            np.all(np.isfinite(self.q))
+            and np.all(rho > 0.0)
+            and np.all(p > 0.0)
+        )
+
+    def conserved_totals(self, radial_weight: bool = True) -> np.ndarray:
+        """Volume integrals of the conservative variables.
+
+        For the axisymmetric equations the conserved quantities are
+        ``integral(q * r dx dr)`` (times ``2*pi``); planar verification
+        configurations pass ``radial_weight=False`` for the unweighted
+        sums their periodic telescoping conserves exactly.
+        """
+        w = self.grid.dx * self.grid.dr
+        if radial_weight:
+            r = self.grid.rmesh()
+            return np.array([np.sum(self.q[k] * r) * w for k in range(NVARS)])
+        return np.array([np.sum(self.q[k]) * w for k in range(NVARS)])
+
+    def axial_slab(self, i_lo: int, i_hi: int) -> "FlowState":
+        """Copy of the axial slab ``[i_lo, i_hi)`` as a standalone state."""
+        sub = self.grid.subgrid(i_lo, i_hi)
+        return FlowState(sub, self.q[:, i_lo:i_hi, :].copy(), self.gamma)

@@ -1,0 +1,217 @@
+"""Viscous stresses and heat fluxes for the axisymmetric Navier-Stokes flux.
+
+For an axisymmetric flow (no swirl) the Stokes-hypothesis stress tensor is
+
+.. math::
+
+    \\tau_{xx} = \\mu (2 u_x - \\tfrac{2}{3} \\Theta), \\quad
+    \\tau_{rr} = \\mu (2 v_r - \\tfrac{2}{3} \\Theta), \\quad
+    \\tau_{\\theta\\theta} = \\mu (2 v/r - \\tfrac{2}{3} \\Theta), \\quad
+    \\tau_{xr} = \\mu (u_r + v_x),
+
+with dilatation ``Theta = u_x + v_r + v/r``, and the Fourier heat flux is
+``q_i = -k dT/dx_i`` with ``k = mu / ((gamma - 1) Pr)``.
+
+Velocity and temperature gradients are evaluated with second-order central
+differences (one-sided at domain edges) via :func:`numpy.gradient`.  In the
+MacCormack framework the one-sided 2-4 differencing is applied to the *total*
+flux, so second-order treatment of the already-diffusive terms preserves the
+scheme's overall accuracy; this matches common practice for the
+Gottlieb-Turkel scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from . import eos
+
+
+@dataclass
+class ViscousTerms:
+    """Bundle of stress-tensor components and heat fluxes on the grid."""
+
+    tau_xx: np.ndarray
+    tau_rr: np.ndarray
+    tau_tt: np.ndarray
+    tau_xr: np.ndarray
+    heat_x: np.ndarray
+    heat_r: np.ndarray
+
+
+def field_gradients(
+    u: np.ndarray,
+    v: np.ndarray,
+    T: np.ndarray,
+    dx: float,
+    dr: float,
+    halo_lo: np.ndarray | None = None,
+    halo_hi: np.ndarray | None = None,
+    halo_axis: int = 0,
+):
+    """Central x/r gradients of (u, v, T), optionally halo-extended.
+
+    ``halo_lo``/``halo_hi`` are single ghost lines of shape ``(3, n_perp)``
+    ordered ``(u, v, T)`` received from neighbours by the distributed
+    solver — columns (``halo_axis = 0``, axial decomposition) or rows
+    (``halo_axis = 1``, radial decomposition).  Gradients are evaluated on
+    the extended arrays and trimmed back to the local extent, so a line
+    adjacent to a subdomain boundary gets the same central-difference
+    arithmetic as in the serial solver — this is what makes the parallel
+    solvers bitwise-identical.
+
+    Returns the six local-extent arrays
+    ``(du_dx, du_dr, dv_dx, dv_dr, dT_dx, dT_dr)``.
+    """
+    axis = halo_axis
+    lo = 1 if halo_lo is not None else 0
+
+    def _line(h):
+        return h[None, :] if axis == 0 else h[:, None]
+
+    fields = []
+    for k, f in enumerate((u, v, T)):
+        parts = []
+        if halo_lo is not None:
+            parts.append(_line(halo_lo[k]))
+        parts.append(f)
+        if halo_hi is not None:
+            parts.append(_line(halo_hi[k]))
+        fields.append(
+            np.concatenate(parts, axis=axis) if len(parts) > 1 else f
+        )
+    n = u.shape[axis]
+    sl = [slice(None), slice(None)]
+    sl[axis] = slice(lo, lo + n)
+    sl = tuple(sl)
+    out = []
+    for f in fields:
+        gx, gr = np.gradient(f, dx, dr, edge_order=2)
+        out.extend([gx[sl], gr[sl]])
+    return tuple(out)
+
+
+def field_gradients_2d(
+    u: np.ndarray,
+    v: np.ndarray,
+    T: np.ndarray,
+    dx: float,
+    dr: float,
+    halo_x: tuple | None = None,
+    halo_r: tuple | None = None,
+):
+    """Central gradients with ghost lines along *both* axes (2-D blocks).
+
+    ``halo_x = (lo, hi)`` supplies ghost columns and ``halo_r = (lo, hi)``
+    ghost rows (each entry a ``(3, n_perp)`` array or ``None``).  The x- and
+    r-derivatives are evaluated on separately extended arrays, so no corner
+    ghosts are needed — ``d/dx`` never reads radial neighbours and vice
+    versa.  Returns the same six arrays as :func:`field_gradients`.
+    """
+    gx = field_gradients(
+        u, v, T, dx, dr,
+        halo_lo=halo_x[0] if halo_x else None,
+        halo_hi=halo_x[1] if halo_x else None,
+        halo_axis=0,
+    )
+    gr = field_gradients(
+        u, v, T, dx, dr,
+        halo_lo=halo_r[0] if halo_r else None,
+        halo_hi=halo_r[1] if halo_r else None,
+        halo_axis=1,
+    )
+    # x-derivatives from the x-extended pass, r-derivatives from the other.
+    return gx[0], gr[1], gx[2], gr[3], gx[4], gr[5]
+
+
+def stress_tensor(
+    u: np.ndarray,
+    v: np.ndarray,
+    T: np.ndarray,
+    r: np.ndarray,
+    dx: float,
+    dr: float,
+    mu: np.ndarray | float,
+    gamma: float = constants.GAMMA,
+    prandtl: float = constants.PRANDTL,
+    halo_lo: np.ndarray | None = None,
+    halo_hi: np.ndarray | None = None,
+    halo_axis: int = 0,
+) -> ViscousTerms:
+    """Compute stresses and heat fluxes from primitive fields.
+
+    Parameters
+    ----------
+    u, v, T:
+        Axial velocity, radial velocity, temperature: ``(nx, nr)`` arrays.
+    r:
+        Radial coordinates, ``(nr,)`` (strictly positive; the grid offsets
+        points off the axis).
+    dx, dr:
+        Grid spacings.
+    mu:
+        Dynamic viscosity, scalar or field.
+    halo_lo, halo_hi:
+        Optional ghost lines ``(3, n_perp)`` of ``(u, v, T)`` for the
+        distributed solvers (see :func:`field_gradients`).
+    halo_axis:
+        0 for axial halos (columns), 1 for radial halos (rows).
+    """
+    grads = field_gradients(
+        u, v, T, dx, dr, halo_lo=halo_lo, halo_hi=halo_hi, halo_axis=halo_axis
+    )
+    return assemble_stress(grads, v, r, mu, gamma, prandtl)
+
+
+def assemble_stress(
+    gradients,
+    v: np.ndarray,
+    r: np.ndarray,
+    mu: np.ndarray | float,
+    gamma: float = constants.GAMMA,
+    prandtl: float = constants.PRANDTL,
+) -> ViscousTerms:
+    """Stress/heat-flux assembly from precomputed gradients.
+
+    ``gradients`` is the 6-tuple returned by :func:`field_gradients` or
+    :func:`field_gradients_2d`.
+    """
+    du_dx, du_dr, dv_dx, dv_dr, dT_dx, dT_dr = gradients
+    v_over_r = v / r[None, :]
+    dilat = du_dx + dv_dr + v_over_r
+    two_thirds_dilat = (2.0 / 3.0) * dilat
+
+    k = eos.conductivity(mu, gamma, prandtl)
+    return ViscousTerms(
+        tau_xx=mu * (2.0 * du_dx - two_thirds_dilat),
+        tau_rr=mu * (2.0 * dv_dr - two_thirds_dilat),
+        tau_tt=mu * (2.0 * v_over_r - two_thirds_dilat),
+        tau_xr=mu * (du_dr + dv_dx),
+        heat_x=-k * dT_dx,
+        heat_r=-k * dT_dr,
+    )
+
+
+def viscous_fluxes(
+    u: np.ndarray, v: np.ndarray, terms: ViscousTerms
+) -> tuple[np.ndarray, np.ndarray]:
+    """Viscous contributions ``(Fv, Gv)`` to subtract from the inviscid fluxes.
+
+    ``F_total = F_inviscid - Fv`` and ``G_total = G_inviscid - Gv`` with
+
+    ``Fv = (0, tau_xx, tau_xr, u tau_xx + v tau_xr - heat_x)`` and
+    ``Gv = (0, tau_xr, tau_rr, u tau_xr + v tau_rr - heat_r)``.
+    """
+    shape = (4,) + u.shape
+    Fv = np.zeros(shape)
+    Gv = np.zeros(shape)
+    Fv[1] = terms.tau_xx
+    Fv[2] = terms.tau_xr
+    Fv[3] = u * terms.tau_xx + v * terms.tau_xr - terms.heat_x
+    Gv[1] = terms.tau_xr
+    Gv[2] = terms.tau_rr
+    Gv[3] = u * terms.tau_xr + v * terms.tau_rr - terms.heat_r
+    return Fv, Gv

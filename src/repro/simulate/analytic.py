@@ -1,0 +1,123 @@
+"""Closed-form performance model — the discrete-event simulator's sanity
+check.
+
+For an SPMD step of ``C`` compute seconds and ``m`` messages per rank over
+a network of aggregate capacity ``B`` bytes/s:
+
+* **busy** = compute + per-message library CPU costs (exact);
+* **comm** (uncontended) = the per-phase round latency
+  ``wire_startup + network latency + message transfer`` summed over the
+  phases, minus what the send-side software already covers;
+* **shared media** add an M/D/1-style waiting factor ``1/(1 - rho)`` at
+  utilization ``rho = offered traffic / capacity``, and beyond saturation
+  (``rho >= 1``) the medium itself paces the run:
+  ``T = total bytes / capacity``.
+
+The tests require the event simulation to agree with this model in the
+uncontended regime and to saturate where it predicts — if the DES drifts
+from first principles, they fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.platforms import Platform
+from ..parallel.versions import Version, version_by_number
+from .costmodel import CostModel
+from .workload import Application, Workload
+
+
+@dataclass(frozen=True)
+class AnalyticEstimate:
+    """Closed-form per-run estimate (full-length seconds)."""
+
+    busy: float
+    comm: float
+    utilization: float
+    """Offered traffic over shared-medium capacity (0 for switched nets)."""
+
+    @property
+    def execution_time(self) -> float:
+        return self.busy + self.comm
+
+
+def analytic_execution_time(
+    platform: Platform,
+    nprocs: int,
+    app: Application,
+    version: int | Version = 5,
+) -> AnalyticEstimate:
+    """Closed-form estimate of the full-run execution time."""
+    if isinstance(version, int):
+        version = version_by_number(version)
+    workload = Workload.paper(app)
+    p = nprocs
+    cost = CostModel.of(platform.cpu, version)
+    ws = workload.working_set_bytes(p)
+    compute = cost.compute_time(app.total_flops / p, ws)
+    # Version 6's op-mix penalties are inside the cost model already.
+
+    library = platform.library
+    if library.scale_with_cpu and platform.cpu.v5_target_mflops:
+        library = library.scaled(16.0 / platform.cpu.v5_target_mflops)
+
+    sends = workload.sends_per_step()
+    if version.split_flux_columns:
+        sends += sum(
+            1
+            for ph in workload.phases
+            for msg in ph.messages
+            if msg.kind == "flux"
+        )
+    if p == 1:
+        return AnalyticEstimate(busy=compute, comm=0.0, utilization=0.0)
+
+    per_send = workload.volume_per_step() / workload.sends_per_step()
+    steps = app.steps
+    lib_cpu = steps * sends * (
+        library.send_cpu_time(per_send) + library.recv_cpu_time(per_send)
+    )
+    busy = compute + lib_cpu
+
+    network = platform.network(p)
+    # Per-phase latency: one round of startup + wire occupancy, partially
+    # covered by the sender-side software time already counted as busy.
+    n_rounds = len(workload.phases)
+    wire = network.latency + network.transfer_time(int(per_send))
+    round_lat = max(
+        library.wire_startup + wire - library.send_cpu_time(per_send), 0.0
+    )
+    comm = steps * n_rounds * round_lat
+
+    # Shared-medium queueing.
+    caps = network.capacities()
+    shared = [k for k, c in caps.items() if c == 1 and ":" not in k]
+    utilization = 0.0
+    if shared:
+        offered = p * workload.volume_per_step()  # bytes per step
+        step_time = compute / steps + workload.sends_per_step() * (
+            library.send_cpu_time(per_send) + library.recv_cpu_time(per_send)
+        ) + n_rounds * round_lat
+        capacity = network.saturation_bandwidth()
+        utilization = offered / step_time / capacity
+        if utilization >= 1.0:
+            # The medium paces everything: total wire time is the floor.
+            total_bytes = steps * offered
+            wire_total = total_bytes / capacity
+            comm = max(wire_total - busy, comm)
+        else:
+            comm = comm / max(1.0 - utilization, 1e-6)
+    return AnalyticEstimate(busy=busy, comm=comm, utilization=utilization)
+
+
+def analytic_saturation_procs(
+    platform: Platform, app: Application, max_procs: int = 32
+) -> int | None:
+    """Smallest processor count whose offered traffic saturates a shared
+    medium (None for switched networks or if never reached)."""
+    for p in range(2, max_procs + 1):
+        est = analytic_execution_time(platform, p, app)
+        if est.utilization >= 1.0:
+            return p
+    return None

@@ -1,0 +1,31 @@
+"""Maps workload compute segments to seconds on a CPU model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.cpu import ScalarCpuModel
+from ..parallel.versions import Version, version_by_number
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Compute-time charging for one (CPU, code version) pair."""
+
+    cpu: ScalarCpuModel
+    version: Version
+
+    @classmethod
+    def of(cls, cpu: ScalarCpuModel, version: Version | int) -> "CostModel":
+        if isinstance(version, int):
+            version = version_by_number(version)
+        return cls(cpu=cpu, version=version)
+
+    def compute_time(self, flops: float, working_set_bytes: float) -> float:
+        """Seconds to execute ``flops`` nominal flops."""
+        return self.cpu.time_for_flops(
+            flops, self.version, working_set=working_set_bytes
+        )
+
+    def sustained_mflops(self, working_set_bytes: float) -> float:
+        return self.cpu.sustained_mflops(self.version, working_set=working_set_bytes)

@@ -1,0 +1,203 @@
+"""A small deterministic discrete-event engine.
+
+Processes are plain Python generators that yield *commands*:
+
+* ``Delay(dt)`` — resume after ``dt`` simulated seconds;
+* ``Acquire(resource)`` — block until one unit of the resource is granted
+  (FIFO);
+* ``Release(resource)`` — return one unit (never blocks);
+* ``Wait(event)`` — block until the event triggers (resumes immediately if
+  it already has);
+* ``Trigger(event)`` — fire an event, waking all waiters;
+* ``Spawn(generator)`` — start a child process at the current time.
+
+Determinism: ties in time are broken by a monotone sequence number, so runs
+are exactly reproducible — a property the regression tests rely on.
+Helper generators compose with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator
+
+
+class Event:
+    """One-shot broadcast event."""
+
+    __slots__ = ("triggered", "trigger_time", "_waiters", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.triggered = False
+        self.trigger_time: float | None = None
+        self._waiters: list["_Proc"] = []
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name!r}, triggered={self.triggered})"
+
+
+class Resource:
+    """FIFO resource with integer capacity."""
+
+    __slots__ = ("capacity", "in_use", "_queue", "name", "busy_time", "_busy_since")
+
+    def __init__(self, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: deque["_Proc"] = deque()
+        self.name = name
+        # Utilization accounting (any-unit-busy time).
+        self.busy_time = 0.0
+        self._busy_since: float | None = None
+
+    def _note_busy(self, now: float) -> None:
+        if self.in_use > 0 and self._busy_since is None:
+            self._busy_since = now
+        elif self.in_use == 0 and self._busy_since is not None:
+            self.busy_time += now - self._busy_since
+            self._busy_since = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, {self.in_use}/{self.capacity})"
+
+
+@dataclass(frozen=True)
+class Delay:
+    dt: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: Resource
+
+
+@dataclass(frozen=True)
+class Release:
+    resource: Resource
+
+
+@dataclass(frozen=True)
+class Wait:
+    event: Event
+
+
+@dataclass(frozen=True)
+class Trigger:
+    event: Event
+
+
+@dataclass(frozen=True)
+class Spawn:
+    generator: Generator
+
+
+class _Proc:
+    __slots__ = ("gen", "name", "done")
+
+    def __init__(self, gen: Generator, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.done = False
+
+
+class Engine:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, _Proc]] = []
+        self._seq = 0
+        self.processes: list[_Proc] = []
+        self.steps = 0
+
+    # -- public API -------------------------------------------------------------
+    def add_process(self, gen: Generator, name: str = "proc") -> None:
+        """Register a process to start at time 0 (or at spawn time)."""
+        proc = _Proc(gen, name)
+        self.processes.append(proc)
+        self._schedule(0.0, proc)
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Run until all processes finish (or ``until``); returns end time."""
+        while self._heap:
+            t, _, proc = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            self.now = t
+            self._step(proc)
+            self.steps += 1
+            if self.steps > max_events:
+                raise RuntimeError("event budget exceeded (runaway simulation?)")
+        unfinished = [p.name for p in self.processes if not p.done]
+        if unfinished:
+            raise RuntimeError(
+                f"simulation stalled with blocked processes: {unfinished[:8]} "
+                "(resource or event deadlock)"
+            )
+        return self.now
+
+    # -- internals ---------------------------------------------------------------
+    def _schedule(self, delay: float, proc: _Proc) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc))
+
+    def _step(self, proc: _Proc) -> None:
+        """Advance one process until it blocks or finishes."""
+        while True:
+            try:
+                cmd = next(proc.gen)
+            except StopIteration:
+                proc.done = True
+                return
+            if isinstance(cmd, Delay):
+                if cmd.dt < 0:
+                    raise ValueError(f"negative delay {cmd.dt} in {proc.name}")
+                self._schedule(cmd.dt, proc)
+                return
+            if isinstance(cmd, Acquire):
+                res = cmd.resource
+                if res.in_use < res.capacity and not res._queue:
+                    res.in_use += 1
+                    res._note_busy(self.now)
+                    continue
+                res._queue.append(proc)
+                return
+            if isinstance(cmd, Release):
+                res = cmd.resource
+                if res.in_use <= 0:
+                    raise RuntimeError(f"release of idle resource {res.name!r}")
+                res.in_use -= 1
+                res._note_busy(self.now)
+                if res._queue and res.in_use < res.capacity:
+                    waiter = res._queue.popleft()
+                    res.in_use += 1
+                    res._note_busy(self.now)
+                    self._schedule(0.0, waiter)
+                continue
+            if isinstance(cmd, Wait):
+                ev = cmd.event
+                if ev.triggered:
+                    continue
+                ev._waiters.append(proc)
+                return
+            if isinstance(cmd, Trigger):
+                ev = cmd.event
+                if not ev.triggered:
+                    ev.triggered = True
+                    ev.trigger_time = self.now
+                    for waiter in ev._waiters:
+                        self._schedule(0.0, waiter)
+                    ev._waiters.clear()
+                continue
+            if isinstance(cmd, Spawn):
+                child = _Proc(cmd.generator, f"{proc.name}.child")
+                self.processes.append(child)
+                self._schedule(0.0, child)
+                continue
+            raise TypeError(f"unknown simulation command {cmd!r} from {proc.name}")

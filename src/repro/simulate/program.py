@@ -1,0 +1,156 @@
+"""Per-rank event programs: the Version 5/6/7 communication shapes.
+
+* **Version 5** (the production code): compute each phase, then exchange
+  that phase's grouped messages — sends are buffered (the wire transfer is
+  spawned and proceeds concurrently), receives block until arrival.
+* **Version 6**: a small edge-compute fraction produces the boundary data
+  first, *all* sends are posted up front, and the interior computation of
+  every phase proceeds before each receive — communication overlaps
+  computation to the extent the network allows.  (Its busy-time penalty —
+  extra loop setup and degraded temporal locality — is charged by the cost
+  model through the version's op-mix factors.)
+* **Version 7**: Version 5 with each grouped flux message split into two
+  single-column messages (fewer bytes per send, twice the startups on the
+  flux exchanges) — the paper's anti-burstiness experiment.
+
+Libraries with ``blocking_send=True`` (the paper's MPL) perform the wire
+transfer inline in the sender, charging the occupancy to non-overlapped
+communication time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..machines.network.base import Network
+from ..msglib.libmodel import LibraryModel
+from ..parallel.versions import Version
+from .engine import Acquire, Delay, Event, Release, Resource, Spawn, Trigger
+from .timeline import RankContext
+from .workload import Message, Workload
+
+#: Fraction of a step's compute that produces subdomain-edge data first
+#: (Version 6 computes this before posting its sends).
+EDGE_COMPUTE_FRACTION = 0.08
+
+
+def _split_for_version(msg: Message, version: Version) -> list[tuple[int, int]]:
+    """``(part_index, nbytes)`` pieces of a message under the version's
+    grouping policy."""
+    if version.split_flux_columns and msg.kind == "flux":
+        half = msg.nbytes // 2
+        return [(0, half), (1, msg.nbytes - half)]
+    return [(0, msg.nbytes)]
+
+
+def transfer_process(
+    network: Network,
+    resources: dict[str, Resource],
+    src: int,
+    dst: int,
+    nbytes: int,
+    arrival: Event,
+    wire_startup: float = 0.0,
+) -> Generator:
+    """Wire transfer: protocol startup, hold the route, occupy, signal."""
+    if wire_startup > 0.0:
+        yield Delay(wire_startup)
+    keys = network.link_ids(src, dst)
+    for k in keys:
+        yield Acquire(resources[k])
+    yield Delay(network.latency + network.transfer_time(nbytes))
+    for k in reversed(keys):
+        yield Release(resources[k])
+    yield Trigger(arrival)
+
+
+def build_rank_program(
+    ctx: RankContext,
+    rank: int,
+    nprocs: int,
+    workload: Workload,
+    version: Version,
+    library: LibraryModel,
+    network: Network,
+    resources: dict[str, Resource],
+    event_for: Callable[[tuple], Event],
+    steps: int,
+    step_compute_seconds: float,
+) -> Generator:
+    """The SPMD program of one rank as an event-engine generator."""
+    left = rank - 1 if rank > 0 else None
+    right = rank + 1 if rank < nprocs - 1 else None
+
+    def dest_of(msg: Message) -> int | None:
+        return left if msg.direction == "L" else right
+
+    def source_of(msg: Message) -> int | None:
+        # Symmetric SPMD: my neighbour's mirror-direction send targets me.
+        return right if msg.direction == "L" else left
+
+    def send_msg(step: int, ph: int, mi: int, msg: Message) -> Generator:
+        dst = dest_of(msg)
+        if dst is None:
+            return
+        for part, nbytes in _split_for_version(msg, version):
+            yield from ctx.busy_library(library.send_cpu_time(nbytes))
+            arrival = event_for((rank, dst, step, ph, mi, part))
+            if library.blocking_send:
+                t0 = ctx.engine.now
+                yield from transfer_process(
+                    network,
+                    resources,
+                    rank,
+                    dst,
+                    nbytes,
+                    arrival,
+                    wire_startup=library.wire_startup,
+                )
+                ctx.timeline.comm_wait += ctx.engine.now - t0
+            else:
+                yield Spawn(
+                    transfer_process(
+                        network,
+                        resources,
+                        rank,
+                        dst,
+                        nbytes,
+                        arrival,
+                        wire_startup=library.wire_startup,
+                    )
+                )
+
+    def recv_msg(step: int, ph: int, mi: int, msg: Message) -> Generator:
+        src = source_of(msg)
+        if src is None:
+            return
+        for part, nbytes in _split_for_version(msg, version):
+            arrival = event_for((src, rank, step, ph, mi, part))
+            yield from ctx.wait_comm(arrival)
+            yield from ctx.busy_library(library.recv_cpu_time(nbytes))
+
+    phases = workload.phases
+    overlapped = version.overlap_communication
+
+    for step in range(steps):
+        if overlapped:
+            # Produce boundary data, post everything, then compute interior.
+            yield from ctx.busy_compute(EDGE_COMPUTE_FRACTION * step_compute_seconds)
+            for ph, phase in enumerate(phases):
+                for mi, msg in enumerate(phase.messages):
+                    yield from send_msg(step, ph, mi, msg)
+            remaining = (1.0 - EDGE_COMPUTE_FRACTION) * step_compute_seconds
+            for ph, phase in enumerate(phases):
+                yield from ctx.busy_compute(phase.compute_fraction * remaining)
+                for mi, msg in enumerate(phase.messages):
+                    yield from recv_msg(step, ph, mi, msg)
+        else:
+            for ph, phase in enumerate(phases):
+                yield from ctx.busy_compute(
+                    phase.compute_fraction * step_compute_seconds
+                )
+                for mi, msg in enumerate(phase.messages):
+                    yield from send_msg(step, ph, mi, msg)
+                for mi, msg in enumerate(phase.messages):
+                    yield from recv_msg(step, ph, mi, msg)
+    ctx.finish()

@@ -1,0 +1,90 @@
+"""The Cray Y-MP execution model: loop-level shared-memory parallelism.
+
+"The parallelization on the Cray Y-MP was done differently (it was much
+easier also) since it is a shared memory architecture: we did some hand
+optimization to convert some loops to parallel loops, used the DOALL
+directive, and partitioned the domain along the orthogonal direction of the
+sweep to keep the vector lengths large" (paper Section 5).
+
+Model: per-step vectorized compute divides by the processor count (the
+orthogonal partitioning keeps vector lengths intact), each parallel region
+pays a fork/join synchronization that grows mildly with processor count,
+and a constant I/O term is added because "the execution time shown is the
+connect time in single user mode (this includes the I/O time also which we
+were not able to separate from the computation time)" (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.platforms import CRAY_YMP, Platform
+from ..parallel.versions import Version, version_by_number
+from .timeline import RankTimeline
+from .machine import RunResult
+from .workload import Application
+
+#: DOALL parallel regions per time step (two sweeps, predictor+corrector).
+REGIONS_PER_STEP = 4
+
+#: Fork/join base cost and per-processor increment, seconds.
+SYNC_BASE = 15e-6
+SYNC_PER_PROC = 4e-6
+
+#: Unseparable I/O component of the measured connect time, seconds.
+IO_TIME = 25.0
+
+
+@dataclass
+class SharedMemoryMachine:
+    """The Y-MP as a loop-parallel vector multiprocessor."""
+
+    platform: Platform = None  # type: ignore[assignment]
+    nprocs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.platform is None:
+            self.platform = CRAY_YMP
+        if self.platform.vector_cpu is None:
+            raise ValueError(f"{self.platform.name} has no vector CPU model")
+        if not (1 <= self.nprocs <= self.platform.max_procs):
+            raise ValueError(
+                f"nprocs must be in [1, {self.platform.max_procs}]"
+            )
+
+    def run(
+        self,
+        app: Application,
+        version: int | Version = 5,
+        vector_length: float = 100.0,
+        total_steps: int | None = None,
+    ) -> RunResult:
+        """Execution-time estimate in the same RunResult shape as the DES."""
+        if isinstance(version, int):
+            version = version_by_number(version)
+        steps = total_steps if total_steps is not None else app.steps
+        vcpu = self.platform.vector_cpu
+        compute = vcpu.time_for_flops(
+            app.total_flops / self.nprocs, vector_length, version
+        )
+        sync = steps * REGIONS_PER_STEP * (SYNC_BASE + SYNC_PER_PROC * self.nprocs)
+        total = compute + sync + IO_TIME
+
+        timelines = []
+        for r in range(self.nprocs):
+            t = RankTimeline(rank=r)
+            t.busy = compute + IO_TIME / self.nprocs
+            t.compute = compute
+            t.comm_wait = sync
+            t.finished_at = total
+            timelines.append(t)
+        return RunResult(
+            platform=self.platform.name,
+            app=app.name,
+            nprocs=self.nprocs,
+            version=version.number,
+            steps_window=steps,  # no window scaling for the analytic model
+            total_steps=steps,
+            timelines=timelines,
+            makespan_window=total,
+        )

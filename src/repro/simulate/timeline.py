@@ -1,0 +1,98 @@
+"""Per-rank time accounting: the paper's execution-time split.
+
+Section 6: "wherever feasible, we have separated the execution time into
+two additive components: processor busy time and non-overlapped
+communication time.  The processor busy time is itself composed of the
+actual computation time and the software overheads associated with sending
+and receiving messages."  :class:`RankTimeline` implements exactly that
+split: compute and library CPU overheads accumulate into ``busy``;
+time blocked waiting on the network or on late messages accumulates into
+``comm_wait``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from .engine import Delay, Engine, Event, Wait
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One traced activity interval of a rank."""
+
+    kind: str  # "compute", "library", or "wait"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RankTimeline:
+    """Accumulated time components for one rank."""
+
+    rank: int
+    busy: float = 0.0
+    """Compute + message software overheads (paper's 'processor busy')."""
+    compute: float = 0.0
+    """The compute-only part of ``busy``."""
+    library: float = 0.0
+    """The message-software part of ``busy``."""
+    comm_wait: float = 0.0
+    """Non-overlapped communication (blocked on wire/late messages)."""
+    finished_at: float = 0.0
+    segments: list[Segment] | None = None
+    """Traced activity intervals (``None`` unless tracing was enabled)."""
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.comm_wait
+
+
+class RankContext:
+    """Generator helpers that advance time while keeping the books."""
+
+    def __init__(self, engine: Engine, rank: int, trace: bool = False) -> None:
+        self.engine = engine
+        self.timeline = RankTimeline(rank)
+        if trace:
+            self.timeline.segments = []
+
+    def _record(self, kind: str, t0: float) -> None:
+        segs = self.timeline.segments
+        if segs is not None and self.engine.now > t0:
+            segs.append(Segment(kind, t0, self.engine.now))
+
+    def busy_compute(self, seconds: float) -> Generator:
+        t0 = self.engine.now
+        self.timeline.busy += seconds
+        self.timeline.compute += seconds
+        yield Delay(seconds)
+        self._record("compute", t0)
+
+    def busy_library(self, seconds: float) -> Generator:
+        t0 = self.engine.now
+        self.timeline.busy += seconds
+        self.timeline.library += seconds
+        yield Delay(seconds)
+        self._record("library", t0)
+
+    def wait_comm(self, event: Event) -> Generator:
+        t0 = self.engine.now
+        yield Wait(event)
+        self.timeline.comm_wait += self.engine.now - t0
+        self._record("wait", t0)
+
+    def delay_comm(self, seconds: float) -> Generator:
+        """Non-overlapped wire time spent inline (blocking sends)."""
+        t0 = self.engine.now
+        self.timeline.comm_wait += seconds
+        yield Delay(seconds)
+        self._record("wait", t0)
+
+    def finish(self) -> None:
+        self.timeline.finished_at = self.engine.now

@@ -1,0 +1,5 @@
+"""Verification references: exact solutions the solver is tested against."""
+
+from .riemann import RiemannState, exact_riemann, sod_solution
+
+__all__ = ["RiemannState", "exact_riemann", "sod_solution"]

@@ -1,0 +1,169 @@
+"""Exact Riemann solver for the 1-D ideal-gas Euler equations.
+
+The standard Toro (1997) construction: Newton iteration on the star-region
+pressure using two-shock/two-rarefaction flux functions, then sampling the
+self-similar solution ``W(x/t)``.  Used by the test suite to validate the
+2-4 MacCormack solver's wave speeds and plateau states on the Sod tube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+
+GAMMA = constants.GAMMA
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """One side of the Riemann problem (primitive variables)."""
+
+    rho: float
+    u: float
+    p: float
+
+    @property
+    def c(self) -> float:
+        return float(np.sqrt(GAMMA * self.p / self.rho))
+
+
+def _f_K(p: float, K: RiemannState, gamma: float) -> tuple[float, float]:
+    """Toro's flux function f_K(p) and its derivative for one side."""
+    if p > K.p:  # shock
+        A = 2.0 / ((gamma + 1.0) * K.rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * K.p
+        sqrt_term = np.sqrt(A / (p + B))
+        f = (p - K.p) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - K.p) / (p + B))
+    else:  # rarefaction
+        f = (
+            2.0
+            * K.c
+            / (gamma - 1.0)
+            * ((p / K.p) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        )
+        df = 1.0 / (K.rho * K.c) * (p / K.p) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def _star_pressure(
+    left: RiemannState, right: RiemannState, gamma: float, tol: float = 1e-12
+) -> float:
+    """Newton iteration for the star-region pressure."""
+    # Two-rarefaction initial guess (robust for Sod-like problems).
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p0 = (
+        (left.c + right.c - 0.5 * (gamma - 1.0) * (right.u - left.u))
+        / (left.c / left.p**z + right.c / right.p**z)
+    ) ** (1.0 / z)
+    p = max(p0, 1e-10)
+    for _ in range(60):
+        fl, dfl = _f_K(p, left, gamma)
+        fr, dfr = _f_K(p, right, gamma)
+        delta = (fl + fr + right.u - left.u) / (dfl + dfr)
+        p_new = p - delta
+        if p_new <= 0:
+            p_new = 0.5 * p
+        if abs(p_new - p) < tol * p:
+            return float(p_new)
+        p = p_new
+    return float(p)
+
+
+def exact_riemann(
+    left: RiemannState,
+    right: RiemannState,
+    xi: np.ndarray,
+    gamma: float = GAMMA,
+):
+    """Sample the exact solution at similarity coordinates ``xi = x/t``.
+
+    Returns ``(rho, u, p)`` arrays.  Vacuum-generating data is rejected.
+    """
+    if (
+        2.0 * left.c / (gamma - 1.0) + 2.0 * right.c / (gamma - 1.0)
+        <= right.u - left.u
+    ):
+        raise ValueError("initial data generates vacuum")
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star = _star_pressure(left, right, gamma)
+    fl, _ = _f_K(p_star, left, gamma)
+    fr, _ = _f_K(p_star, right, gamma)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl)
+
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    for i, s in enumerate(xi):
+        if s <= u_star:  # left of the contact
+            K = left
+            if p_star > K.p:  # left shock
+                rho_star = K.rho * (
+                    (p_star / K.p + gm1 / gp1) / (gm1 / gp1 * p_star / K.p + 1.0)
+                )
+                S = K.u - K.c * np.sqrt(
+                    gp1 / (2 * gamma) * p_star / K.p + gm1 / (2 * gamma)
+                )
+                if s < S:
+                    rho[i], u[i], p[i] = K.rho, K.u, K.p
+                else:
+                    rho[i], u[i], p[i] = rho_star, u_star, p_star
+            else:  # left rarefaction
+                rho_star = K.rho * (p_star / K.p) ** (1.0 / gamma)
+                c_star = K.c * (p_star / K.p) ** (gm1 / (2 * gamma))
+                head, tail = K.u - K.c, u_star - c_star
+                if s < head:
+                    rho[i], u[i], p[i] = K.rho, K.u, K.p
+                elif s > tail:
+                    rho[i], u[i], p[i] = rho_star, u_star, p_star
+                else:  # inside the fan
+                    u[i] = 2.0 / gp1 * (K.c + gm1 / 2.0 * K.u + s)
+                    c = 2.0 / gp1 * (K.c + gm1 / 2.0 * (K.u - s))
+                    rho[i] = K.rho * (c / K.c) ** (2.0 / gm1)
+                    p[i] = K.p * (c / K.c) ** (2 * gamma / gm1)
+        else:  # right of the contact
+            K = right
+            if p_star > K.p:  # right shock
+                rho_star = K.rho * (
+                    (p_star / K.p + gm1 / gp1) / (gm1 / gp1 * p_star / K.p + 1.0)
+                )
+                S = K.u + K.c * np.sqrt(
+                    gp1 / (2 * gamma) * p_star / K.p + gm1 / (2 * gamma)
+                )
+                if s > S:
+                    rho[i], u[i], p[i] = K.rho, K.u, K.p
+                else:
+                    rho[i], u[i], p[i] = rho_star, u_star, p_star
+            else:  # right rarefaction
+                rho_star = K.rho * (p_star / K.p) ** (1.0 / gamma)
+                c_star = K.c * (p_star / K.p) ** (gm1 / (2 * gamma))
+                head, tail = K.u + K.c, u_star + c_star
+                if s > head:
+                    rho[i], u[i], p[i] = K.rho, K.u, K.p
+                elif s < tail:
+                    rho[i], u[i], p[i] = rho_star, u_star, p_star
+                else:
+                    u[i] = 2.0 / gp1 * (-K.c + gm1 / 2.0 * K.u + s)
+                    c = 2.0 / gp1 * (K.c - gm1 / 2.0 * (K.u - s))
+                    rho[i] = K.rho * (c / K.c) ** (2.0 / gm1)
+                    p[i] = K.p * (c / K.c) ** (2 * gamma / gm1)
+    return rho, u, p
+
+
+def sod_solution(x: np.ndarray, t: float, x0: float = 0.5, gamma: float = GAMMA):
+    """Exact Sod-tube solution at time ``t`` (diaphragm at ``x0``).
+
+    The classic states: ``(rho, u, p) = (1, 0, 1)`` left, ``(0.125, 0, 0.1)``
+    right.  Returns ``(rho, u, p)`` on the given points.
+    """
+    if t <= 0:
+        raise ValueError("t must be positive")
+    left = RiemannState(1.0, 0.0, 1.0)
+    right = RiemannState(0.125, 0.0, 0.1)
+    xi = (np.asarray(x) - x0) / t
+    return exact_riemann(left, right, xi, gamma)

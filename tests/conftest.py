@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario, periodic_advection_scenario
+from repro.grid import Grid
+from repro.physics.jet import JetProfile
+from repro.physics.state import FlowState
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    return Grid(nx=24, nr=16)
+
+
+@pytest.fixture
+def unit_grid() -> Grid:
+    return Grid(nx=16, nr=16, length_x=1.0, length_r=1.0)
+
+
+@pytest.fixture
+def profile() -> JetProfile:
+    return JetProfile()
+
+
+@pytest.fixture
+def jet_state(small_grid, profile) -> FlowState:
+    from repro.scenarios import jet_initial_state
+
+    return jet_initial_state(small_grid, profile)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260706)
+
+
+@pytest.fixture
+def tiny_jet():
+    """A small viscous jet scenario, fresh per test."""
+    return jet_scenario(nx=40, nr=20, viscous=True)
+
+
+@pytest.fixture
+def advection():
+    return periodic_advection_scenario(n=24)
+
+
+def random_physical_state(grid: Grid, rng: np.random.Generator) -> FlowState:
+    """A random but physically valid flow state on the grid."""
+    shape = grid.shape
+    rho = 0.5 + rng.random(shape)
+    u = rng.uniform(-1.0, 1.0, shape)
+    v = rng.uniform(-1.0, 1.0, shape)
+    p = 0.3 + rng.random(shape)
+    return FlowState.from_primitive(grid, rho, u, v, p)

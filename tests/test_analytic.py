@@ -1,0 +1,81 @@
+"""The closed-form model vs the discrete-event simulation.
+
+The DESIGN.md validation strategy: "DES against a closed-form analytic
+performance model in contention-free regimes."
+"""
+
+import pytest
+
+from repro.machines.platforms import (
+    CRAY_T3D,
+    IBM_SP,
+    LACE_560,
+    LACE_560_ETHERNET,
+)
+from repro.simulate.analytic import (
+    analytic_execution_time,
+    analytic_saturation_procs,
+)
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.workload import EULER, NAVIER_STOKES
+
+
+class TestUncontendedAgreement:
+    @pytest.mark.parametrize("platform", [LACE_560, CRAY_T3D, IBM_SP])
+    @pytest.mark.parametrize("p", [2, 8, 16])
+    def test_des_matches_closed_form(self, platform, p):
+        a = analytic_execution_time(platform, p, NAVIER_STOKES)
+        d = SimulatedMachine(platform, p).run(NAVIER_STOKES, steps_window=20)
+        assert d.execution_time == pytest.approx(
+            a.execution_time, rel=0.08
+        )
+
+    def test_busy_split_matches(self):
+        a = analytic_execution_time(LACE_560, 8, NAVIER_STOKES)
+        d = SimulatedMachine(LACE_560, 8).run(NAVIER_STOKES, steps_window=20)
+        assert d.busy_time == pytest.approx(a.busy, rel=0.03)
+
+    def test_single_processor_is_pure_compute(self):
+        a = analytic_execution_time(LACE_560, 1, NAVIER_STOKES)
+        assert a.comm == 0.0
+        assert a.execution_time == pytest.approx(9062.5, rel=0.01)
+
+    @pytest.mark.parametrize("app", [NAVIER_STOKES, EULER])
+    def test_euler_and_ns_both_covered(self, app):
+        a = analytic_execution_time(CRAY_T3D, 8, app)
+        d = SimulatedMachine(CRAY_T3D, 8).run(app, steps_window=20)
+        assert d.execution_time == pytest.approx(a.execution_time, rel=0.08)
+
+
+class TestSaturation:
+    def test_switched_networks_never_saturate(self):
+        assert analytic_saturation_procs(LACE_560, NAVIER_STOKES) is None
+        assert analytic_saturation_procs(CRAY_T3D, NAVIER_STOKES) is None
+
+    def test_ethernet_saturates_near_paper_point(self):
+        """The closed-form bandwidth argument puts saturation at 8-12
+        processors — the paper's Section-7.1 estimate."""
+        p = analytic_saturation_procs(LACE_560_ETHERNET, NAVIER_STOKES)
+        assert p is not None and 7 <= p <= 12
+
+    def test_utilization_grows_with_procs(self):
+        utils = [
+            analytic_execution_time(LACE_560_ETHERNET, p, NAVIER_STOKES).utilization
+            for p in (2, 4, 8)
+        ]
+        assert utils[0] < utils[1] < utils[2]
+
+    def test_des_and_analytic_agree_on_saturated_regime(self):
+        a = analytic_execution_time(LACE_560_ETHERNET, 16, NAVIER_STOKES)
+        d = SimulatedMachine(LACE_560_ETHERNET, 16).run(
+            NAVIER_STOKES, steps_window=20
+        )
+        assert a.utilization > 1.0
+        assert d.execution_time == pytest.approx(a.execution_time, rel=0.2)
+
+
+class TestVersionEffects:
+    def test_v7_adds_library_cost(self):
+        v5 = analytic_execution_time(LACE_560, 8, NAVIER_STOKES, version=5)
+        v7 = analytic_execution_time(LACE_560, 8, NAVIER_STOKES, version=7)
+        assert v7.busy > v5.busy

@@ -1,0 +1,146 @@
+"""Boundary treatments: characteristic outflow, axis ghosts, sponge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.grid import Grid
+from repro.numerics.boundary import (
+    AXIS_FLUX_SIGNS,
+    BoundaryConditions,
+    Sponge,
+    apply_axis_ghosts,
+    characteristic_outflow_rates,
+    conservative_rates,
+    primitive_rates,
+)
+from repro.physics.jet import InflowExcitation, JetProfile
+from repro.physics.state import FlowState
+
+positive = st.floats(0.2, 10.0, allow_nan=False)
+small = st.floats(-2.0, 2.0, allow_nan=False)
+
+
+class TestRateConversions:
+    @given(
+        rho=positive, u=small, v=small, p=positive,
+        rho_t=small, u_t=small, v_t=small, p_t=small,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, rho, u, v, p, rho_t, u_t, v_t, p_t):
+        g = Grid(nx=5, nr=5)
+        q = FlowState.from_primitive(g, rho, u, v, p).q[:, 0, :]
+        q_t = conservative_rates(
+            q,
+            np.full(5, rho_t),
+            np.full(5, u_t),
+            np.full(5, v_t),
+            np.full(5, p_t),
+        )
+        r2, u2, v2, p2 = primitive_rates(q, q_t)
+        assert np.allclose(r2, rho_t, atol=1e-9)
+        assert np.allclose(u2, u_t, atol=1e-9)
+        assert np.allclose(v2, v_t, atol=1e-9)
+        assert np.allclose(p2, p_t, atol=1e-9)
+
+
+class TestCharacteristicOutflow:
+    def _column(self, u):
+        g = Grid(nx=5, nr=8)
+        return FlowState.from_primitive(g, 1.0, u, 0.0, 1.0 / 1.4).q[:, -1, :]
+
+    def test_supersonic_passes_through(self, rng):
+        """u > c: all rates come from the interior scheme unchanged."""
+        q = self._column(u=2.0)  # c = 1, supersonic
+        q_t = rng.standard_normal(q.shape)
+        out = characteristic_outflow_rates(q, q_t)
+        assert np.allclose(out, q_t, atol=1e-12)
+
+    def test_subsonic_zeroes_incoming_characteristic(self, rng):
+        """u < c: the filtered rates satisfy p_t - rho c u_t = 0."""
+        q = self._column(u=0.3)
+        q_t = rng.standard_normal(q.shape)
+        out = characteristic_outflow_rates(q, q_t)
+        rho_t, u_t, v_t, p_t = primitive_rates(q, out)
+        rho = q[0]
+        c = np.sqrt(1.4 * (1.0 / 1.4))
+        assert np.allclose(p_t - rho * c * u_t, 0.0, atol=1e-10)
+
+    def test_subsonic_preserves_outgoing_invariants(self, rng):
+        """R2, R3, R4 keep their interior values."""
+        q = self._column(u=0.3)
+        q_t = rng.standard_normal(q.shape)
+        out = characteristic_outflow_rates(q, q_t)
+        rho = q[0]
+        c = np.sqrt(1.4 / 1.4 / rho) * np.sqrt(rho) * 0 + 1.0  # c = 1 here
+        r_in = primitive_rates(q, q_t)
+        r_out = primitive_rates(q, out)
+        R2_in = r_in[3] + rho * c * r_in[1]
+        R2_out = r_out[3] + rho * c * r_out[1]
+        assert np.allclose(R2_in, R2_out, atol=1e-9)
+        R3_in = r_in[3] - c * c * r_in[0]
+        R3_out = r_out[3] - c * c * r_out[0]
+        assert np.allclose(R3_in, R3_out, atol=1e-9)
+        assert np.allclose(r_in[2], r_out[2], atol=1e-12)  # R4 = v_t
+
+    def test_zero_interior_rates_stay_zero(self):
+        q = self._column(u=0.5)
+        out = characteristic_outflow_rates(q, np.zeros_like(q))
+        assert np.allclose(out, 0.0, atol=1e-14)
+
+
+class TestAxisGhosts:
+    def test_signs(self):
+        assert list(AXIS_FLUX_SIGNS) == [1.0, 1.0, -1.0, 1.0]
+
+    def test_mirror_structure(self, rng):
+        rG = rng.standard_normal((4, 6, 10))
+        ghosts = apply_axis_ghosts(rG)
+        assert ghosts.shape == (2, 4, 6)
+        # Nearest ghost mirrors j=0, second mirrors j=1.
+        assert np.array_equal(ghosts[0, 0], rG[0, :, 0])
+        assert np.array_equal(ghosts[0, 2], -rG[2, :, 0])
+        assert np.array_equal(ghosts[1, 1], rG[1, :, 1])
+        assert np.array_equal(ghosts[1, 2], -rG[2, :, 1])
+
+
+class TestSponge:
+    def test_relaxes_outer_lines_toward_ambient(self):
+        g = Grid(nx=8, nr=12)
+        st_ = FlowState.from_primitive(g, 2.0, 1.0, 0.5, 1.0)
+        ambient = FlowState.quiescent(g).q[:, 0, :]
+        q = st_.q.copy()
+        Sponge(width=4, strength=0.5).apply(q, ambient)
+        # Outermost line moved toward ambient; inner lines untouched.
+        assert np.all(np.abs(q[1, :, -1]) < np.abs(st_.q[1, :, -1]))
+        assert np.array_equal(q[:, :, : 12 - 4], st_.q[:, :, : 12 - 4])
+
+    def test_zero_width_is_noop(self):
+        g = Grid(nx=6, nr=8)
+        st_ = FlowState.quiescent(g)
+        q = st_.q.copy()
+        q0 = q.copy()
+        Sponge(width=0).apply(q, q[:, 0, :])
+        assert np.array_equal(q, q0)
+
+    def test_fixed_point_is_ambient(self):
+        g = Grid(nx=6, nr=8)
+        st_ = FlowState.quiescent(g)
+        q = st_.q.copy()
+        Sponge(width=3, strength=0.9).apply(q, st_.q[:, 0, :].copy())
+        assert np.allclose(q, st_.q)
+
+
+class TestInflowColumn:
+    def test_conservative_inflow_column(self):
+        prof = JetProfile()
+        bc = BoundaryConditions(inflow=InflowExcitation(prof, epsilon=0.0))
+        r = np.linspace(0.05, 5.0, 40)
+        col = bc.inflow_column(r, t=0.0, gamma=constants.GAMMA)
+        assert col.shape == (4, 40)
+        rho, u, _, p = prof.primitives(r)
+        assert np.allclose(col[0], rho)
+        assert np.allclose(col[1], rho * u)
+        assert np.allclose(col[2], 0.0)

@@ -1,0 +1,163 @@
+"""Cache simulator and the analytic sweep-miss model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.cache import (
+    BAD_STRIDE_MISS,
+    CacheSim,
+    CacheSpec,
+    sweep_miss_rate,
+)
+
+
+def spec(size=1024, line=64, assoc=2, penalty=10.0):
+    return CacheSpec(size, line, assoc, penalty)
+
+
+class TestCacheSpec:
+    def test_n_sets(self):
+        assert spec(1024, 64, 2).n_sets == 8
+        assert spec(8 * 1024, 32, 1).n_sets == 256  # the T3D geometry
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(1000, 64, 2, 10.0)
+
+    def test_conflict_factor_direct_mapped_worst(self):
+        assert spec(assoc=1).conflict_factor() > spec(assoc=4).conflict_factor()
+
+
+class TestCacheSimHandComputed:
+    def test_cold_miss_then_hit(self):
+        sim = CacheSim(spec())
+        assert sim.access(0) is False
+        assert sim.access(0) is True
+        assert sim.access(63) is True  # same 64-byte line
+        assert sim.access(64) is False  # next line
+
+    def test_direct_mapped_conflict(self):
+        """Two addresses mapping to the same set thrash a direct-mapped
+        cache but coexist in a 2-way one."""
+        s = CacheSpec(512, 64, 1, 10.0)  # 8 sets
+        sim = CacheSim(s)
+        a, b = 0, 512  # same set (line index differs by n_sets)
+        assert sim.access(a) is False
+        assert sim.access(b) is False
+        assert sim.access(a) is False  # evicted by b
+        sim2 = CacheSim(CacheSpec(1024, 64, 2, 10.0))  # 8 sets, 2-way
+        assert sim2.access(a) is False
+        assert sim2.access(1024) is False  # same set, other way
+        assert sim2.access(a) is True  # both resident
+
+    def test_lru_eviction_order(self):
+        s = CacheSpec(256, 64, 2, 10.0)  # 2 sets, 2-way
+        sim = CacheSim(s)
+        x, y, z = 0, 128, 256  # all map to set 0
+        sim.access(x)
+        sim.access(y)
+        sim.access(x)  # x most recent
+        sim.access(z)  # evicts y (LRU)
+        assert sim.access(x) is True
+        assert sim.access(y) is False
+
+    def test_stride1_sweep_miss_rate(self):
+        s = CacheSpec(64 * 1024, 128, 4, 10.0)  # the RS6000/560 geometry
+        sim = CacheSim(s)
+        misses = sim.access_array(0, 1024, 8)
+        # One miss per 128-byte line = every 16th element.
+        assert misses == 64
+        assert sim.miss_rate == pytest.approx(1 / 16)
+
+    def test_flush(self):
+        sim = CacheSim(spec())
+        sim.access(0)
+        sim.flush()
+        assert sim.access(0) is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSim(spec()).access(-8)
+
+
+class TestCacheSimProperties:
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counters_consistent(self, addrs):
+        sim = CacheSim(spec())
+        for a in addrs:
+            sim.access(a)
+        assert sim.hits + sim.misses == len(addrs)
+        assert 0.0 <= sim.miss_rate <= 1.0
+
+    @given(addr=st.integers(0, 1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_immediate_rereference_hits(self, addr):
+        sim = CacheSim(spec())
+        sim.access(addr)
+        assert sim.access(addr) is True
+
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_bound(self, addrs):
+        """Lines resident never exceed the cache capacity."""
+        sim = CacheSim(spec(size=512, line=64, assoc=2))
+        for a in addrs:
+            sim.access(a)
+        resident = sum(len(w) for w in sim._sets)
+        assert resident <= 512 // 64
+
+
+class TestAnalyticModel:
+    def _spec560(self):
+        return CacheSpec(64 * 1024, 128, 4, 12.0)
+
+    def test_stride1_baseline(self):
+        r = sweep_miss_rate(self._spec560(), 1.0, working_set_bytes=64 * 1024)
+        assert r == pytest.approx(8 / 128)
+
+    def test_bad_stride_much_worse(self):
+        s = self._spec560()
+        good = sweep_miss_rate(s, 1.0, 2e6)
+        bad = sweep_miss_rate(s, 0.0, 2e6)
+        assert bad > 1.5 * good
+        from repro.machines.cache import CAPACITY_MAX
+
+        cap = 1.0 + (CAPACITY_MAX - 1.0) * (1.0 - s.size_bytes / 2e6)
+        assert bad == pytest.approx(BAD_STRIDE_MISS * cap, rel=1e-9)
+
+    def test_capacity_growth(self):
+        s = self._spec560()
+        assert sweep_miss_rate(s, 0.95, 4e6) > sweep_miss_rate(s, 0.95, 1e5)
+
+    def test_direct_mapped_penalty(self):
+        dm = CacheSpec(8 * 1024, 32, 1, 20.0)
+        sa = CacheSpec(8 * 1024, 32, 4, 20.0)
+        assert sweep_miss_rate(dm, 0.95, 1e6) > sweep_miss_rate(sa, 0.95, 1e6)
+
+    def test_degradation_factor(self):
+        s = self._spec560()
+        assert sweep_miss_rate(s, 0.95, 1e6, degradation=1.1) == pytest.approx(
+            1.1 * sweep_miss_rate(s, 0.95, 1e6)
+        )
+
+    def test_capped_at_one(self):
+        s = CacheSpec(1024, 32, 1, 10.0)
+        assert sweep_miss_rate(s, 0.0, 1e9) <= 1.0
+
+    @given(
+        s1f=st.floats(0.0, 1.0),
+        ws=st.floats(1e4, 1e8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_stride_quality(self, s1f, ws):
+        s = self._spec560()
+        better = sweep_miss_rate(s, min(s1f + 0.1, 1.0), ws)
+        worse = sweep_miss_rate(s, s1f, ws)
+        assert better <= worse + 1e-12

@@ -1,0 +1,117 @@
+"""Scalar and vector CPU timing models."""
+
+import pytest
+
+from repro.machines.cache import CacheSpec
+from repro.machines.cpu import ScalarCpuModel
+from repro.machines.platforms import (
+    CPU_ALPHA_21064,
+    CPU_RS6000_370,
+    CPU_RS6000_560,
+    CPU_RS6000_590,
+    CPU_YMP,
+)
+from repro.machines.vector import VectorCpuModel
+from repro.parallel.versions import VERSIONS
+
+
+class TestAnchoring:
+    def test_v5_hits_target_exactly(self):
+        for cpu in (CPU_RS6000_560, CPU_RS6000_590, CPU_RS6000_370, CPU_ALPHA_21064):
+            assert cpu.sustained_mflops(5) == pytest.approx(
+                cpu.v5_target_mflops, rel=1e-9
+            )
+
+    def test_paper_560_numbers(self):
+        """Paper Section 6: 9.3 -> 16.0 MFLOPS on the RS6000/560."""
+        assert CPU_RS6000_560.sustained_mflops(5) == pytest.approx(16.0)
+        assert CPU_RS6000_560.sustained_mflops(1) == pytest.approx(9.3, rel=0.1)
+
+    def test_unanchored_model_is_mechanistic(self):
+        cpu = ScalarCpuModel(
+            name="raw",
+            clock_hz=50e6,
+            cache=CacheSpec(64 * 1024, 128, 4, 12.0),
+        )
+        assert cpu.v5_target_mflops is None
+        assert cpu.sustained_mflops(5) > 0
+
+
+class TestVersionLadder:
+    @pytest.mark.parametrize("cpu", [CPU_RS6000_560, CPU_RS6000_370])
+    def test_each_optimization_helps(self, cpu):
+        rates = [cpu.sustained_mflops(v) for v in (1, 2, 3, 4, 5)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_loop_interchange_is_biggest_single_win(self):
+        cpu = CPU_RS6000_560
+        gains = {
+            v: cpu.sustained_mflops(v) / cpu.sustained_mflops(v - 1)
+            for v in (2, 3, 4, 5)
+        }
+        assert max(gains, key=gains.get) == 3  # the stride-1 fix
+
+    def test_overall_improvement_near_80_percent(self):
+        """Paper: 'an overall improvement of roughly 80%'."""
+        cpu = CPU_RS6000_560
+        ratio = cpu.sustained_mflops(5) / cpu.sustained_mflops(1)
+        assert 1.5 < ratio < 1.95
+
+    def test_v6_slightly_slower_than_v5(self):
+        cpu = CPU_RS6000_560
+        assert cpu.sustained_mflops(6) < cpu.sustained_mflops(5)
+        assert cpu.sustained_mflops(6) > 0.9 * cpu.sustained_mflops(5)
+
+    def test_v7_computes_like_v5(self):
+        cpu = CPU_RS6000_560
+        assert cpu.sustained_mflops(7) == cpu.sustained_mflops(5)
+
+
+class TestCacheSensitivity:
+    def test_smaller_working_set_is_faster(self):
+        cpu = CPU_ALPHA_21064
+        assert cpu.sustained_mflops(5, working_set=1e5) > cpu.sustained_mflops(
+            5, working_set=4e6
+        )
+
+    def test_time_for_flops_linear(self):
+        cpu = CPU_RS6000_560
+        assert cpu.time_for_flops(2e9, 5) == pytest.approx(
+            2 * cpu.time_for_flops(1e9, 5)
+        )
+
+    def test_peak_rating_ordering_matches_paper(self):
+        """T3D peak is ~2.3x / 3x the 590 / 560 (paper Section 7.2)."""
+        assert CPU_ALPHA_21064.peak_mflops == pytest.approx(
+            2.3 * CPU_RS6000_590.peak_mflops, rel=0.05
+        )
+        assert CPU_ALPHA_21064.peak_mflops == pytest.approx(
+            3.0 * CPU_RS6000_560.peak_mflops, rel=0.05
+        )
+
+    def test_sustained_ordering_inverts_peak(self):
+        """Despite its peak, the T3D node sustains less than the 560 —
+        the paper's central cache-design point."""
+        assert CPU_ALPHA_21064.sustained_mflops(5) < CPU_RS6000_560.sustained_mflops(5)
+
+
+class TestVectorModel:
+    def test_hockney_curve(self):
+        v = VectorCpuModel("v", r_inf_mflops=300, n_half=30)
+        assert v.sustained_mflops(30) < v.sustained_mflops(300)
+        # Half speed at n_half (up to the scalar Amdahl term).
+        pure = VectorCpuModel("v", 300, 30, vector_fraction=1.0)
+        assert pure.sustained_mflops(30) == pytest.approx(150.0)
+
+    def test_long_vector_limit(self):
+        pure = VectorCpuModel("v", 300, 30, vector_fraction=1.0)
+        assert pure.sustained_mflops(1e6) == pytest.approx(300.0, rel=1e-3)
+
+    def test_time_for_flops(self):
+        t = CPU_YMP.time_for_flops(1e9, vector_length=100)
+        assert t > 1e9 / (CPU_YMP.r_inf_mflops * 1e6)  # slower than r_inf
+
+    def test_prevectorization_versions_slower(self):
+        t_v1 = CPU_YMP.time_for_flops(1e9, 100, version=1)
+        t_v5 = CPU_YMP.time_for_flops(1e9, 100, version=5)
+        assert t_v1 > t_v5

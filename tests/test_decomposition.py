@@ -1,0 +1,104 @@
+"""Block decomposition properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.decomposition import (
+    AxialDecomposition,
+    BlockDecomposition1D,
+    RadialDecomposition,
+)
+
+
+class TestBasics:
+    def test_single_part_owns_everything(self):
+        d = AxialDecomposition(nx=30, nparts=1)
+        assert d.bounds(0) == (0, 30)
+        assert d.neighbors(0) == (None, None)
+
+    def test_even_split(self):
+        d = AxialDecomposition(nx=40, nparts=4)
+        assert d.sizes() == [10, 10, 10, 10]
+
+    def test_remainder_goes_to_first_parts(self):
+        d = AxialDecomposition(nx=43, nparts=4)
+        assert d.sizes() == [11, 11, 11, 10]
+
+    def test_paper_configuration(self):
+        """250 columns over 16 processors: near-perfect balance
+        (the mechanism behind the paper's Figure 13)."""
+        d = AxialDecomposition(nx=250, nparts=16)
+        sizes = d.sizes()
+        assert max(sizes) - min(sizes) == 1
+        assert sum(sizes) == 250
+
+    def test_neighbors(self):
+        d = AxialDecomposition(nx=40, nparts=4)
+        assert d.neighbors(0) == (None, 1)
+        assert d.neighbors(2) == (1, 3)
+        assert d.neighbors(3) == (2, None)
+
+    def test_min_block_enforced(self):
+        with pytest.raises(ValueError, match="at least"):
+            AxialDecomposition(nx=20, nparts=5)
+
+    def test_invalid_part(self):
+        d = AxialDecomposition(nx=20, nparts=2)
+        with pytest.raises(IndexError):
+            d.bounds(2)
+        with pytest.raises(IndexError):
+            d.bounds(-1)
+
+    def test_local_slice(self):
+        d = AxialDecomposition(nx=20, nparts=2)
+        assert d.local_slice(1) == slice(10, 20)
+
+
+class TestProperties:
+    @given(n=st.integers(10, 500), nparts=st.integers(1, 16))
+    @settings(max_examples=150, deadline=None)
+    def test_partition_covers_and_is_disjoint(self, n, nparts):
+        if n // nparts < 5:
+            return  # rejected configurations tested separately
+        d = BlockDecomposition1D(n=n, nparts=nparts)
+        covered = []
+        for k in range(nparts):
+            lo, hi = d.bounds(k)
+            assert lo < hi
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+    @given(n=st.integers(10, 500), nparts=st.integers(1, 16))
+    @settings(max_examples=150, deadline=None)
+    def test_balance_within_one(self, n, nparts):
+        if n // nparts < 5:
+            return
+        sizes = BlockDecomposition1D(n=n, nparts=nparts).sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        n=st.integers(20, 300),
+        nparts=st.integers(1, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_owner_consistent_with_bounds(self, n, nparts, data):
+        if n // nparts < 5:
+            return
+        d = BlockDecomposition1D(n=n, nparts=nparts)
+        i = data.draw(st.integers(0, n - 1))
+        k = d.owner(i)
+        lo, hi = d.bounds(k)
+        assert lo <= i < hi
+
+
+class TestRadialVariant:
+    def test_axis_attribute(self):
+        assert AxialDecomposition(nx=20, nparts=2).axis == 1
+        assert RadialDecomposition(nr=20, nparts=2).axis == 2
+
+    def test_radial_partition(self):
+        d = RadialDecomposition(nr=100, nparts=4)
+        assert d.sizes() == [25, 25, 25, 25]
+        assert d.nr == 100

@@ -1,0 +1,89 @@
+"""Perfect-gas EOS relations and round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.physics import eos
+
+GAMMA = constants.GAMMA
+
+positive = st.floats(0.05, 50.0, allow_nan=False, allow_infinity=False)
+velocity = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestReferenceState:
+    """The jet nondimensionalization: centerline rho = T = c = 1."""
+
+    def test_centerline_pressure(self):
+        # p = rho T / gamma with rho = T = 1.
+        p = 1.0 / GAMMA
+        assert eos.temperature(1.0, p) == pytest.approx(1.0)
+        assert eos.sound_speed(1.0, p) == pytest.approx(1.0)
+
+    def test_sound_speed_is_sqrt_temperature(self):
+        rho, p = 2.0, 0.9
+        T = eos.temperature(rho, p)
+        assert eos.sound_speed(rho, p) == pytest.approx(np.sqrt(T))
+
+
+class TestRoundTrips:
+    @given(rho=positive, u=velocity, v=velocity, p=positive)
+    @settings(max_examples=200)
+    def test_pressure_energy_round_trip(self, rho, u, v, p):
+        E = eos.total_energy(rho, u, v, p)
+        p_back = eos.pressure(rho, rho * u, rho * v, E)
+        assert p_back == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+    @given(rho=positive, p=positive)
+    @settings(max_examples=100)
+    def test_internal_energy_consistency(self, rho, p):
+        e = eos.internal_energy(rho, p)
+        # E with zero velocity = rho * e.
+        E = eos.total_energy(rho, 0.0, 0.0, p)
+        assert E == pytest.approx(rho * e, rel=1e-12)
+
+    @given(rho=positive, u=velocity, v=velocity, p=positive)
+    @settings(max_examples=100)
+    def test_enthalpy_definition(self, rho, u, v, p):
+        E = eos.total_energy(rho, u, v, p)
+        H = eos.enthalpy(rho, E, p)
+        # H = e + p/rho + kinetic
+        expected = (
+            eos.internal_energy(rho, p) + p / rho + 0.5 * (u * u + v * v)
+        )
+        assert H == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+class TestVectorized:
+    def test_array_inputs(self, rng=np.random.default_rng(1)):
+        rho = 0.5 + rng.random((4, 5))
+        u = rng.standard_normal((4, 5))
+        v = rng.standard_normal((4, 5))
+        p = 0.5 + rng.random((4, 5))
+        E = eos.total_energy(rho, u, v, p)
+        assert E.shape == (4, 5)
+        assert np.allclose(eos.pressure(rho, rho * u, rho * v, E), p)
+
+
+class TestViscosity:
+    def test_reference_value(self):
+        # mu_ref = 2 M / Re with the paper's numbers.
+        mu = eos.viscosity()
+        assert mu == pytest.approx(2 * 1.5 / 1.2e6)
+
+    def test_constant_by_default(self):
+        T = np.array([0.5, 1.0, 2.0])
+        assert np.isscalar(eos.viscosity(T)) or eos.viscosity(T).ndim == 0
+
+    def test_power_law(self):
+        T = np.array([1.0, 4.0])
+        mu = eos.viscosity(T, exponent=0.5)
+        assert mu[1] == pytest.approx(2.0 * mu[0])
+
+    def test_conductivity_relation(self):
+        mu = 1e-5
+        k = eos.conductivity(mu)
+        assert k == pytest.approx(mu / ((GAMMA - 1) * constants.PRANDTL))

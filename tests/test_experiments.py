@@ -1,0 +1,43 @@
+"""The experiment dispatch harness and Figure 1's real solver run."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, characterize, run_experiment
+from repro.experiments.runners import run_fig01
+
+
+class TestDispatch:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table1", "table2"} | {f"fig{k:02d}" for k in range(1, 14)}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="known"):
+            run_experiment("fig99")
+
+    def test_table_dispatch(self):
+        out = run_experiment("table2")
+        assert "580" in out
+
+
+class TestFig01:
+    def test_small_run_produces_jet_contour(self, tmp_path):
+        npz = tmp_path / "field.npz"
+        out = run_fig01(nx=48, nr=24, steps=60, save_npz=str(npz))
+        assert "X MOMENTUM" in out
+        assert "M=1.5" in out
+        data = np.load(npz)
+        mom = data["axial_momentum"]
+        assert mom.shape[0] == 48
+        assert np.isfinite(mom).all()
+        # The jet core carries momentum ~ rho*u ~ 1.5; ambient ~ 0.
+        assert mom.max() > 1.2
+        assert abs(mom[:, -1]).max() < 0.2
+
+
+class TestCharacterize:
+    def test_measured_rows(self):
+        c = characterize()
+        assert c["ns"].total_flops > c["euler"].total_flops
+        assert 1.0 < c["ns_over_euler_volume"] < 3.0

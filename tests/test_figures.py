@@ -1,0 +1,119 @@
+"""Figure generators: structure and headline shapes."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureResult,
+    fig02_versions,
+    fig03_fig04_lace,
+    fig09_fig10_platforms,
+    fig11_fig12_libraries,
+    fig13_load_balance,
+)
+from repro.simulate.workload import EULER, NAVIER_STOKES
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig02_versions()
+
+    def test_endpoints_match_paper(self, fig):
+        """V1 ~ 15,600 s and V5 ~ 9,060 s for NS on the 560 (Figure 2)."""
+        ns = fig.series["Navier-Stokes"]
+        assert ns[0] == pytest.approx(15_600, rel=0.06)
+        assert ns[4] == pytest.approx(9_062, rel=0.01)
+
+    def test_euler_about_half(self, fig):
+        ns, eu = fig.series["Navier-Stokes"], fig.series["Euler"]
+        for a, b in zip(ns, eu):
+            assert b == pytest.approx(0.53 * a, rel=0.02)
+
+    def test_monotone_v1_to_v5(self, fig):
+        ns = fig.series["Navier-Stokes"][:5]
+        assert all(b < a for a, b in zip(ns, ns[1:]))
+
+    def test_render(self, fig):
+        out = fig.render()
+        assert "Figure 2" in out
+        assert "MFLOPS" in out
+
+
+class TestScalingFigures:
+    def test_fig03_structure(self):
+        fig = fig03_fig04_lace(NAVIER_STOKES, procs=(2, 8))
+        assert set(fig.series) == {"ALLNODE-F", "ALLNODE-S", "Ethernet"}
+        assert fig.figure_id == "Figure 3"
+        assert len(fig.series["ALLNODE-F"]) == 2
+
+    def test_fig04_is_euler(self):
+        fig = fig03_fig04_lace(EULER, procs=(2,))
+        assert fig.figure_id == "Figure 4"
+        assert "Euler" in fig.title
+
+    def test_fig09_platform_set(self):
+        fig = fig09_fig10_platforms(NAVIER_STOKES, procs=(2, 8))
+        assert "Cray Y-MP" in fig.series
+        assert "Cray T3D" in fig.series
+        assert "IBM SP (MPL)" in fig.series
+
+    def test_fig11_budget_split(self):
+        fig = fig11_fig12_libraries(NAVIER_STOKES, procs=(4, 16))
+        assert set(fig.series) == {
+            "busy (MPL)", "busy (PVMe)", "comm (MPL)", "comm (PVMe)"
+        }
+        # PVMe busy strictly above MPL busy at every p.
+        for a, b in zip(fig.series["busy (PVMe)"], fig.series["busy (MPL)"]):
+            assert a > b
+
+
+class TestFigure13:
+    def test_per_rank_bars(self):
+        fig = fig13_load_balance(nprocs=8)
+        bars = fig.series["busy time"]
+        assert len(bars) == 8
+        spread = (max(bars) - min(bars)) / (sum(bars) / len(bars))
+        assert spread < 0.05
+        assert not fig.loglog
+
+    def test_render_smoke(self):
+        out = fig13_load_balance(nprocs=8).render()
+        assert "Figure 13" in out
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        import csv
+
+        fig = fig03_fig04_lace(NAVIER_STOKES, procs=(2, 8))
+        path = tmp_path / "fig03.csv"
+        fig.to_csv(str(path))
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["Number of Processors"] + list(fig.series)
+        assert float(rows[1][0]) == 2
+        assert float(rows[1][1]) == pytest.approx(fig.series["ALLNODE-F"][0])
+        assert len(rows) == 3
+
+
+class TestComponentsFigures:
+    def test_fig05_series_structure(self):
+        from repro.analysis.figures import fig05_fig06_components
+
+        fig = fig05_fig06_components(NAVIER_STOKES, procs=(2, 8))
+        assert fig.figure_id == "Figure 5"
+        assert "LACE/590 busy" in fig.series
+        assert "Ethernet comm" in fig.series
+        # Busy falls with p; Ethernet comm rises.
+        busy = fig.series["LACE/560 busy"]
+        assert busy[1] < busy[0]
+        eth = fig.series["Ethernet comm"]
+        assert eth[1] > eth[0]
+
+    def test_fig07_has_six_curves(self):
+        from repro.analysis.figures import fig07_fig08_comm_versions
+
+        fig = fig07_fig08_comm_versions(EULER, procs=(4,))
+        assert fig.figure_id == "Figure 8"
+        assert len(fig.series) == 6
+        assert "V6 Ethernet" in fig.series and "V7 ALLNODE-S" in fig.series

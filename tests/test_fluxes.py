@@ -1,0 +1,87 @@
+"""Inviscid fluxes and the axisymmetric source term."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.grid import Grid
+from repro.physics.fluxes import axisymmetric_source, inviscid_fluxes
+from repro.physics.state import FlowState
+from repro.physics import eos
+
+from conftest import random_physical_state
+
+GAMMA = constants.GAMMA
+
+
+def _hand_fluxes(rho, u, v, p):
+    """Reference fluxes from the textbook definitions."""
+    E = eos.total_energy(rho, u, v, p)
+    H = (E + p) / rho
+    F = np.array([rho * u, rho * u * u + p, rho * u * v, rho * u * H])
+    G = np.array([rho * v, rho * u * v, rho * v * v + p, rho * v * H])
+    return F, G
+
+
+class TestInviscidFluxes:
+    @pytest.mark.parametrize(
+        "rho,u,v,p",
+        [
+            (1.0, 1.5, 0.0, 1.0 / GAMMA),  # jet centerline
+            (2.0, 0.0, 0.0, 1.0 / GAMMA),  # quiescent freestream
+            (0.7, -0.4, 0.9, 2.3),  # arbitrary
+        ],
+    )
+    def test_against_hand_computed(self, rho, u, v, p):
+        g = Grid(nx=5, nr=5)
+        st = FlowState.from_primitive(g, rho, u, v, p)
+        F, G, p_out = inviscid_fluxes(st.q)
+        F_ref, G_ref = _hand_fluxes(rho, u, v, p)
+        for k in range(4):
+            assert F[k][0, 0] == pytest.approx(F_ref[k], rel=1e-12)
+            assert G[k][0, 0] == pytest.approx(G_ref[k], rel=1e-12)
+        assert p_out[0, 0] == pytest.approx(p, rel=1e-12)
+
+    def test_mass_flux_is_momentum(self, small_grid, rng):
+        st = random_physical_state(small_grid, rng)
+        F, G, _ = inviscid_fluxes(st.q)
+        assert np.array_equal(F[0], st.q[1])
+        assert np.array_equal(G[0], st.q[2])
+
+    def test_symmetry_under_uv_swap(self, rng):
+        """Swapping (u <-> v) swaps F and G with rows 1<->2 exchanged."""
+        g = Grid(nx=5, nr=5)
+        rho, u, v, p = 1.1, 0.7, -0.3, 0.9
+        a = FlowState.from_primitive(g, rho, u, v, p)
+        b = FlowState.from_primitive(g, rho, v, u, p)
+        Fa, Ga, _ = inviscid_fluxes(a.q)
+        Fb, Gb, _ = inviscid_fluxes(b.q)
+        assert Fa[0][0, 0] == pytest.approx(Gb[0][0, 0])
+        assert Fa[1][0, 0] == pytest.approx(Gb[2][0, 0])
+        assert Fa[2][0, 0] == pytest.approx(Gb[1][0, 0])
+        assert Fa[3][0, 0] == pytest.approx(Gb[3][0, 0])
+
+    def test_zero_velocity_fluxes_are_pressure_only(self, small_grid):
+        st = FlowState.quiescent(small_grid, rho=1.0)
+        F, G, p = inviscid_fluxes(st.q)
+        assert np.allclose(F[0], 0) and np.allclose(G[0], 0)
+        assert np.allclose(F[1], p) and np.allclose(G[2], p)
+        assert np.allclose(F[3], 0) and np.allclose(G[3], 0)
+
+
+class TestSource:
+    def test_source_only_in_radial_momentum(self, small_grid, rng):
+        st = random_physical_state(small_grid, rng)
+        _, _, p = inviscid_fluxes(st.q)
+        S = axisymmetric_source(st.q, p)
+        assert np.allclose(S[0], 0)
+        assert np.allclose(S[1], 0)
+        assert np.allclose(S[3], 0)
+        assert np.array_equal(S[2], p)
+
+    def test_viscous_stress_reduces_source(self, small_grid):
+        st = FlowState.quiescent(small_grid)
+        _, _, p = inviscid_fluxes(st.q)
+        tau_tt = 0.1 * np.ones_like(p)
+        S = axisymmetric_source(st.q, p, tau_tt)
+        assert np.allclose(S[2], p - 0.1)

@@ -1,0 +1,102 @@
+"""Grid construction, spacing exactness, and subgrid behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.grid import Grid, paper_grid
+
+
+class TestConstruction:
+    def test_defaults_use_paper_domain(self):
+        g = Grid(nx=50, nr=20)
+        assert g.length_x == constants.DOMAIN_LENGTH_X
+        assert g.length_r == constants.DOMAIN_LENGTH_R
+
+    def test_axial_coordinates_start_at_zero(self):
+        g = Grid(nx=11, nr=8, length_x=10.0, length_r=4.0)
+        assert g.x[0] == 0.0
+        assert g.x[-1] == pytest.approx(10.0)
+        assert np.allclose(np.diff(g.x), g.dx)
+
+    def test_radial_points_offset_off_axis(self):
+        g = Grid(nx=8, nr=10, length_x=1.0, length_r=5.0)
+        assert g.r[0] == pytest.approx(0.5 * g.dr)
+        assert np.all(g.r > 0)
+        assert g.r[-1] == pytest.approx(5.0 - 0.5 * g.dr)
+
+    def test_shape_and_ncells(self):
+        g = Grid(nx=7, nr=9)
+        assert g.shape == (7, 9)
+        assert g.ncells == 63
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            Grid(nx=4, nr=10)
+        with pytest.raises(ValueError, match="at least 5"):
+            Grid(nx=10, nr=3)
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(nx=8, nr=8, length_x=0.0)
+        with pytest.raises(ValueError):
+            Grid(nx=8, nr=8, length_r=-1.0)
+
+    def test_paper_grid(self):
+        g = paper_grid()
+        assert g.shape == (250, 100)
+        assert g.length_x == 50.0
+        assert g.length_r == 5.0
+
+
+class TestMeshes:
+    def test_rmesh_broadcasts_radial_axis(self):
+        g = Grid(nx=6, nr=8)
+        rm = g.rmesh()
+        assert rm.shape == g.shape
+        assert np.array_equal(rm[0], g.r)
+        assert np.array_equal(rm[3], g.r)
+
+    def test_xmesh_broadcasts_axial_axis(self):
+        g = Grid(nx=6, nr=8)
+        xm = g.xmesh()
+        assert xm.shape == g.shape
+        assert np.array_equal(xm[:, 0], g.x)
+
+
+class TestSubgrid:
+    def test_spacing_is_bit_exact(self):
+        g = Grid(nx=60, nr=24)
+        for lo, hi in [(0, 15), (15, 30), (45, 60), (7, 19)]:
+            sub = g.subgrid(lo, hi)
+            assert sub.dx == g.dx  # exact equality, not approx
+            assert sub.dr == g.dr
+
+    def test_coordinates_keep_global_position(self):
+        g = Grid(nx=40, nr=16)
+        sub = g.subgrid(10, 25)
+        assert np.array_equal(sub.x, g.x[10:25])
+        assert np.array_equal(sub.r, g.r)
+
+    def test_invalid_slab_rejected(self):
+        g = Grid(nx=20, nr=8)
+        with pytest.raises(ValueError):
+            g.subgrid(5, 5)
+        with pytest.raises(ValueError):
+            g.subgrid(-1, 10)
+        with pytest.raises(ValueError):
+            g.subgrid(10, 25)
+
+    @given(
+        nx=st.integers(20, 120),
+        frac=st.fractions(0, 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_slab_preserves_spacing(self, nx, frac):
+        g = Grid(nx=nx, nr=8)
+        lo = int(float(frac) * (nx - 6))
+        sub = g.subgrid(lo, lo + 6)
+        assert sub.dx == g.dx
+        assert sub.nx == 6

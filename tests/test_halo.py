@@ -1,0 +1,150 @@
+"""Halo-exchange orientation and version grouping, against a stub comm."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.halo import (
+    ExchangePolicy,
+    exchange_flux_high,
+    exchange_flux_low,
+    exchange_state_halo_high,
+    exchange_state_halo_low,
+    exchange_uvT,
+)
+from repro.parallel.versions import version_by_number
+
+
+class LoopbackComm:
+    """Stub: records sends; receives replay a scripted mailbox."""
+
+    def __init__(self, inbox=None):
+        self.sent = []
+        self.inbox = inbox or {}
+
+    def send(self, dest, tag, array):
+        self.sent.append((dest, tag, np.asarray(array).copy()))
+
+    def recv(self, source, tag):
+        return self.inbox[(source, tag)]
+
+
+GROUPED = ExchangePolicy(split_flux_columns=False)
+SPLIT = ExchangePolicy(split_flux_columns=True)
+
+
+class TestPolicy:
+    def test_from_version(self):
+        assert ExchangePolicy.from_version(version_by_number(5)) == ExchangePolicy()
+        assert ExchangePolicy.from_version(version_by_number(6)).overlap
+        assert ExchangePolicy.from_version(version_by_number(7)).split_flux_columns
+
+
+class TestUvT:
+    def test_interior_rank_sends_both_edges(self, rng):
+        nr = 6
+        u, v, T = (rng.random((5, nr)) for _ in range(3))
+        lo_ghost = rng.random((3, nr))
+        hi_ghost = rng.random((3, nr))
+        comm = LoopbackComm(
+            {(1, "t:uvT:toright"): lo_ghost, (3, "t:uvT:toleft"): hi_ghost}
+        )
+        halo_lo, halo_hi = exchange_uvT(comm, "t", u, v, T, left=1, right=3)
+        assert np.array_equal(halo_lo, lo_ghost)
+        assert np.array_equal(halo_hi, hi_ghost)
+        # Sent the packed edge columns the right way.
+        (d1, t1, a1), (d2, t2, a2) = comm.sent
+        assert (d1, t1) == (1, "t:uvT:toleft")
+        assert np.array_equal(a1, np.stack([u[0], v[0], T[0]]))
+        assert (d2, t2) == (3, "t:uvT:toright")
+        assert np.array_equal(a2, np.stack([u[-1], v[-1], T[-1]]))
+
+    def test_edge_rank_one_sided(self, rng):
+        u, v, T = (rng.random((5, 4)) for _ in range(3))
+        ghost = rng.random((3, 4))
+        comm = LoopbackComm({(1, "t:uvT:toleft"): ghost})
+        halo_lo, halo_hi = exchange_uvT(comm, "t", u, v, T, left=None, right=1)
+        assert halo_lo is None
+        assert np.array_equal(halo_hi, ghost)
+        assert len(comm.sent) == 1
+
+
+class TestFluxExchanges:
+    def test_high_ghost_orientation(self, rng):
+        """High ghosts = right neighbour's first two columns, nearest first."""
+        F = rng.random((4, 7, 5))
+        neighbour_cols = rng.random((4, 2, 5))
+        comm = LoopbackComm({(9, "t:fxh"): neighbour_cols})
+        ghosts = exchange_flux_high(comm, "t", F, left=3, right=9, policy=GROUPED)
+        assert ghosts.shape == (2, 4, 5)
+        assert np.array_equal(ghosts[0], neighbour_cols[:, 0])
+        assert np.array_equal(ghosts[1], neighbour_cols[:, 1])
+        # And it shipped MY first two columns leftward.
+        dest, tag, sent = comm.sent[0]
+        assert dest == 3
+        assert np.array_equal(sent, F[:, :2])
+
+    def test_low_ghost_orientation(self, rng):
+        """Low ghosts = left neighbour's last two columns, nearest first."""
+        F = rng.random((4, 7, 5))
+        neighbour_cols = rng.random((4, 2, 5))  # their [:, -2:]
+        comm = LoopbackComm({(3, "t:fxl"): neighbour_cols})
+        ghosts = exchange_flux_low(comm, "t", F, left=3, right=9, policy=GROUPED)
+        # Nearest ghost = their LAST column = index 1 of the sent pair.
+        assert np.array_equal(ghosts[0], neighbour_cols[:, 1])
+        assert np.array_equal(ghosts[1], neighbour_cols[:, 0])
+        dest, tag, sent = comm.sent[0]
+        assert dest == 9
+        assert np.array_equal(sent, F[:, -2:])
+
+    def test_boundary_rank_returns_none(self, rng):
+        F = rng.random((4, 7, 5))
+        comm = LoopbackComm()
+        assert (
+            exchange_flux_high(comm, "t", F, left=0, right=None, policy=GROUPED)
+            is None
+        )
+        # Still sent to the left neighbour.
+        assert len(comm.sent) == 1
+
+    def test_v7_splits_into_single_columns(self, rng):
+        F = rng.random((4, 7, 5))
+        c0, c1 = rng.random((4, 5)), rng.random((4, 5))
+        comm = LoopbackComm({(9, "t:fxh:c0"): c0, (9, "t:fxh:c1"): c1})
+        ghosts = exchange_flux_high(comm, "t", F, left=3, right=9, policy=SPLIT)
+        assert np.array_equal(ghosts[0], c0)
+        assert np.array_equal(ghosts[1], c1)
+        # Two separate sends, same total data.
+        assert len(comm.sent) == 2
+        total = sum(a.size for _, _, a in comm.sent)
+        assert total == F[:, :2].size
+
+
+class TestStateHalo:
+    def test_low_flows_rightward(self, rng):
+        q = rng.random((4, 6, 3))
+        left_cols = rng.random((4, 2, 3))
+        comm = LoopbackComm({(0, "t:qlo"): left_cols})
+        ghosts = exchange_state_halo_low(comm, "t", q, left=0, right=2)
+        assert np.array_equal(ghosts[0], left_cols[:, 1])  # nearest first
+        assert np.array_equal(ghosts[1], left_cols[:, 0])
+        dest, _, sent = comm.sent[0]
+        assert dest == 2
+        assert np.array_equal(sent, q[:, -2:])
+
+    def test_high_flows_leftward(self, rng):
+        q = rng.random((4, 6, 3))
+        right_cols = rng.random((4, 2, 3))
+        comm = LoopbackComm({(2, "t:qhi"): right_cols})
+        ghosts = exchange_state_halo_high(comm, "t", q, left=0, right=2)
+        assert np.array_equal(ghosts[0], right_cols[:, 0])
+        assert np.array_equal(ghosts[1], right_cols[:, 1])
+        dest, _, sent = comm.sent[0]
+        assert dest == 0
+        assert np.array_equal(sent, q[:, :2])
+
+    def test_global_edges(self, rng):
+        q = rng.random((4, 6, 3))
+        comm = LoopbackComm()
+        assert exchange_state_halo_low(comm, "t", q, left=None, right=None) is None
+        assert exchange_state_halo_high(comm, "t", q, left=None, right=None) is None
+        assert comm.sent == []

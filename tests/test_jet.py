@@ -1,0 +1,116 @@
+"""Jet mean profile and inflow excitation."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.physics.jet import InflowExcitation, JetProfile, shear_layer_shape
+from repro.physics.linearized import GaussianEigenmode
+
+
+@pytest.fixture
+def r():
+    return np.linspace(0.02, 5.0, 200)
+
+
+class TestShapeFunction:
+    def test_limits(self):
+        assert shear_layer_shape(np.array([0.01]), 0.1)[0] == pytest.approx(1.0, abs=1e-6)
+        assert shear_layer_shape(np.array([10.0]), 0.1)[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_half_at_lip(self):
+        assert shear_layer_shape(np.array([1.0]), 0.1)[0] == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self, r):
+        g = shear_layer_shape(r, 0.1)
+        assert np.all(np.diff(g) <= 1e-12)
+
+    def test_thinner_layer_is_steeper(self):
+        r = np.array([0.9, 1.1])
+        thin = shear_layer_shape(r, 0.05)
+        thick = shear_layer_shape(r, 0.3)
+        assert (thin[0] - thin[1]) > (thick[0] - thick[1])
+
+
+class TestMeanProfile:
+    def test_centerline_velocity_is_mach(self, r, profile):
+        u = profile.velocity(r)
+        assert u[0] == pytest.approx(profile.mach, abs=1e-4)
+
+    def test_freestream_velocity_is_coflow(self, r):
+        prof = JetProfile(coflow=0.1)
+        assert prof.velocity(r)[-1] == pytest.approx(0.1, abs=1e-4)
+
+    def test_temperature_limits(self, r, profile):
+        T = profile.temperature(r)
+        assert T[0] == pytest.approx(1.0, abs=1e-3)  # centerline T_c = 1
+        assert T[-1] == pytest.approx(profile.t_infinity, abs=1e-3)
+
+    def test_crocco_busemann_exceeds_linear_blend(self, r, profile):
+        """Viscous heating lifts T above the linear blend inside the layer."""
+        from repro.physics.jet import shear_layer_shape
+
+        g = shear_layer_shape(r, profile.theta)
+        T = profile.temperature(r)
+        linear = profile.t_infinity + (1.0 - profile.t_infinity) * g
+        inside = (g > 0.1) & (g < 0.9)
+        assert np.all(T[inside] > linear[inside])
+
+    def test_uniform_pressure_density_from_eos(self, r, profile):
+        rho = profile.density(r)
+        T = profile.temperature(r)
+        p = rho * T / profile.gamma
+        assert np.allclose(p, profile.pressure)
+
+    def test_primitives_bundle(self, r, profile):
+        rho, u, v, p = profile.primitives(r)
+        assert np.all(v == 0.0)
+        assert np.allclose(p, 1.0 / constants.GAMMA)
+        assert np.all(rho > 0)
+
+
+class TestExcitation:
+    def test_frequency(self, profile):
+        exc = InflowExcitation(profile, strouhal=0.125)
+        # omega = pi * St * M.
+        assert exc.omega == pytest.approx(np.pi * 0.125 * 1.5)
+
+    def test_zero_epsilon_returns_mean(self, r, profile):
+        exc = InflowExcitation(profile, epsilon=0.0)
+        rho, u, v, p = exc.primitives(r, t=3.7)
+        rho0, u0, v0, p0 = profile.primitives(r)
+        assert np.array_equal(u, u0)
+        assert np.array_equal(rho, rho0)
+
+    def test_periodicity(self, r, profile):
+        exc = InflowExcitation(profile, epsilon=1e-3)
+        period = 2 * np.pi / exc.omega
+        a = exc.primitives(r, t=1.0)
+        b = exc.primitives(r, t=1.0 + period)
+        for fa, fb in zip(a, b):
+            assert np.allclose(fa, fb, atol=1e-12)
+
+    def test_perturbation_scales_with_epsilon(self, r, profile):
+        e1 = InflowExcitation(profile, epsilon=1e-3)
+        e2 = InflowExcitation(profile, epsilon=2e-3)
+        u0 = profile.velocity(r)
+        d1 = e1.primitives(r, 0.5)[1] - u0
+        d2 = e2.primitives(r, 0.5)[1] - u0
+        assert np.allclose(d2, 2 * d1, rtol=1e-9)
+
+    def test_perturbation_localized_at_shear_layer(self, r, profile):
+        exc = InflowExcitation(profile, epsilon=1e-2)
+        # Maximize over a period to avoid hitting a zero crossing.
+        u0 = profile.velocity(r)
+        amp = np.zeros_like(r)
+        for t in np.linspace(0, 2 * np.pi / exc.omega, 8, endpoint=False):
+            amp = np.maximum(amp, np.abs(exc.primitives(r, t)[1] - u0))
+        peak_r = r[np.argmax(amp)]
+        assert 0.5 < peak_r < 1.8
+        assert amp[-1] < 0.05 * amp.max()  # decays toward the far field
+
+    def test_mode_evaluation_cached(self, r, profile):
+        exc = InflowExcitation(profile, mode=GaussianEigenmode())
+        exc.primitives(r, 0.0)
+        exc.primitives(r, 0.1)
+        assert len(exc._cache) == 1

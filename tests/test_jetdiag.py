@@ -1,0 +1,139 @@
+"""Jet diagnostics: probes, spectra, mean-flow development."""
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario
+from repro.analysis.jetdiag import (
+    ProbeRecorder,
+    centerline_velocity,
+    dominant_strouhal,
+    momentum_thickness,
+    shear_layer_radius,
+    spectrum,
+    vorticity,
+)
+from repro.grid import Grid
+from repro.physics.jet import JetProfile
+from repro.physics.state import FlowState
+from repro.scenarios import jet_initial_state
+
+
+@pytest.fixture(scope="module")
+def excited_run():
+    """A moderately long excited-jet run shared by the spectral tests."""
+    sc = jet_scenario(nx=80, nr=32, viscous=True)
+    rec = ProbeRecorder.at_locations(sc.grid, [(8.0, 1.0)])
+    sc.solver.run(900, monitor=rec, monitor_every=1)
+    return sc, rec
+
+
+class TestProbes:
+    def test_probe_snapping(self):
+        g = Grid(nx=50, nr=20)
+        rec = ProbeRecorder.at_locations(g, [(10.0, 1.0)])
+        i, j = rec.indices[0]
+        assert abs(g.x[i] - 10.0) <= g.dx / 2
+        assert abs(g.r[j] - 1.0) <= g.dr / 2
+
+    def test_recording(self, excited_run):
+        _, rec = excited_run
+        assert rec.nsamples == 900
+        p = rec.series("p", 0)
+        assert p.shape == (900,)
+        assert np.all(np.isfinite(p))
+
+    def test_dt_mean_positive(self, excited_run):
+        _, rec = excited_run
+        assert rec.dt_mean > 0
+
+    def test_needs_samples_for_dt(self):
+        rec = ProbeRecorder(indices=[(0, 0)])
+        with pytest.raises(ValueError):
+            _ = rec.dt_mean
+
+
+class TestSpectrum:
+    def test_pure_tone_recovered(self):
+        """A synthetic tone at St = 0.2 dominates the spectrum."""
+        mach, dt = 1.5, 0.05
+        f = 0.2 * mach / 2.0
+        t = np.arange(2048) * dt
+        y = 0.3 + 1e-3 * np.sin(2 * np.pi * f * t)
+        st = dominant_strouhal(y, dt, mach)
+        assert st == pytest.approx(0.2, rel=0.05)
+
+    def test_amplitude_calibration(self):
+        dt = 0.01
+        t = np.arange(4096) * dt
+        y = 2.5e-4 * np.sin(2 * np.pi * 3.0 * t)
+        St, amp = spectrum(y, dt, mach=1.5, window=False)
+        assert amp.max() == pytest.approx(2.5e-4, rel=0.05)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            spectrum(np.ones(4), 0.1, 1.5)
+
+    def test_excited_jet_responds_at_forcing_strouhal(self, excited_run):
+        """The near-field pressure oscillates at the excitation Strouhal
+        number (within the record's bin resolution) — the time-accurate
+        behaviour the paper's application exists to capture."""
+        _, rec = excited_run
+        skip = 200  # discard the startup transient
+        st = dominant_strouhal(rec.series("p", 0)[skip:], rec.dt_mean, 1.5)
+        n = rec.nsamples - skip
+        bin_width = 2.0 / (n * rec.dt_mean) / 1.5
+        assert abs(st - 0.125) <= 1.5 * bin_width
+
+
+class TestMeanFlow:
+    def test_initial_momentum_thickness_near_theta(self):
+        """The tanh profile's momentum thickness ~ the theta parameter
+        (compressibility shifts it moderately)."""
+        g = Grid(nx=20, nr=200)
+        state = jet_initial_state(g, JetProfile(theta=0.1))
+        th = momentum_thickness(state, 0)
+        assert 0.05 < th < 0.25
+
+    def test_thickness_grows_downstream(self, excited_run):
+        sc, _ = excited_run
+        up = momentum_thickness(sc.state, 8)
+        down = momentum_thickness(sc.state, 60)
+        assert down > up
+
+    def test_centerline_velocity_near_mach_at_inflow(self, excited_run):
+        sc, _ = excited_run
+        u0 = centerline_velocity(sc.state)
+        assert u0[0] == pytest.approx(1.5, rel=0.02)
+
+    def test_shear_layer_radius_near_one_at_inflow(self, excited_run):
+        sc, _ = excited_run
+        assert shear_layer_radius(sc.state, 0) == pytest.approx(1.0, abs=0.25)
+
+    def test_no_jet_station_rejected(self):
+        g = Grid(nx=10, nr=10)
+        state = FlowState.quiescent(g)
+        with pytest.raises(ValueError, match="no jet"):
+            momentum_thickness(state, 0)
+
+
+class TestVorticity:
+    def test_concentrated_in_shear_layer(self, excited_run):
+        sc, _ = excited_run
+        w = np.abs(vorticity(sc.state))
+        j_peak = np.unravel_index(np.argmax(w), w.shape)[1]
+        assert sc.grid.r[j_peak] < 2.0
+
+    def test_zero_for_uniform_flow(self):
+        g = Grid(nx=12, nr=12)
+        state = FlowState.from_primitive(g, 1.0, 0.8, 0.0, 1 / 1.4)
+        assert np.allclose(vorticity(state), 0.0, atol=1e-13)
+
+    def test_solid_body_rotation_sign(self):
+        """v = x (pure dv/dx > 0) gives positive azimuthal vorticity."""
+        g = Grid(nx=12, nr=12, length_x=1.0, length_r=1.0)
+        state = FlowState.from_primitive(
+            g, 1.0, 0.0, g.xmesh().copy(), 1 / 1.4
+        )
+        w = vorticity(state)
+        assert np.all(w[2:-2, 2:-2] > 0)

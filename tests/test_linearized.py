@@ -1,0 +1,104 @@
+"""Linear-stability eigensolver for the inflow eigenfunctions."""
+
+import numpy as np
+import pytest
+
+from repro.physics.jet import JetProfile
+from repro.physics.linearized import (
+    Eigenmode,
+    GaussianEigenmode,
+    _radial_derivative,
+    solve_temporal_mode,
+)
+
+
+class TestRadialDerivative:
+    def test_exact_for_linear_even(self):
+        n, dr = 20, 0.1
+        r = (np.arange(n) + 0.5) * dr
+        D = _radial_derivative(n, dr, parity=+1)
+        f = 3.0 + 0.0 * r  # constant, even
+        assert np.allclose(D @ f, 0.0, atol=1e-12)
+
+    def test_exact_for_odd_linear(self):
+        n, dr = 20, 0.1
+        r = (np.arange(n) + 0.5) * dr
+        D = _radial_derivative(n, dr, parity=-1)
+        f = 2.0 * r  # odd across the axis
+        # Interior + axis row should give exactly 2.
+        assert np.allclose((D @ f)[:-1], 2.0, atol=1e-10)
+
+    def test_parity_matters_at_axis(self):
+        n, dr = 10, 0.1
+        D_even = _radial_derivative(n, dr, parity=+1)
+        D_odd = _radial_derivative(n, dr, parity=-1)
+        f = np.ones(n)
+        # Even extension of a constant: derivative 0 at the axis row.
+        assert (D_even @ f)[0] == pytest.approx(0.0, abs=1e-12)
+        # Odd extension of a constant jumps across the axis.
+        assert (D_odd @ f)[0] != pytest.approx(0.0, abs=1e-6)
+
+
+class TestGaussianMode:
+    def test_shapes_and_localization(self):
+        mode = GaussianEigenmode(theta=0.1)
+        r = np.linspace(0.05, 6.0, 300)
+        rho_h, u_h, v_h, p_h = mode.evaluate(r)
+        assert np.abs(u_h).max() == pytest.approx(1.0, abs=0.05)
+        peak = r[np.argmax(np.abs(u_h))]
+        assert 0.8 < peak < 1.2
+        # Decay in the far field and toward the axis.
+        assert np.abs(u_h[-1]) < 1e-6
+        assert np.abs(v_h[0]) < 0.05  # v' ~ 0 at the axis
+
+    def test_v_in_quadrature(self):
+        mode = GaussianEigenmode()
+        r = np.array([1.0])
+        _, u_h, v_h, _ = mode.evaluate(r)
+        assert abs(np.real(v_h[0])) < 1e-12
+        assert np.imag(v_h[0]) > 0
+
+
+class TestEigensolver:
+    @pytest.fixture(scope="class")
+    def mode(self):
+        # Thin shear layer: strongly KH-unstable.
+        return solve_temporal_mode(
+            JetProfile(theta=0.08), strouhal=0.125, n_points=90
+        )
+
+    def test_finds_unstable_mode(self, mode):
+        assert not isinstance(mode, GaussianEigenmode)
+        assert mode.growth_rate > 0
+
+    def test_phase_speed_between_streams(self, mode):
+        assert 0.0 < mode.phase_speed < 1.5
+
+    def test_eigenfunction_localized(self, mode):
+        peak = mode.r[np.argmax(np.abs(mode.u_hat))]
+        assert 0.3 < peak < 2.5
+
+    def test_normalization(self, mode):
+        assert np.abs(mode.u_hat).max() == pytest.approx(1.0, rel=1e-9)
+        k = np.argmax(np.abs(mode.u_hat))
+        assert mode.u_hat[k].real == pytest.approx(1.0, rel=1e-9)
+        assert mode.u_hat[k].imag == pytest.approx(0.0, abs=1e-9)
+
+    def test_far_field_decay(self, mode):
+        assert np.abs(mode.p_hat[-1]) < 0.05 * np.abs(mode.p_hat).max()
+
+    def test_interpolation(self, mode):
+        r = np.linspace(0.1, 4.0, 57)
+        rho_h, u_h, v_h, p_h = mode.evaluate(r)
+        assert u_h.shape == (57,)
+        assert np.iscomplexobj(u_h)
+
+    def test_thick_layer_falls_back_gracefully(self):
+        # A very thick layer may have no admissible unstable mode; either
+        # outcome must produce usable eigenfunctions.
+        mode = solve_temporal_mode(
+            JetProfile(theta=1.5), strouhal=0.125, n_points=60
+        )
+        r = np.linspace(0.1, 4.0, 30)
+        vals = mode.evaluate(r)
+        assert all(np.all(np.isfinite(v)) for v in vals)

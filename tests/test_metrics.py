@@ -1,0 +1,83 @@
+"""Parallel-performance metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    balance_spread,
+    crossover,
+    efficiency,
+    flops_per_byte,
+    flops_per_startup,
+    minimum_location,
+    speedup,
+)
+
+pos = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestSpeedup:
+    @given(t1=pos, tp=pos)
+    @settings(max_examples=100)
+    def test_definition(self, t1, tp):
+        assert speedup(t1, tp) == pytest.approx(t1 / tp)
+
+    @given(t1=pos, p=st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_ideal_efficiency_is_one(self, t1, p):
+        assert efficiency(t1, t1 / p, p) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+
+class TestTable2Ratios:
+    def test_paper_values(self):
+        """FPs/Byte 580 at p=2 for NS; 405 for Euler (Table 2, col 1)."""
+        assert flops_per_byte(145_000e6, 2, 125e6) == pytest.approx(580)
+        assert flops_per_byte(77_000e6, 2, 95e6) == pytest.approx(405.3, rel=1e-3)
+        assert flops_per_startup(145_000e6, 2, 80_000) == pytest.approx(906_250)
+
+    @given(p=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=10)
+    def test_halving_property(self, p):
+        """Per-proc volume constant => FPs/byte halves with doubling p."""
+        a = flops_per_byte(145_000e6, p, 125e6)
+        b = flops_per_byte(145_000e6, 2 * p, 125e6)
+        assert b == pytest.approx(a / 2)
+
+    def test_single_processor_infinite(self):
+        assert flops_per_byte(1e9, 1, 1e6) == float("inf")
+        assert flops_per_startup(1e9, 1, 100) == float("inf")
+
+
+class TestCurveAnalysis:
+    def test_minimum_location(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [100, 60, 40, 35, 50]
+        assert minimum_location(xs, ys) == (8, 35)
+
+    def test_minimum_validation(self):
+        with pytest.raises(ValueError):
+            minimum_location([], [])
+        with pytest.raises(ValueError):
+            minimum_location([1, 2], [1.0])
+
+    def test_crossover(self):
+        xs = [2, 4, 8, 16]
+        a = [10, 6, 3, 2]
+        b = [8, 5, 3.5, 3]
+        assert crossover(xs, a, b) == 8
+
+    def test_no_crossover(self):
+        assert crossover([1, 2], [5, 4], [3, 2]) is None
+
+    def test_balance_spread(self):
+        assert balance_spread([10.0, 10.0, 10.0]) == 0.0
+        assert balance_spread([9.0, 10.0, 11.0]) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            balance_spread([])

@@ -1,0 +1,63 @@
+"""The mpi4py backend adapter (full path only runs on an MPI cluster)."""
+
+import pytest
+
+from repro.msglib.mpi import _TAG_SPACE, MPIComm, tag_to_int
+
+try:
+    import mpi4py  # noqa: F401
+
+    HAVE_MPI = True
+except ImportError:
+    HAVE_MPI = False
+
+
+class TestTagHashing:
+    def test_deterministic(self):
+        assert tag_to_int("12:x:predictor:fxh") == tag_to_int(
+            "12:x:predictor:fxh"
+        )
+
+    def test_in_mpi_tag_space(self):
+        for tag in ("a", "0:dt:", "999:filter:qlo", "x" * 200):
+            assert 0 <= tag_to_int(tag) < _TAG_SPACE
+
+    def test_solver_tags_collision_free_within_a_step(self):
+        """All tags a rank can use within one step must hash distinctly
+        (cross-step reuse is safe: exchanges are matched in order)."""
+        tags = []
+        step = 7
+        for op in ("x", "r", "ofw", "ofwr"):
+            for phase in ("predictor", "corrector"):
+                base = f"{step}:{op}:{phase}"
+                tags += [f"{base}:uvT:toleft", f"{base}:uvT:toright"]
+                tags += [f"{base}:fxh", f"{base}:fxl"]
+                tags += [f"{base}:fxh:c0", f"{base}:fxh:c1"]
+                tags += [f"{base}:fxl:c0", f"{base}:fxl:c1"]
+        tags += [f"{step}:filter::qlo", f"{step}:filter::qhi",
+                 f"{step}:dt::up", f"{step}:dt::down"]
+        hashes = [tag_to_int(t) for t in tags]
+        assert len(set(hashes)) == len(hashes)
+
+
+class TestWithoutMPI:
+    @pytest.mark.skipif(HAVE_MPI, reason="mpi4py present")
+    def test_helpful_error_without_mpi4py(self):
+        with pytest.raises(RuntimeError, match="mpi4py is not installed"):
+            MPIComm()
+
+
+@pytest.mark.skipif(not HAVE_MPI, reason="mpi4py not installed")
+class TestSingletonMPI:
+    """Single-process MPI checks (mpiexec multi-rank runs are exercised by
+    scripts/mpi_runner.py --verify on a real cluster)."""
+
+    def test_world_singleton(self):
+        comm = MPIComm()
+        assert comm.size >= 1
+        assert 0 <= comm.rank < comm.size
+
+    def test_allreduce_identity(self):
+        comm = MPIComm()
+        if comm.size == 1:
+            assert comm.allreduce_min(3.5) == 3.5

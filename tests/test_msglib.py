@@ -1,0 +1,264 @@
+"""The message-passing substrate: mailboxes, virtual cluster, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.msglib.api import CommStats
+from repro.msglib.libmodel import CRAY_PVM, MPL, PVM, PVME, library_by_name
+from repro.msglib.vchannel import DeadlockError, Mailbox
+from repro.msglib.virtual import VirtualCluster
+
+
+class TestMailbox:
+    def test_in_order_delivery(self):
+        mb = Mailbox(owner=0, timeout=1.0)
+        mb.put(1, "a", np.array([1.0]))
+        mb.put(1, "b", np.array([2.0]))
+        assert mb.get(1, "a")[0] == 1.0
+        assert mb.get(1, "b")[0] == 2.0
+
+    def test_out_of_order_stash(self):
+        mb = Mailbox(owner=0, timeout=1.0)
+        mb.put(1, "late", np.array([1.0]))
+        mb.put(1, "early", np.array([2.0]))
+        # Request the second-deposited tag first.
+        assert mb.get(1, "early")[0] == 2.0
+        assert mb.get(1, "late")[0] == 1.0
+
+    def test_source_selectivity(self):
+        mb = Mailbox(owner=0, timeout=1.0)
+        mb.put(2, "t", np.array([20.0]))
+        mb.put(1, "t", np.array([10.0]))
+        assert mb.get(1, "t")[0] == 10.0
+        assert mb.get(2, "t")[0] == 20.0
+
+    def test_timeout_raises_deadlock(self):
+        mb = Mailbox(owner=0, timeout=0.05)
+        with pytest.raises(DeadlockError, match="no message"):
+            mb.get(1, "never")
+
+    def test_pending_count(self):
+        mb = Mailbox(owner=0, timeout=1.0)
+        mb.put(1, "x", np.array([1.0]))
+        mb.put(1, "y", np.array([1.0]))
+        mb.get(1, "y")  # stashes x
+        assert mb.pending() == 1
+
+
+class TestVirtualCluster:
+    def test_point_to_point(self):
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "data", np.arange(5.0))
+                return None
+            return comm.recv(0, "data")
+
+        results = cluster.run(prog)
+        assert np.array_equal(results[1], np.arange(5.0))
+
+    def test_send_copies_payload(self):
+        """Buffered semantics: mutating after send must not corrupt."""
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(3)
+                comm.send(1, "t", buf)
+                buf[:] = 99.0
+                return None
+            return comm.recv(0, "t")
+
+        results = cluster.run(prog)
+        assert np.array_equal(results[1], np.ones(3))
+
+    def test_invalid_destination(self):
+        cluster = VirtualCluster(2, timeout=1.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(0, "self", np.ones(1))
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            cluster.run(prog)
+
+    def test_exception_propagates_with_rank(self):
+        cluster = VirtualCluster(3, timeout=1.0)
+
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 2 failed"):
+            cluster.run(prog)
+
+    def test_per_rank_args(self):
+        cluster = VirtualCluster(3, timeout=5.0)
+        results = cluster.run(
+            lambda comm, base, extra: base + extra,
+            10,
+            per_rank_args=[(1,), (2,), (3,)],
+        )
+        assert results == [11, 12, 13]
+
+    def test_single_rank_runs_inline(self):
+        cluster = VirtualCluster(1)
+        assert cluster.run(lambda comm: comm.size) == [1]
+
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_allreduce_min(self, size):
+        cluster = VirtualCluster(size, timeout=5.0)
+        results = cluster.run(lambda comm: comm.allreduce_min(float(comm.rank + 3)))
+        assert results == [3.0] * size
+
+    def test_barrier_completes(self):
+        cluster = VirtualCluster(4, timeout=5.0)
+        cluster.run(lambda comm: comm.barrier())
+
+    def test_gather_arrays(self):
+        cluster = VirtualCluster(3, timeout=5.0)
+
+        def prog(comm):
+            return comm.gather_arrays(np.full(2, float(comm.rank)))
+
+        results = cluster.run(prog)
+        assert results[1] is None and results[2] is None
+        gathered = results[0]
+        assert [g[0] for g in gathered] == [0.0, 1.0, 2.0]
+
+    def test_stats_accounting(self):
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", np.zeros(10))  # 80 bytes
+            else:
+                comm.recv(0, "x")
+            return None
+
+        cluster.run(prog)
+        s0, s1 = cluster.comms[0].stats, cluster.comms[1].stats
+        assert (s0.sends, s0.bytes_sent) == (1, 80)
+        assert (s1.recvs, s1.bytes_received) == (1, 80)
+        assert s0.startups == 1 and s1.startups == 1
+        total = cluster.total_stats()
+        assert total.startups == 2
+
+
+class TestLibraryModels:
+    def test_registry(self):
+        assert library_by_name("pvm") is PVM
+        assert library_by_name("MPL") is MPL
+        with pytest.raises(KeyError, match="known"):
+            library_by_name("mpi")
+
+    def test_cost_structure(self):
+        t_small = PVM.send_cpu_time(100)
+        t_big = PVM.send_cpu_time(100_000)
+        assert t_big > t_small
+        assert t_small > PVM.per_byte_cpu * 100  # startup dominates
+
+    def test_paper_orderings(self):
+        """MPL is the lean native library; PVMe the heavy port; Cray PVM
+        the thin T3D shim (paper Sections 7.2-7.3)."""
+        n = 3000
+        assert MPL.send_cpu_time(n) < PVME.send_cpu_time(n)
+        assert CRAY_PVM.send_cpu_time(n) < MPL.send_cpu_time(n)
+        assert CRAY_PVM.wire_startup < MPL.wire_startup < PVM.wire_startup
+
+    def test_only_mpl_blocks(self):
+        assert MPL.blocking_send
+        assert not PVM.blocking_send
+        assert not PVME.blocking_send
+
+    def test_scaling(self):
+        fast = PVM.scaled(0.5)
+        assert fast.cpu_send_overhead == pytest.approx(
+            PVM.cpu_send_overhead / 2
+        )
+        assert fast.wire_startup == pytest.approx(PVM.wire_startup / 2)
+        assert PVM.scaled(1.0) is PVM
+
+    def test_stats_merge(self):
+        a = CommStats(sends=2, recvs=1, bytes_sent=10, bytes_received=5)
+        b = CommStats(sends=1, recvs=2, bytes_sent=20, bytes_received=40)
+        m = a.merged_with(b)
+        assert (m.sends, m.recvs) == (3, 3)
+        assert (m.bytes_sent, m.bytes_received) == (30, 45)
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self):
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, "x", np.arange(3.0))
+                assert req.test()
+                assert req.wait() is None
+                return None
+            return comm.recv(0, "x")
+
+        results = cluster.run(prog)
+        assert np.array_equal(results[1], np.arange(3.0))
+
+    def test_irecv_wait(self):
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", np.ones(4))
+                return None
+            req = comm.irecv(0, "x")
+            return req.wait()
+
+        results = cluster.run(prog)
+        assert np.array_equal(results[1], np.ones(4))
+
+    def test_irecv_test_polls_without_blocking(self):
+        import time
+
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                comm.send(1, "late", np.ones(1))
+                return None
+            req = comm.irecv(0, "late")
+            polls = 0
+            while not req.test():
+                polls += 1
+                time.sleep(0.005)
+            return polls, req.wait()
+
+        results = cluster.run(prog)
+        polls, payload = results[1]
+        assert polls >= 1  # genuinely overlapped with the sender's delay
+        assert payload[0] == 1.0
+
+    def test_irecv_accounts_stats_once(self):
+        cluster = VirtualCluster(2, timeout=5.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", np.zeros(10))
+                return None
+            req = comm.irecv(0, "x")
+            req.wait()
+            req.wait()  # idempotent
+            return comm.stats.recvs
+
+        results = cluster.run(prog)
+        assert results[1] == 1
+
+    def test_try_get_drains_out_of_order(self):
+        mb = Mailbox(owner=0, timeout=1.0)
+        mb.put(1, "b", np.array([2.0]))
+        mb.put(1, "a", np.array([1.0]))
+        assert mb.try_get(1, "missing") is None
+        assert mb.try_get(1, "a")[0] == 1.0
+        assert mb.try_get(1, "b")[0] == 2.0

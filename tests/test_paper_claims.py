@@ -1,0 +1,229 @@
+"""Integration: the paper's qualitative findings, end to end.
+
+Each test asserts one claim from the paper's Results section (Section 7)
+against the full simulation pipeline.  These are the shape criteria that
+EXPERIMENTS.md records; a failure here means the reproduction has drifted
+from the paper, not merely that a number moved.
+"""
+
+import pytest
+
+from repro.analysis.metrics import (
+    balance_spread,
+    crossover,
+    minimum_location,
+)
+from repro.machines.platforms import (
+    CRAY_T3D,
+    CRAY_YMP,
+    IBM_SP,
+    IBM_SP_PVME,
+    LACE_560,
+    LACE_560_ETHERNET,
+    LACE_560_FDDI,
+    LACE_590,
+    LACE_590_ATM,
+)
+from repro.simulate.machine import SimulatedMachine
+from repro.simulate.sharedmem import SharedMemoryMachine
+from repro.simulate.workload import EULER, NAVIER_STOKES
+
+PROCS = [1, 2, 4, 6, 8, 10, 12, 14, 16]
+WINDOW = 25
+
+
+def _series(platform, app, version=5, quantity="execution", procs=PROCS):
+    out = []
+    for p in procs:
+        r = SimulatedMachine(platform, p, version=version).run(
+            app, steps_window=WINDOW
+        )
+        out.append(getattr(r, f"{quantity}_time"))
+    return out
+
+
+@pytest.fixture(scope="module")
+def ns():
+    return {
+        "af": _series(LACE_590, NAVIER_STOKES),
+        "as": _series(LACE_560, NAVIER_STOKES),
+        "eth": _series(LACE_560_ETHERNET, NAVIER_STOKES),
+        "sp": _series(IBM_SP, NAVIER_STOKES),
+        "t3d": _series(CRAY_T3D, NAVIER_STOKES),
+    }
+
+
+@pytest.fixture(scope="module")
+def euler():
+    return {
+        "af": _series(LACE_590, EULER),
+        "as": _series(LACE_560, EULER),
+        "eth": _series(LACE_560_ETHERNET, EULER),
+        "sp": _series(IBM_SP, EULER),
+        "t3d": _series(CRAY_T3D, EULER),
+    }
+
+
+class TestSection71LACE:
+    def test_ethernet_peaks_near_eight(self, ns, euler):
+        """'Ethernet performance reaches its peak at 8 processors for
+        Navier-Stokes and at 10 processors for Euler.'"""
+        p_ns, _ = minimum_location(PROCS, ns["eth"])
+        p_eu, _ = minimum_location(PROCS, euler["eth"])
+        assert 6 <= p_ns <= 10
+        assert 6 <= p_eu <= 12
+
+    def test_allnode_keeps_improving_to_16(self, ns):
+        """The switched cluster never turns over within 16 processors."""
+        series = ns["as"]
+        assert all(b < a for a, b in zip(series, series[1:]))
+
+    def test_allnode_f_70_to_80_percent_faster(self, ns, euler):
+        """'ALLNODE-F is about 70%-80% faster than ALLNODE-S.'"""
+        for data in (ns, euler):
+            ratios = [s / f for s, f in zip(data["as"], data["af"])]
+            assert 1.5 < min(ratios) and max(ratios) < 2.0
+
+    def test_sublinearity_beyond_twelve(self, ns):
+        """'sublinearity effects begin to show ... beyond 12 processors.'"""
+        s = ns["as"]
+        # Ideal halving 8 -> 16 would give 2.0; flattening gives less.
+        gain = s[PROCS.index(8)] / s[PROCS.index(16)]
+        assert gain < 1.85
+
+    def test_atm_tracks_allnode_f(self, ns):
+        """'The performance of the ATM ... almost identical with
+        ALLNODE-F.'"""
+        atm = _series(LACE_590_ATM, NAVIER_STOKES, procs=[4, 8, 16])
+        af = [ns["af"][PROCS.index(p)] for p in (4, 8, 16)]
+        for a, b in zip(atm, af):
+            assert a == pytest.approx(b, rel=0.05)
+
+    def test_fddi_tracks_allnode_s(self, ns):
+        fddi = _series(LACE_560_FDDI, NAVIER_STOKES, procs=[4, 8, 16])
+        asn = [ns["as"][PROCS.index(p)] for p in (4, 8, 16)]
+        for a, b in zip(fddi, asn):
+            assert a == pytest.approx(b, rel=0.12)
+
+    def test_busy_falls_linearly_comm_grows_relative(self):
+        """Figure 5's structure: busy ~ 1/p, non-overlapped comm roughly
+        flat, so their ratio rises with p."""
+        busy = _series(LACE_560, NAVIER_STOKES, quantity="busy", procs=[2, 16])
+        comm = _series(LACE_560, NAVIER_STOKES, quantity="comm", procs=[2, 16])
+        assert busy[0] / busy[1] > 5.0
+        assert comm[1] / busy[1] > comm[0] / busy[0]
+
+
+class TestSection71Versions:
+    @pytest.mark.parametrize("app", [NAVIER_STOKES, EULER])
+    def test_v6_gains_minimal(self, app):
+        """'execution time improvement with Versions 6 ... minimal or even
+        worse in many experiments.'"""
+        for p in (8, 16):
+            v5 = SimulatedMachine(LACE_560, p, version=5).run(
+                app, steps_window=WINDOW
+            )
+            v6 = SimulatedMachine(LACE_560, p, version=6).run(
+                app, steps_window=WINDOW
+            )
+            assert v6.execution_time == pytest.approx(
+                v5.execution_time, rel=0.12
+            )
+
+    def test_v7_worse_on_allnode(self):
+        """'The performance [of V7] on ALLNODE-S is appreciably worse than
+        Version 5 ... since the number of startups increase.'"""
+        v5 = SimulatedMachine(LACE_560, 16, version=5).run(
+            NAVIER_STOKES, steps_window=WINDOW
+        )
+        v7 = SimulatedMachine(LACE_560, 16, version=7).run(
+            NAVIER_STOKES, steps_window=WINDOW
+        )
+        assert v7.execution_time > v5.execution_time
+
+    def test_v7_helps_ethernet_at_saturation(self):
+        """'Not surprisingly, Ethernet performs better with Version 7 than
+        with Version 5' (burst spreading on the shared medium)."""
+        v5 = SimulatedMachine(LACE_560_ETHERNET, 8, version=5).run(
+            NAVIER_STOKES, steps_window=WINDOW
+        )
+        v7 = SimulatedMachine(LACE_560_ETHERNET, 8, version=7).run(
+            NAVIER_STOKES, steps_window=WINDOW
+        )
+        assert v7.execution_time < 1.02 * v5.execution_time
+
+
+class TestSection72Platforms:
+    def test_lace_outperforms_sp(self, ns):
+        """'Surprisingly, LACE, even with ALLNODE-S, outperforms SP.'"""
+        for a, s in zip(ns["as"], ns["sp"]):
+            assert a < s
+
+    def test_t3d_worse_than_allnode_f_everywhere(self, ns):
+        for f, t in zip(ns["af"], ns["t3d"]):
+            assert f < t
+
+    def test_t3d_crosses_allnode_s_near_eight(self, ns):
+        """'worse than ALLNODE-S for less than 8 processors. ... Beyond 8
+        processors, T3D ... performs better than ALLNODE-S.'"""
+        x = crossover(PROCS, ns["t3d"], ns["as"])
+        assert x is not None and 6 <= x <= 12
+        # Strictly worse at 2 and 4.
+        for p in (2, 4):
+            i = PROCS.index(p)
+            assert ns["t3d"][i] > ns["as"][i]
+
+    def test_t3d_superior_to_sp(self, ns, euler):
+        for data in (ns, euler):
+            for t, s in zip(data["t3d"], data["sp"]):
+                assert t < s
+
+    def test_t3d_and_sp_speedups_nearly_linear(self, ns):
+        """'Both T3D and SP exhibit very good speedup characteristics.'"""
+        for key in ("t3d", "sp"):
+            s = ns[key]
+            speedup16 = s[0] / s[PROCS.index(16)]
+            assert speedup16 > 11.0
+
+    def test_ymp_best_overall(self, ns):
+        """'Cray Y-MP has by far the best performance.'"""
+        ymp8 = SharedMemoryMachine(CRAY_YMP, 8).run(NAVIER_STOKES)
+        best_mpp = min(min(v) for v in ns.values())
+        assert ymp8.execution_time < 0.5 * best_mpp
+
+    def test_lace590_16_comparable_to_ymp_1(self, ns):
+        """'The performance of LACE/590 with 16 processors is comparable to
+        the single node performance of the Y-MP.'"""
+        ymp1 = SharedMemoryMachine(CRAY_YMP, 1).run(NAVIER_STOKES)
+        lace = ns["af"][PROCS.index(16)]
+        assert 0.5 < lace / ymp1.execution_time < 1.5
+
+
+class TestSection73Libraries:
+    @pytest.mark.parametrize(
+        "app,lo,hi",
+        [(NAVIER_STOKES, 1.25, 2.2), (EULER, 1.25, 2.2)],
+    )
+    def test_mpl_consistently_faster(self, app, lo, hi):
+        """'MPL is consistently faster than PVMe' (paper: ~75% NS, ~40%
+        Euler; our per-message model lands both gaps in between — see
+        EXPERIMENTS.md)."""
+        for p in (8, 16):
+            mpl = SimulatedMachine(IBM_SP, p).run(app, steps_window=WINDOW)
+            pvme = SimulatedMachine(IBM_SP_PVME, p).run(app, steps_window=WINDOW)
+            ratio = pvme.execution_time / mpl.execution_time
+            assert lo < ratio < hi
+
+    def test_sp_nonoverlapped_comm_negligible(self):
+        """'the amount of non-overlapped communication is not only
+        negligibly small...' (Figures 11-12)."""
+        r = SimulatedMachine(IBM_SP, 16).run(NAVIER_STOKES, steps_window=WINDOW)
+        assert r.comm_time < 0.1 * r.busy_time
+
+
+class TestSection74LoadBalance:
+    def test_near_perfect_balance(self):
+        """Figure 13: 'we were able to achieve almost perfect load
+        balancing' across the 16 SP processors."""
+        r = SimulatedMachine(IBM_SP, 16).run(NAVIER_STOKES, steps_window=WINDOW)
+        assert balance_spread(r.per_rank_busy) < 0.05

@@ -1,0 +1,130 @@
+"""The DES rank-program builder: message pairing, versions, edge ranks."""
+
+import pytest
+
+from repro.msglib.libmodel import MPL, PVM
+from repro.parallel.versions import version_by_number
+from repro.simulate.engine import Engine, Event, Resource
+from repro.simulate.program import (
+    EDGE_COMPUTE_FRACTION,
+    _split_for_version,
+    build_rank_program,
+    transfer_process,
+)
+from repro.simulate.timeline import RankContext
+from repro.simulate.workload import EULER, NAVIER_STOKES, Message, Workload
+from repro.machines.network.crossbar import CrossbarNetwork
+
+
+def _run_program(nprocs, workload, version=5, library=PVM, steps=2,
+                 step_seconds=1.0):
+    engine = Engine()
+    net = CrossbarNetwork(nprocs)
+    resources = {k: Resource(c, k) for k, c in net.capacities().items()}
+    events = {}
+
+    def event_for(key):
+        if key not in events:
+            events[key] = Event(str(key))
+        return events[key]
+
+    contexts = [RankContext(engine, r) for r in range(nprocs)]
+    for r in range(nprocs):
+        engine.add_process(
+            build_rank_program(
+                contexts[r], r, nprocs, workload,
+                version_by_number(version), library, net, resources,
+                event_for, steps, step_seconds,
+            ),
+            name=f"rank{r}",
+        )
+    makespan = engine.run()
+    return contexts, makespan
+
+
+class TestSplit:
+    def test_v5_keeps_messages_whole(self):
+        m = Message("L", 3000, "flux")
+        assert _split_for_version(m, version_by_number(5)) == [(0, 3000)]
+
+    def test_v7_splits_flux_only(self):
+        v7 = version_by_number(7)
+        flux = Message("L", 3001, "flux")
+        parts = _split_for_version(flux, v7)
+        assert len(parts) == 2
+        assert sum(n for _, n in parts) == 3001
+        uvt = Message("L", 3000, "uvT")
+        assert _split_for_version(uvt, v7) == [(0, 3000)]
+
+
+class TestProgramExecution:
+    def test_all_ranks_finish(self):
+        ctxs, makespan = _run_program(4, Workload.paper(NAVIER_STOKES))
+        assert makespan > 2.0  # at least the compute time
+        for c in ctxs:
+            assert c.timeline.finished_at > 0
+
+    def test_single_rank_never_communicates(self):
+        ctxs, makespan = _run_program(1, Workload.paper(NAVIER_STOKES))
+        t = ctxs[0].timeline
+        assert t.library == 0.0
+        assert t.comm_wait == 0.0
+        assert makespan == pytest.approx(2.0)
+
+    def test_edge_ranks_cheaper(self):
+        ctxs, _ = _run_program(4, Workload.paper(NAVIER_STOKES))
+        lib = [c.timeline.library for c in ctxs]
+        assert lib[0] < lib[1]
+        assert lib[3] < lib[2]
+        assert lib[1] == pytest.approx(lib[2], rel=1e-9)
+
+    def test_euler_communicates_less_than_ns(self):
+        ns, _ = _run_program(4, Workload.paper(NAVIER_STOKES))
+        eu, _ = _run_program(4, Workload.paper(EULER))
+        assert eu[1].timeline.library < ns[1].timeline.library
+
+    def test_v7_more_library_time(self):
+        v5, _ = _run_program(4, Workload.paper(NAVIER_STOKES), version=5)
+        v7, _ = _run_program(4, Workload.paper(NAVIER_STOKES), version=7)
+        assert v7[1].timeline.library > v5[1].timeline.library
+
+    def test_v6_overlap_reduces_wait(self):
+        """On a fast network with early posting, waits shrink vs V5."""
+        v5, _ = _run_program(
+            4, Workload.paper(NAVIER_STOKES), version=5, step_seconds=0.01
+        )
+        v6, _ = _run_program(
+            4, Workload.paper(NAVIER_STOKES), version=6, step_seconds=0.01
+        )
+        w5 = sum(c.timeline.comm_wait for c in v5)
+        w6 = sum(c.timeline.comm_wait for c in v6)
+        assert w6 <= w5 + 1e-12
+
+    def test_blocking_send_charges_sender_wait(self):
+        ctxs, _ = _run_program(2, Workload.paper(NAVIER_STOKES), library=MPL)
+        # MPL transfers run inline: the sender accumulates comm_wait.
+        assert ctxs[0].timeline.comm_wait > 0
+
+    def test_makespan_scales_with_steps(self):
+        _, m2 = _run_program(4, Workload.paper(NAVIER_STOKES), steps=2)
+        _, m4 = _run_program(4, Workload.paper(NAVIER_STOKES), steps=4)
+        assert m4 == pytest.approx(2 * m2, rel=0.02)
+
+
+class TestTransferProcess:
+    def test_holds_route_and_triggers(self):
+        engine = Engine()
+        net = CrossbarNetwork(2, bytes_per_s=1000.0, latency=0.0)
+        resources = {k: Resource(c, k) for k, c in net.capacities().items()}
+        ev = Event("arrival")
+        engine.add_process(
+            transfer_process(net, resources, 0, 1, 500, ev, wire_startup=0.25)
+        )
+        end = engine.run()
+        assert ev.triggered
+        # 0.25 startup + 500/1000 transfer.
+        assert end == pytest.approx(0.75)
+        assert resources["pair:0->1"].in_use == 0
+
+    def test_edge_fraction_sane(self):
+        assert 0.0 < EDGE_COMPUTE_FRACTION < 0.2

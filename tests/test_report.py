@@ -1,0 +1,119 @@
+"""Plain-text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ascii_contour, format_table, render_series
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[145000.0]])
+        assert "145,000" in out or "1.45e+05" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_contains_labels_and_bounds(self):
+        out = render_series(
+            [1, 2, 4, 8],
+            {"fast": [100, 50, 25, 12], "slow": [200, 110, 60, 35]},
+            title="Scaling",
+        )
+        assert "Scaling" in out
+        assert "o = fast" in out
+        assert "x = slow" in out
+        assert "Number of Processors: 1 .. 8" in out
+
+    def test_marks_plotted(self):
+        out = render_series([1, 10], {"s": [10, 1]})
+        assert out.count("o") >= 2 + 1  # two data points + legend
+
+    def test_zero_values_skipped_in_log_mode(self):
+        out = render_series([1, 2], {"s": [10, 0]})
+        assert "(no data)" not in out
+
+    def test_linear_mode(self):
+        out = render_series([1, 2, 3], {"s": [1, 2, 3]}, loglog=False)
+        assert "log-log" not in out
+
+    def test_no_data(self):
+        assert render_series([1], {"s": [0]}) == "(no data)"
+
+
+class TestAsciiContour:
+    def test_dimensions(self):
+        f = np.zeros((50, 30))
+        out = ascii_contour(f, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11  # header + 10 rows
+        assert all(len(l) == 40 for l in lines[1:])
+
+    def test_levels_map_to_range(self):
+        f = np.zeros((20, 20))
+        f[10:, :] = 1.0
+        out = ascii_contour(f, width=20, height=8, levels=" #")
+        body = out.splitlines()[1:]
+        # Left half blank, right half filled.
+        assert body[0][2] == " "
+        assert body[0][-2] == "#"
+
+    def test_constant_field(self):
+        out = ascii_contour(np.ones((10, 10)), width=10, height=4)
+        assert "range [1, 1]" in out
+
+    def test_title(self):
+        out = ascii_contour(np.ones((10, 10)), title="X MOMENTUM")
+        assert out.splitlines()[0] == "X MOMENTUM"
+
+
+class TestRenderGantt:
+    def _traced(self, trace=True):
+        from repro.machines.platforms import LACE_560
+        from repro.simulate.machine import SimulatedMachine
+        from repro.simulate.workload import NAVIER_STOKES
+
+        return SimulatedMachine(LACE_560, 4).run(
+            NAVIER_STOKES, steps_window=3, trace=trace
+        )
+
+    def test_renders_one_row_per_rank(self):
+        from repro.analysis.report import render_gantt
+
+        out = render_gantt(self._traced(), title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if l.startswith("rank")) == 4
+        body = "\n".join(lines[2:])
+        assert "#" in body  # compute segments visible
+
+    def test_requires_trace(self):
+        from repro.analysis.report import render_gantt
+
+        with pytest.raises(ValueError, match="trace=True"):
+            render_gantt(self._traced(trace=False))
+
+    def test_segment_accounting_matches_totals(self):
+        r = self._traced()
+        t = r.timelines[1]
+        by_kind = {}
+        for seg in t.segments:
+            by_kind[seg.kind] = by_kind.get(seg.kind, 0.0) + seg.duration
+        assert by_kind.get("compute", 0) == pytest.approx(t.compute, rel=1e-9)
+        assert by_kind.get("library", 0) == pytest.approx(t.library, rel=1e-9)
+        assert by_kind.get("wait", 0) == pytest.approx(
+            t.comm_wait, rel=1e-6, abs=1e-12
+        )

@@ -1,0 +1,117 @@
+"""Exact Riemann solver + quantitative Sod validation of the 2-4 scheme."""
+
+import numpy as np
+import pytest
+
+from repro import shock_tube_scenario
+from repro.validation.riemann import RiemannState, exact_riemann, sod_solution
+
+GAMMA = 1.4
+
+
+class TestExactSolver:
+    def test_trivial_riemann_problem(self):
+        """Identical states: the solution is that state everywhere."""
+        s = RiemannState(1.0, 0.3, 0.7)
+        rho, u, p = exact_riemann(s, s, np.linspace(-1, 1, 11))
+        assert np.allclose(rho, 1.0)
+        assert np.allclose(u, 0.3)
+        assert np.allclose(p, 0.7)
+
+    def test_sod_star_region_textbook_values(self):
+        """Toro's Table 4.2, Test 1: p* = 0.30313, u* = 0.92745."""
+        rho, u, p = sod_solution(np.array([0.5 + 0.9271e-6]), t=1e-6)
+        assert p[0] == pytest.approx(0.30313, rel=1e-3)
+        assert u[0] == pytest.approx(0.92745, rel=1e-3)
+
+    def test_sod_density_plateaus(self):
+        """rho* left of the contact 0.42632; right 0.26557 (Toro)."""
+        x = np.array([0.6, 0.8])  # between contact and shock at t=0.2
+        rho, u, p = sod_solution(x, t=0.2)
+        # x/t = 0.5 and 1.5: contact at u* = 0.927, shock at ~1.752.
+        assert rho[0] == pytest.approx(0.42632, rel=1e-3)
+        assert rho[1] == pytest.approx(0.26557, rel=1e-3)
+
+    def test_shock_speed(self):
+        """Sod right-shock speed 1.7522 (Toro)."""
+        eps = 1e-4
+        rho_m, _, _ = sod_solution(np.array([0.5 + (1.7522 - eps) * 0.2]), 0.2)
+        rho_p, _, _ = sod_solution(np.array([0.5 + (1.7522 + eps) * 0.2]), 0.2)
+        assert rho_m[0] == pytest.approx(0.26557, rel=1e-3)
+        assert rho_p[0] == pytest.approx(0.125, rel=1e-6)
+
+    def test_rarefaction_is_smooth_and_monotone(self):
+        x = np.linspace(0.2, 0.45, 60)
+        rho, u, p = sod_solution(x, t=0.2)
+        assert np.all(np.diff(rho) <= 1e-12)
+        assert np.all(np.diff(u) >= -1e-12)
+
+    def test_symmetric_expansion(self):
+        """Two streams separating: u* = 0 by symmetry."""
+        l = RiemannState(1.0, -0.5, 1.0)
+        r = RiemannState(1.0, 0.5, 1.0)
+        rho, u, p = exact_riemann(l, r, np.array([0.0]))
+        assert u[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_vacuum_rejected(self):
+        l = RiemannState(1.0, -20.0, 1.0)
+        r = RiemannState(1.0, 20.0, 1.0)
+        with pytest.raises(ValueError, match="vacuum"):
+            exact_riemann(l, r, np.array([0.0]))
+
+    def test_time_validation(self):
+        with pytest.raises(ValueError):
+            sod_solution(np.array([0.5]), t=0.0)
+
+
+class TestSolverAgainstExact:
+    """Quantitative validation of the 2-4 MacCormack solver on Sod's tube.
+
+    Note on scaling: the solver's nondimensionalization carries velocities
+    in units where ``c = sqrt(T)``; initializing with the classic Sod
+    states directly makes its sound speed ``sqrt(gamma p / rho)`` — the
+    same as the textbook's — so times and speeds agree without conversion.
+    """
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        sc = shock_tube_scenario(nx=300, nr=8, mu=8e-4)
+        while sc.solver.t < 0.12:  # long enough to separate all three waves
+            sc.solver.run(50)
+        return sc
+
+    def test_shock_position(self, run):
+        t = run.solver.t
+        rho = run.state.rho[:, 4]
+        x = run.grid.x
+        # Measured shock front: where density first falls below the
+        # midpoint between post-shock plateau (0.2656) and ambient (0.125).
+        thresh = 0.5 * (0.26557 + 0.125)
+        interior = x > 0.55
+        front = x[interior][np.argmax(rho[interior] < thresh)]
+        exact_front = 0.5 + 1.7522 * t
+        assert front == pytest.approx(exact_front, abs=0.03)
+
+    def test_contact_plateau_density(self, run):
+        t = run.solver.t
+        # Sample midway between contact (0.9275 t) and shock (1.7522 t).
+        x_probe = 0.5 + 1.3 * t
+        j = int(np.argmin(np.abs(run.grid.x - x_probe)))
+        assert run.state.rho[j, 4] == pytest.approx(0.26557, rel=0.05)
+
+    def test_star_velocity(self, run):
+        t = run.solver.t
+        x_probe = 0.5 + 1.3 * t
+        j = int(np.argmin(np.abs(run.grid.x - x_probe)))
+        assert run.state.u[j, 4] == pytest.approx(0.92745, rel=0.05)
+
+    def test_rarefaction_profile(self, run):
+        """Pointwise comparison inside the expansion fan."""
+        t = run.solver.t
+        x = run.grid.x
+        mask = (x > 0.5 - 1.0 * t) & (x < 0.5 - 0.2 * t)
+        rho_exact, u_exact, _ = sod_solution(x[mask], t)
+        # The fan's head/tail corners are smeared by the regularizing
+        # viscosity; interior agreement is a few percent.
+        assert np.abs(run.state.rho[mask, 4] - rho_exact).max() < 0.05
+        assert np.abs(run.state.u[mask, 4] - u_exact).max() < 0.09

@@ -1,0 +1,110 @@
+"""Property-based tests of the solver on randomized smooth states."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EulerSolver, NavierStokesSolver, SolverConfig
+from repro.grid import Grid
+from repro.physics.state import FlowState
+
+
+def _smooth_periodic_state(grid: Grid, seed: int, amplitude: float) -> FlowState:
+    """A random smooth (low-wavenumber) periodic perturbation of rest."""
+    rng = np.random.default_rng(seed)
+    kx = 2 * np.pi / (grid.nx * grid.dx)
+    kr = 2 * np.pi / (grid.nr * grid.dr)
+    x, r = grid.xmesh(), grid.rmesh()
+
+    def field():
+        out = np.zeros(grid.shape)
+        for _ in range(3):
+            mx, mr = rng.integers(0, 3, size=2)
+            phx, phr = rng.uniform(0, 2 * np.pi, size=2)
+            out += rng.uniform(-1, 1) * np.cos(mx * kx * x + phx) * np.cos(
+                mr * kr * r + phr
+            )
+        return out / 3.0
+
+    rho = 1.0 + amplitude * field()
+    u = amplitude * field()
+    v = amplitude * field()
+    p = 1.0 / 1.4 * (1.0 + amplitude * field())
+    return FlowState.from_primitive(grid, rho, u, v, p)
+
+
+def _planar_config(**kw) -> SolverConfig:
+    return SolverConfig(
+        viscous=False,
+        axisymmetric=False,
+        periodic_x=True,
+        periodic_r=True,
+        boundary=None,
+        cfl=0.3,
+        **kw,
+    )
+
+
+class TestRandomizedStability:
+    @given(seed=st.integers(0, 10_000), amplitude=st.floats(1e-6, 0.05))
+    @settings(max_examples=25, deadline=None)
+    def test_smooth_states_stay_physical(self, seed, amplitude):
+        grid = Grid(nx=12, nr=12, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, amplitude)
+        solver = EulerSolver(state, _planar_config())
+        solver.run(5)
+        assert state.is_physical()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_conservation_for_any_smooth_state(self, seed):
+        grid = Grid(nx=10, nr=10, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.02)
+        solver = EulerSolver(state, _planar_config())
+        t0 = state.conserved_totals(radial_weight=False)
+        solver.run(8)
+        t1 = state.conserved_totals(radial_weight=False)
+        assert np.allclose(t1, t0, rtol=0, atol=1e-11 * max(np.abs(t0).max(), 1))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_viscosity_damps_kinetic_energy(self, seed):
+        """With zero forcing, viscosity must not create kinetic energy."""
+        grid = Grid(nx=12, nr=12, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.02)
+
+        def ke(s):
+            return float(np.sum(s.rho * (s.u**2 + s.v**2)))
+
+        inviscid = EulerSolver(
+            FlowState(grid, state.q.copy()), _planar_config()
+        )
+        viscous = NavierStokesSolver(
+            FlowState(grid, state.q.copy()), _planar_config(mu=5e-3)
+        )
+        # Same fixed dt for comparability.
+        inviscid.config.dt = viscous.config.dt = 2e-3
+        inviscid.run(10)
+        viscous.run(10)
+        assert ke(viscous.state) <= ke(inviscid.state) + 1e-12
+
+
+class TestDiscreteSymmetry:
+    def test_mirror_symmetry_preserved(self):
+        """A state symmetric under x-reflection (with u -> -u) stays so
+        under the alternated L1/L2 pairs (two-step symmetry)."""
+        grid = Grid(nx=16, nr=8, length_x=1.0, length_r=1.0)
+        x = grid.xmesh()
+        lam = grid.nx * grid.dx
+        rho = 1.0 + 0.01 * np.cos(2 * np.pi * x / lam)
+        state = FlowState.from_primitive(grid, rho, 0.0, 0.0, 1 / 1.4)
+        solver = EulerSolver(state, _planar_config())
+        solver.config.dt = 1e-3
+        solver.run(2)  # one full L1/L2 pair
+        q = state.q
+        # Reflection: x_i -> x_{n-i} about the cosine's symmetry point.
+        rho_r = q[0][::-1, :]
+        np.testing.assert_allclose(
+            np.roll(rho_r, 1, axis=0), q[0], atol=1e-12
+        )

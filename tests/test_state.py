@@ -1,0 +1,111 @@
+"""FlowState conversions and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import Grid
+from repro.physics.state import NVARS, FlowState
+
+from conftest import random_physical_state
+
+positive = st.floats(0.1, 20.0, allow_nan=False)
+velocity = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_from_primitive_round_trip(self, small_grid, rng):
+        rho = 0.5 + rng.random(small_grid.shape)
+        u = rng.standard_normal(small_grid.shape)
+        v = rng.standard_normal(small_grid.shape)
+        p = 0.5 + rng.random(small_grid.shape)
+        st_ = FlowState.from_primitive(small_grid, rho, u, v, p)
+        assert np.allclose(st_.rho, rho)
+        assert np.allclose(st_.u, u)
+        assert np.allclose(st_.v, v)
+        assert np.allclose(st_.p, p)
+
+    def test_scalar_broadcast(self, small_grid):
+        st_ = FlowState.from_primitive(small_grid, 2.0, 0.5, 0.0, 1.0)
+        assert st_.rho.shape == small_grid.shape
+        assert np.all(st_.rho == 2.0)
+
+    def test_quiescent(self, small_grid):
+        st_ = FlowState.quiescent(small_grid)
+        assert np.all(st_.u == 0)
+        assert np.all(st_.v == 0)
+        assert np.allclose(st_.T, 1.0)
+        assert np.allclose(st_.c, 1.0)
+
+    def test_shape_validation(self, small_grid):
+        with pytest.raises(ValueError, match="state shape"):
+            FlowState(small_grid, np.zeros((NVARS, 3, 3)))
+
+
+class TestDerivedFields:
+    @given(rho=positive, u=velocity, v=velocity, p=positive)
+    @settings(max_examples=100, deadline=None)
+    def test_mach_number(self, rho, u, v, p):
+        g = Grid(nx=5, nr=5)
+        st_ = FlowState.from_primitive(g, rho, u, v, p)
+        speed = np.sqrt(u * u + v * v)
+        c = np.sqrt(1.4 * p / rho)
+        assert st_.mach[0, 0] == pytest.approx(speed / c, rel=1e-9)
+
+    def test_axial_momentum_is_rho_u(self, small_grid):
+        st_ = FlowState.from_primitive(small_grid, 2.0, 1.5, 0.0, 1.0)
+        assert np.allclose(st_.axial_momentum, 3.0)
+
+    def test_enthalpy_positive_for_physical(self, small_grid, rng):
+        st_ = random_physical_state(small_grid, rng)
+        assert np.all(st_.H > 0)
+
+
+class TestValidation:
+    def test_physical_state(self, small_grid, rng):
+        assert random_physical_state(small_grid, rng).is_physical()
+
+    def test_negative_density_flagged(self, small_grid):
+        st_ = FlowState.quiescent(small_grid)
+        st_.q[0, 3, 3] = -1.0
+        assert not st_.is_physical()
+
+    def test_negative_pressure_flagged(self, small_grid):
+        st_ = FlowState.quiescent(small_grid)
+        st_.q[3, 2, 2] = 0.0  # energy below kinetic => p < 0
+        assert not st_.is_physical()
+
+    def test_nan_flagged(self, small_grid):
+        st_ = FlowState.quiescent(small_grid)
+        st_.q[1, 0, 0] = np.nan
+        assert not st_.is_physical()
+
+
+class TestUtilities:
+    def test_copy_is_deep(self, small_grid):
+        a = FlowState.quiescent(small_grid)
+        b = a.copy()
+        b.q[0] *= 2
+        assert np.all(a.q[0] == 1.0)
+
+    def test_conserved_totals_shape(self, jet_state):
+        tot = jet_state.conserved_totals()
+        assert tot.shape == (NVARS,)
+        assert tot[0] > 0  # mass
+        assert tot[3] > 0  # energy
+
+    def test_conserved_totals_scale_with_density(self, small_grid):
+        a = FlowState.from_primitive(small_grid, 1.0, 0.0, 0.0, 1.0)
+        b = FlowState.from_primitive(small_grid, 2.0, 0.0, 0.0, 1.0)
+        assert b.conserved_totals()[0] == pytest.approx(
+            2 * a.conserved_totals()[0]
+        )
+
+    def test_axial_slab(self, jet_state):
+        slab = jet_state.axial_slab(5, 15)
+        assert slab.grid.nx == 10
+        assert np.array_equal(slab.q, jet_state.q[:, 5:15, :])
+        # Independent copy:
+        slab.q[:] = 0
+        assert jet_state.q[:, 5:15, :].any()

@@ -1,0 +1,135 @@
+"""One-sided 2-4 differences and cubic ghost extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.stencils import (
+    backward_difference,
+    cubic_ghosts,
+    extend_axis,
+    forward_difference,
+)
+
+
+def _poly_field(n, h, coeffs):
+    """1-D polynomial samples arranged as a (1, n, 3) field."""
+    x = np.arange(n) * h
+    f = sum(c * x**k for k, c in enumerate(coeffs))
+    return np.broadcast_to(f[None, :, None], (1, n, 3)).copy(), x
+
+
+class TestCubicGhosts:
+    @pytest.mark.parametrize("coeffs", [(1.0,), (0.5, 2.0), (1, -1, 3), (2, 1, -1, 0.5)])
+    def test_exact_for_cubics(self, coeffs):
+        f, x = _poly_field(8, 0.5, coeffs)
+        g1, g2 = cubic_ghosts(f, axis=1, side="low")
+        exact = lambda xx: sum(c * xx**k for k, c in enumerate(coeffs))
+        assert g1[0, 0] == pytest.approx(exact(-0.5), rel=1e-12, abs=1e-12)
+        assert g2[0, 0] == pytest.approx(exact(-1.0), rel=1e-12, abs=1e-12)
+        h1, h2 = cubic_ghosts(f, axis=1, side="high")
+        assert h1[0, 0] == pytest.approx(exact(4.0), rel=1e-12)
+        assert h2[0, 0] == pytest.approx(exact(4.5), rel=1e-12)
+
+    def test_not_exact_for_quartic(self):
+        f, x = _poly_field(8, 1.0, (0, 0, 0, 0, 1.0))  # x^4
+        g1, _ = cubic_ghosts(f, axis=1, side="low")
+        assert g1[0, 0] != pytest.approx(1.0, abs=1e-6)  # (-1)^4 = 1
+
+    def test_requires_four_points(self):
+        f = np.zeros((1, 3, 2))
+        with pytest.raises(ValueError, match="at least 4"):
+            cubic_ghosts(f, axis=1, side="low")
+
+    def test_invalid_side(self):
+        f = np.zeros((1, 6, 2))
+        with pytest.raises(ValueError, match="side"):
+            cubic_ghosts(f, axis=1, side="middle")
+
+
+class TestExtendAxis:
+    def test_shape(self):
+        f = np.ones((4, 10, 6))
+        ext = extend_axis(f, axis=1)
+        assert ext.shape == (4, 14, 6)
+        assert np.array_equal(ext[:, 2:12, :], f)
+
+    def test_explicit_ghosts_used(self):
+        f = np.zeros((1, 6, 2))
+        low = np.stack([np.full((1, 2), 7.0), np.full((1, 2), 9.0)])
+        ext = extend_axis(f, axis=1, low=low)
+        # Nearest ghost first: index 1 holds g1, index 0 holds g2.
+        assert np.all(ext[:, 1, :] == 7.0)
+        assert np.all(ext[:, 0, :] == 9.0)
+
+    def test_extends_along_last_axis(self):
+        f = np.random.default_rng(0).random((4, 6, 8))
+        ext = extend_axis(f, axis=2)
+        assert ext.shape == (4, 6, 12)
+        assert np.array_equal(ext[:, :, 2:10], f)
+
+
+class TestOneSidedDifferences:
+    @pytest.mark.parametrize("coeffs", [(3.0,), (1, 2), (2.5, -0.75)])
+    def test_exact_for_linears(self, coeffs):
+        """A single one-sided 2-4 difference is exact through linears."""
+        h = 0.3
+        f, x = _poly_field(12, h, coeffs)
+        ext = extend_axis(f, axis=1)
+        dfwd = forward_difference(ext, axis=1, h=h)
+        dbwd = backward_difference(ext, axis=1, h=h)
+        exact = coeffs[1] if len(coeffs) > 1 else 0.0
+        assert np.allclose(dfwd[0, :, 0], exact, rtol=1e-12, atol=1e-12)
+        assert np.allclose(dbwd[0, :, 0], exact, rtol=1e-12, atol=1e-12)
+
+    def test_leading_error_is_antisymmetric(self):
+        """Taylor analysis: D+- = f' +- (h/3) f'' exactly for quadratics —
+        the antisymmetric errors cancel in the predictor/corrector pair."""
+        h = 0.25
+        f, x = _poly_field(12, h, (0.0, 0.0, 1.0))  # f = x^2
+        ext = extend_axis(f, axis=1)
+        dfwd = forward_difference(ext, axis=1, h=h)
+        dbwd = backward_difference(ext, axis=1, h=h)
+        assert np.allclose(dfwd[0, :, 0], 2 * x + 2 * h / 3, rtol=1e-11)
+        assert np.allclose(dbwd[0, :, 0], 2 * x - 2 * h / 3, rtol=1e-11)
+
+    def test_average_exact_for_cubics(self):
+        """The forward/backward average is exact through cubics."""
+        h = 0.2
+        coeffs = (1.0, -2.0, 0.5, 0.25)
+        f, x = _poly_field(12, h, coeffs)
+        ext = extend_axis(f, axis=1)
+        avg = 0.5 * (
+            forward_difference(ext, axis=1, h=h)
+            + backward_difference(ext, axis=1, h=h)
+        )
+        exact = -2.0 + 1.0 * x + 0.75 * x**2
+        assert np.allclose(avg[0, :, 0], exact, rtol=1e-10, atol=1e-10)
+
+    def test_forward_backward_average_is_fourth_order(self):
+        """The average of the two one-sided stencils cancels the h^3 term —
+        the mechanism behind the scheme's 4th-order spatial accuracy."""
+        errs = []
+        for n in (16, 32, 64):
+            h = 2 * np.pi / n
+            x = np.arange(n) * h
+            f = np.sin(x)[None, :, None] * np.ones((1, 1, 2))
+            low = np.stack([f[:, -1, :], f[:, -2, :]])
+            high = np.stack([f[:, 0, :], f[:, 1, :]])
+            ext = extend_axis(f, axis=1, low=low, high=high)
+            d = 0.5 * (
+                forward_difference(ext, axis=1, h=h)
+                + backward_difference(ext, axis=1, h=h)
+            )
+            errs.append(np.abs(d[0, :, 0] - np.cos(x)).max())
+        order = np.log2(errs[1] / errs[2])
+        assert 3.6 < order < 4.4
+
+    @given(st.integers(8, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_field_has_zero_difference(self, n):
+        f = np.full((2, n, 3), 4.2)
+        ext = extend_axis(f, axis=1)
+        assert np.allclose(forward_difference(ext, 1, 0.1), 0.0, atol=1e-12)
+        assert np.allclose(backward_difference(ext, 1, 0.1), 0.0, atol=1e-12)

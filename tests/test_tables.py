@@ -1,0 +1,54 @@
+"""Tables 1 and 2 generators."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_EULER,
+    PAPER_NS,
+    measured_characteristics,
+    table1,
+    table2,
+)
+
+
+class TestTable1:
+    def test_paper_rows(self):
+        out = table1("paper")
+        assert "145,000" in out
+        assert "80,000" in out
+        assert "125" in out
+        assert "Euler" in out and "N-S" in out
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            table1("guessed")
+
+    def test_measured_characteristics(self):
+        """Short instrumented run of the real distributed solver."""
+        ns = measured_characteristics(viscous=True, nx=40, probe_steps=2)
+        eu = measured_characteristics(viscous=False, nx=40, probe_steps=2)
+        # Our kernels: NS roughly double Euler's work.
+        assert 1.5 < ns.total_flops / eu.total_flops < 3.0
+        # NS communicates more (velocity/temperature ghosts).
+        assert ns.volume_bytes_per_proc > eu.volume_bytes_per_proc
+        assert ns.startups_per_proc > eu.startups_per_proc
+        # Same order of magnitude as the paper's Table 1.
+        assert 0.2 < ns.total_flops / PAPER_NS.total_flops < 1.5
+        assert 0.5 < ns.volume_bytes_per_proc / PAPER_NS.volume_bytes_per_proc < 4.0
+
+
+class TestTable2:
+    def test_paper_values_reproduced_exactly(self):
+        out = table2()
+        # The FPs/Byte column of the paper: 580/290/145/73 for NS.
+        for v in ("580", "290", "145", "72"):
+            assert v in out
+        # Euler: 405/203/101/51.
+        for v in ("405", "203", "101", "51"):
+            assert v in out
+        # FPs/Start-up: 906K half-ladder.
+        assert "906K" in out and "453K" in out and "113K" in out
+        assert "642K" in out and "321K" in out
+
+    def test_p1_infinite(self):
+        assert "inf" in table2(procs=(1, 2))

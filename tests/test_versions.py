@@ -1,0 +1,65 @@
+"""The optimization-version registry and its op-mix semantics."""
+
+import pytest
+
+from repro import constants
+from repro.parallel.versions import VERSIONS, version_by_number
+
+
+class TestRegistry:
+    def test_seven_versions(self):
+        assert sorted(VERSIONS) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_lookup(self):
+        assert version_by_number(5).name == "V5"
+        with pytest.raises(KeyError, match="known"):
+            version_by_number(8)
+
+    def test_all_have_descriptions(self):
+        for v in VERSIONS.values():
+            assert v.description
+
+
+class TestOptimizationLadder:
+    """Each version applies the paper's specific change on top of the last."""
+
+    def test_v2_removes_exponentiation(self):
+        assert version_by_number(1).pow_calls_per_flop > 0
+        assert version_by_number(2).pow_calls_per_flop == 0
+
+    def test_v3_fixes_stride(self):
+        assert version_by_number(2).stride1_fraction < 0.6
+        assert version_by_number(3).stride1_fraction > 0.9
+
+    def test_v4_division_counts_match_paper(self):
+        v3 = version_by_number(3)
+        v4 = version_by_number(4)
+        total = constants.PAPER_TOTAL_FLOPS_NS
+        assert v3.divisions_per_flop * total == pytest.approx(
+            constants.PAPER_DIVISIONS_BEFORE
+        )
+        assert v4.divisions_per_flop * total == pytest.approx(
+            constants.PAPER_DIVISIONS_AFTER
+        )
+
+    def test_v5_reduces_memory_references(self):
+        assert (
+            version_by_number(5).mem_refs_per_flop
+            < version_by_number(4).mem_refs_per_flop
+        )
+
+    def test_v6_overlap_flags(self):
+        v6 = version_by_number(6)
+        assert v6.overlap_communication
+        assert v6.loop_overhead_factor > 1.0
+        assert v6.cache_degradation > 1.0
+        assert not v6.split_flux_columns
+
+    def test_v7_split_flux(self):
+        v7 = version_by_number(7)
+        assert v7.split_flux_columns
+        assert not v7.overlap_communication
+        # V7 is V5's computation exactly.
+        v5 = version_by_number(5)
+        assert v7.mem_refs_per_flop == v5.mem_refs_per_flop
+        assert v7.divisions_per_flop == v5.divisions_per_flop

@@ -1,0 +1,122 @@
+"""Viscous stress tensor, heat fluxes, and halo-extended gradients."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.grid import Grid
+from repro.physics.viscous import (
+    field_gradients,
+    stress_tensor,
+    viscous_fluxes,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid(nx=16, nr=12, length_x=2.0, length_r=1.0)
+
+
+class TestStressTensor:
+    def test_uniform_flow_has_no_stress(self, grid):
+        shape = grid.shape
+        u = np.full(shape, 1.5)
+        v = np.zeros(shape)
+        T = np.ones(shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=1e-3)
+        for f in (terms.tau_xx, terms.tau_rr, terms.tau_xr,
+                  terms.heat_x, terms.heat_r):
+            assert np.allclose(f, 0.0, atol=1e-14)
+        # tau_tt has a v/r term: zero here too.
+        assert np.allclose(terms.tau_tt, 0.0, atol=1e-14)
+
+    def test_pure_axial_shear(self, grid):
+        """u = a*r gives tau_xr = mu*a and no normal stresses."""
+        a, mu = 0.8, 2e-3
+        u = a * grid.rmesh().copy()
+        v = np.zeros(grid.shape)
+        T = np.ones(grid.shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=mu)
+        interior = (slice(2, -2), slice(2, -2))
+        assert np.allclose(terms.tau_xr[interior], mu * a, rtol=1e-10)
+        assert np.allclose(terms.tau_xx[interior], 0.0, atol=1e-12)
+
+    def test_linear_expansion_normal_stresses(self, grid):
+        """u = a*x: tau_xx = mu(2a - 2a/3), tau_rr = tau_tt = -2/3 mu a."""
+        a, mu = 0.5, 1e-2
+        u = a * grid.xmesh().copy()
+        v = np.zeros(grid.shape)
+        T = np.ones(grid.shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=mu)
+        interior = (slice(2, -2), slice(2, -2))
+        assert np.allclose(terms.tau_xx[interior], mu * a * 4 / 3, rtol=1e-9)
+        assert np.allclose(terms.tau_rr[interior], -mu * a * 2 / 3, rtol=1e-9)
+        assert np.allclose(terms.tau_tt[interior], -mu * a * 2 / 3, rtol=1e-9)
+
+    def test_stokes_hypothesis_trace(self, grid, rng):
+        """tau_xx + tau_rr + tau_tt = 2 mu (Theta) - 2 mu Theta = 0."""
+        u = rng.random(grid.shape)
+        v = rng.random(grid.shape) * grid.rmesh()  # keep v/r smooth
+        T = 1.0 + 0.1 * rng.random(grid.shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=1e-3)
+        trace = terms.tau_xx + terms.tau_rr + terms.tau_tt
+        assert np.allclose(trace, 0.0, atol=1e-12)
+
+    def test_heat_flux_down_gradient(self, grid):
+        T = grid.xmesh().copy()  # dT/dx = 1
+        u = v = np.zeros(grid.shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=1e-3)
+        k = 1e-3 / ((constants.GAMMA - 1) * constants.PRANDTL)
+        assert np.allclose(terms.heat_x, -k, rtol=1e-9)
+        assert np.allclose(terms.heat_r, 0.0, atol=1e-14)
+
+
+class TestHaloGradients:
+    def test_halo_reproduces_interior_arithmetic(self, grid, rng):
+        """Gradients of a slab with ghost columns == global gradients."""
+        u = rng.random(grid.shape)
+        v = rng.random(grid.shape)
+        T = rng.random(grid.shape)
+        full = field_gradients(u, v, T, grid.dx, grid.dr)
+
+        lo, hi = 5, 11
+        halo_lo = np.stack([u[lo - 1], v[lo - 1], T[lo - 1]])
+        halo_hi = np.stack([u[hi], v[hi], T[hi]])
+        slab = field_gradients(
+            u[lo:hi], v[lo:hi], T[lo:hi], grid.dx, grid.dr,
+            halo_lo=halo_lo, halo_hi=halo_hi,
+        )
+        for g_full, g_slab in zip(full, slab):
+            assert np.array_equal(g_full[lo:hi], g_slab)
+
+    def test_one_sided_halo(self, grid, rng):
+        """A slab at the domain edge extends only inward."""
+        u = rng.random(grid.shape)
+        v = rng.random(grid.shape)
+        T = rng.random(grid.shape)
+        full = field_gradients(u, v, T, grid.dx, grid.dr)
+        hi = 6
+        halo_hi = np.stack([u[hi], v[hi], T[hi]])
+        slab = field_gradients(
+            u[:hi], v[:hi], T[:hi], grid.dx, grid.dr, halo_hi=halo_hi
+        )
+        for g_full, g_slab in zip(full, slab):
+            assert np.array_equal(g_full[:hi], g_slab)
+
+
+class TestViscousFluxes:
+    def test_structure(self, grid, rng):
+        u = rng.random(grid.shape)
+        v = rng.random(grid.shape)
+        T = 1.0 + rng.random(grid.shape)
+        terms = stress_tensor(u, v, T, grid.r, grid.dx, grid.dr, mu=1e-3)
+        Fv, Gv = viscous_fluxes(u, v, terms)
+        assert np.allclose(Fv[0], 0) and np.allclose(Gv[0], 0)
+        assert np.array_equal(Fv[1], terms.tau_xx)
+        assert np.array_equal(Fv[2], terms.tau_xr)
+        assert np.array_equal(Gv[1], terms.tau_xr)
+        assert np.array_equal(Gv[2], terms.tau_rr)
+        # Energy flux: work of stresses minus conduction.
+        assert np.allclose(
+            Fv[3], u * terms.tau_xx + v * terms.tau_xr - terms.heat_x
+        )

@@ -1,0 +1,120 @@
+"""Workload descriptions and Table-1 consistency."""
+
+import pytest
+
+from repro import constants
+from repro.simulate.workload import (
+    EULER,
+    NAVIER_STOKES,
+    Application,
+    Message,
+    StepPhase,
+    Workload,
+    workload_for,
+)
+
+
+class TestApplications:
+    def test_table1_values(self):
+        assert NAVIER_STOKES.total_flops == 145_000e6
+        assert NAVIER_STOKES.startups_per_proc == 80_000
+        assert NAVIER_STOKES.volume_bytes_per_proc == 125e6
+        assert EULER.total_flops == 77_000e6
+        assert EULER.startups_per_proc == 60_000
+        assert EULER.volume_bytes_per_proc == 95e6
+
+    def test_per_step_rates(self):
+        """16 startups/step NS = 8 sends + 8 receives at an interior rank."""
+        assert NAVIER_STOKES.sends_per_step == 8
+        assert EULER.sends_per_step == 6
+        assert NAVIER_STOKES.bytes_per_send == pytest.approx(3125)
+
+    def test_paper_ratios(self):
+        """Euler: ~50% of the computation, ~75% of the communication."""
+        assert EULER.total_flops / NAVIER_STOKES.total_flops == pytest.approx(
+            0.53, abs=0.02
+        )
+        assert (
+            EULER.volume_bytes_per_proc / NAVIER_STOKES.volume_bytes_per_proc
+        ) == pytest.approx(0.76, abs=0.01)
+
+
+class TestPaperWorkloads:
+    def test_fractions_sum_to_one(self):
+        for app in (NAVIER_STOKES, EULER):
+            w = Workload.paper(app)
+            assert sum(p.compute_fraction for p in w.phases) == pytest.approx(1.0)
+
+    def test_send_counts_match_startups(self):
+        assert Workload.paper(NAVIER_STOKES).sends_per_step() == 8
+        assert Workload.paper(EULER).sends_per_step() == 6
+
+    def test_volume_matches_table1(self):
+        for app in (NAVIER_STOKES, EULER):
+            w = Workload.paper(app)
+            total = w.volume_per_step() * app.steps
+            assert total == pytest.approx(app.volume_bytes_per_proc, rel=0.001)
+
+    def test_ns_has_uvT_messages_euler_not(self):
+        kinds_ns = {m.kind for p in Workload.paper(NAVIER_STOKES).phases
+                    for m in p.messages}
+        kinds_eu = {m.kind for p in Workload.paper(EULER).phases
+                    for m in p.messages}
+        assert "uvT" in kinds_ns
+        assert "uvT" not in kinds_eu
+        assert "flux" in kinds_ns and "flux" in kinds_eu
+
+    def test_flops_split_evenly(self):
+        w = Workload.paper(NAVIER_STOKES)
+        assert w.flops_per_step_per_rank(8) == pytest.approx(
+            145_000e6 / 5000 / 8
+        )
+
+    def test_working_set_shrinks_with_procs(self):
+        w = Workload.paper(NAVIER_STOKES)
+        assert w.working_set_bytes(16) == pytest.approx(
+            w.working_set_bytes(1) / 16
+        )
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            Workload(
+                app=NAVIER_STOKES,
+                phases=(StepPhase(0.5), StepPhase(0.4)),
+            )
+
+
+class TestMeasuredWorkload:
+    def test_rescaling(self):
+        w = Workload.measured(
+            NAVIER_STOKES, sends_per_step=16, bytes_per_step=50_000
+        )
+        assert w.source == "measured"
+        assert w.sends_per_step() == 16
+        assert w.volume_per_step() == pytest.approx(50_000, rel=0.05)
+
+    def test_dispatcher(self):
+        assert workload_for(NAVIER_STOKES).source == "paper"
+        w = workload_for(
+            EULER, source="measured", sends_per_step=6, bytes_per_step=19_000
+        )
+        assert w.source == "measured"
+        with pytest.raises(ValueError):
+            workload_for(EULER, source="guessed")
+
+
+class TestVolumeScale:
+    def test_scales_every_message(self):
+        w = Workload.paper(NAVIER_STOKES)
+        w2 = w.with_volume_scale(2.5, label="radial-blocks")
+        assert w2.source == "radial-blocks"
+        assert w2.sends_per_step() == w.sends_per_step()
+        assert w2.volume_per_step() == pytest.approx(
+            2.5 * w.volume_per_step(), rel=0.001
+        )
+
+    def test_compute_unchanged(self):
+        w = Workload.paper(EULER).with_volume_scale(3.0)
+        assert w.flops_per_step_per_rank(4) == Workload.paper(
+            EULER
+        ).flops_per_step_per_rank(4)
