@@ -1,0 +1,19 @@
+# Convenience targets; everything assumes the in-tree layout (src/).
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: check test test-all trace-smoke
+
+## check: fast test suite + trace-determinism smoke (the pre-commit gate)
+check: trace-smoke
+	$(PY) -m pytest -q -m "not slow"
+
+## test: full test suite (includes slow tests)
+test:
+	$(PY) -m pytest -x -q
+
+test-all: test
+
+## trace-smoke: two identical simulated runs must export identical bytes
+trace-smoke:
+	$(PY) scripts/trace_report.py --selftest

@@ -26,6 +26,52 @@ def test_paper_grid_step(benchmark):
     benchmark(sc.solver.step)
 
 
+def test_nulltracer_overhead():
+    """The disabled (default) tracer must cost < 3% of a solver step.
+
+    Counts how many tracer operations one instrumented step actually
+    performs (from a recorded trace), times that many no-op span
+    enter/exits against the median real step time, and bounds the ratio.
+    Measuring the null operations directly — rather than differencing two
+    noisy step timings — keeps the assertion stable on loaded machines.
+    """
+    import time
+
+    from repro.obs import NullTracer, Tracer, get_tracer, use_tracer
+
+    sc = jet_scenario(nx=64, nr=32, viscous=True)
+    sc.solver.run(2)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        sc.solver.step()
+    ops_per_step = len(tracer.trace.spans) + len(tracer.trace.events)
+
+    # Median real step time (disabled tracer — the default path).
+    assert isinstance(get_tracer(), NullTracer)
+    samples = []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        sc.solver.step()
+        samples.append(time.perf_counter() - t0)
+    step_seconds = sorted(samples)[len(samples) // 2]
+
+    null = NullTracer()
+    reps = 200 * max(ops_per_step, 1)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with null.span("x", rank=0):
+            pass
+    per_op = (time.perf_counter() - t0) / reps
+
+    overhead = ops_per_step * per_op
+    assert overhead < 0.03 * step_seconds, (
+        f"null-tracer overhead {1e6 * overhead:.1f}us/step "
+        f"({ops_per_step} ops) exceeds 3% of the "
+        f"{1e3 * step_seconds:.2f}ms step"
+    )
+
+
 def test_distributed_step_4ranks(benchmark):
     """One distributed step (4 ranks, real message passing) — measures the
     virtual-cluster overhead relative to the serial step."""

@@ -3,24 +3,24 @@
 
 Demonstrates the paper's parallelization (Section 5): axial block
 decomposition with grouped halo messages, executed over the in-process
-virtual cluster with real message passing.  Verifies that the distributed
-result is *bitwise identical* to the serial solver, then reports the
-measured per-processor communication characteristics — the package's
-"measured Table 1".
+virtual cluster with real message passing — both runs going through the
+``repro.api.run`` facade.  Verifies that the distributed result is
+*bitwise identical* to the serial solver, then reports the measured
+per-processor communication characteristics — the package's "measured
+Table 1".
 
 Usage::
 
     python examples/parallel_solver.py [--nranks 4] [--version 5|6|7]
-                                       [--steps 50]
+                                       [--steps 50] [--trace par.trace.json]
 """
 
 import argparse
 
 import numpy as np
 
-from repro import jet_scenario
+from repro import jet_scenario, run
 from repro.analysis.report import format_table
-from repro.parallel.runner import ParallelJetSolver, run_serial_reference
 
 
 def main() -> None:
@@ -30,24 +30,31 @@ def main() -> None:
     ap.add_argument("--steps", type=int, default=50)
     ap.add_argument("--nx", type=int, default=80)
     ap.add_argument("--nr", type=int, default=40)
+    ap.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="export a per-rank Chrome trace (open in ui.perfetto.dev)",
+    )
     args = ap.parse_args()
 
     sc = jet_scenario(nx=args.nx, nr=args.nr, viscous=True)
-    cfg = sc.solver.config
 
     print(f"Serial reference: {args.nx}x{args.nr}, {args.steps} steps ...")
-    ref = run_serial_reference(sc.state, cfg, args.steps)
+    ref = run(sc, steps=args.steps)
 
     print(
         f"Distributed run: {args.nranks} ranks, Version {args.version} "
         f"({'grouped' if args.version == 5 else 'overlapped' if args.version == 6 else 'one column at a time'}) ..."
     )
-    solver = ParallelJetSolver(
-        sc.state, cfg, nranks=args.nranks, version=args.version
+    res = run(
+        sc,
+        steps=args.steps,
+        nprocs=args.nranks,
+        version=args.version,
+        trace=args.trace,
     )
-    res = solver.run(args.steps)
 
-    identical = np.array_equal(res.state.q, ref.q)
+    identical = np.array_equal(res.state.q, ref.state.q)
     print(f"\nBitwise identical to serial: {identical}")
     if not identical:
         raise SystemExit("FAILED: parallel result differs from serial")
@@ -72,12 +79,24 @@ def main() -> None:
             "neighbours; edge ranks with one):",
         )
     )
-    mid = res.interior_rank_stats
-    print(
-        f"\nInterior-rank per-step: {mid.sends / args.steps:.1f} sends, "
-        f"{mid.bytes_sent / args.steps / 1024:.2f} KB  "
-        f"(paper's Table 1, at nr=100 and 5000 steps: 8 sends/step, 25 KB/step)"
-    )
+    if args.nranks >= 3:
+        mid = res.interior_rank_stats
+        print(
+            f"\nInterior-rank per-step: {mid.sends / args.steps:.1f} sends, "
+            f"{mid.bytes_sent / args.steps / 1024:.2f} KB  "
+            f"(paper's Table 1, at nr=100 and 5000 steps: 8 sends/step, 25 KB/step)"
+        )
+    else:
+        print(
+            "\n(no interior rank with fewer than 3 ranks — the paper's "
+            "per-processor numbers need two-neighbour ranks)"
+        )
+    if res.trace_path:
+        print(
+            f"Trace: {res.trace_path} ({len(res.trace.spans)} spans over "
+            f"{len(res.trace.ranks())} ranks) — load it at "
+            "https://ui.perfetto.dev"
+        )
 
 
 if __name__ == "__main__":

@@ -2,20 +2,22 @@
 """Quickstart: simulate the excited supersonic jet and inspect the flow.
 
 Runs the paper's Navier-Stokes jet configuration (Mach 1.5, Re 1.2e6,
-Strouhal 1/8) at reduced resolution for a few hundred steps, prints bulk
-diagnostics, and renders the axial-momentum field as an ASCII contour —
-the same quantity as the paper's Figure 1.
+Strouhal 1/8) at reduced resolution for a few hundred steps through the
+``repro.api.run`` facade, prints bulk diagnostics, and renders the
+axial-momentum field as an ASCII contour — the same quantity as the
+paper's Figure 1.
 
 Usage::
 
     python examples/quickstart.py [--nx 96] [--nr 40] [--steps 400]
+                                  [--trace jet.trace.json]
 """
 
 import argparse
 
 import numpy as np
 
-from repro import jet_scenario
+from repro import run
 from repro.analysis.report import ascii_contour
 
 
@@ -24,27 +26,37 @@ def main() -> None:
     ap.add_argument("--nx", type=int, default=96)
     ap.add_argument("--nr", type=int, default=40)
     ap.add_argument("--steps", type=int, default=400)
+    ap.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="export a Chrome trace of the run (open in ui.perfetto.dev)",
+    )
     args = ap.parse_args()
 
-    sc = jet_scenario(nx=args.nx, nr=args.nr, viscous=True)
     print(f"Grid {args.nx}x{args.nr}, domain 50x5 jet radii, dt adaptive (CFL 0.5)")
-    print(f"Jet: Mach {sc.solver.config.mach}, Re {sc.solver.config.reynolds:.1e}")
-
-    def monitor(solver):
-        st = solver.state
-        print(
-            f"  step {solver.nstep:5d}  t={solver.t:7.2f}  "
-            f"max|rho*u|={np.abs(st.axial_momentum).max():.4f}  "
-            f"max|v|={np.abs(st.v).max():.4f}"
-        )
-
-    sc.solver.run(args.steps, monitor=monitor, monitor_every=max(args.steps // 5, 1))
+    res = run(
+        "jet",
+        steps=args.steps,
+        nx=args.nx,
+        nr=args.nr,
+        viscous=True,
+        trace=args.trace,
+    )
+    st = res.state
+    print(
+        f"  {res.steps} steps to t={res.t:.2f}: "
+        f"max|rho*u|={np.abs(st.axial_momentum).max():.4f}  "
+        f"max|v|={np.abs(st.v).max():.4f}"
+    )
 
     print()
-    print(ascii_contour(sc.state.axial_momentum, width=96, height=20,
+    print(ascii_contour(st.axial_momentum, width=96, height=20,
                         title="Axial momentum rho*u (jet shear layer rolling up)"))
-    print(f"\nWall time: {sc.solver.wall_time:.2f}s "
-          f"({1e3 * sc.solver.wall_time / sc.solver.nstep:.1f} ms/step)")
+    print(f"\nWall time: {res.timings.wall_seconds:.2f}s "
+          f"({res.timings.ms_per_step:.1f} ms/step)")
+    if res.trace_path:
+        print(f"Trace: {res.trace_path} ({len(res.trace.spans)} spans) — "
+              "load it at https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

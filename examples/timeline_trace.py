@@ -7,38 +7,55 @@ bus) and the ALLNODE switch (steady compute with small library gaps).
 This is the microscopic view behind the paper's busy/non-overlapped-
 communication split (Figures 5-6).
 
+Both runs go through ``repro.api.run``; ``--trace`` additionally exports
+the ALLNODE run's activity segments as Chrome-trace JSON keyed on the
+simulator's deterministic clock (open it at https://ui.perfetto.dev).
+
 Usage::
 
     python examples/timeline_trace.py [--procs 8] [--version 5]
+                                      [--trace sim.trace.json]
 """
 
 import argparse
 
+from repro import run
 from repro.analysis.report import render_gantt
-from repro.machines.platforms import LACE_560, LACE_560_ETHERNET
-from repro.simulate.machine import SimulatedMachine
-from repro.simulate.workload import NAVIER_STOKES
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--procs", type=int, default=8)
     ap.add_argument("--version", type=int, default=5, choices=(5, 6, 7))
+    ap.add_argument(
+        "--trace", metavar="PATH", help="export the ALLNODE run as Chrome-trace JSON"
+    )
     args = ap.parse_args()
 
-    for plat in (LACE_560_ETHERNET, LACE_560):
-        r = SimulatedMachine(plat, args.procs, version=args.version).run(
-            NAVIER_STOKES, steps_window=4, trace=True
+    for name, trace in (
+        ("LACE/560+Ethernet", True),
+        ("LACE/560+ALLNODE-S", args.trace or True),
+    ):
+        res = run(
+            "jet",
+            platform=name,
+            nprocs=args.procs,
+            version=args.version,
+            steps_window=4,
+            trace=trace,
         )
+        r = res.sim
         print(
             render_gantt(
                 r,
-                title=f"{plat.name}, p={args.procs}, V{args.version} "
+                title=f"{name}, p={args.procs}, V{args.version} "
                 f"(exec {r.execution_time:,.0f}s scaled; "
                 f"busy {r.busy_time:,.0f}s, comm {r.comm_time:,.0f}s)",
             )
         )
         print()
+        if res.trace_path:
+            print(f"Chrome trace written to {res.trace_path}")
 
 
 if __name__ == "__main__":

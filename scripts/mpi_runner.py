@@ -68,9 +68,9 @@ def main() -> None:
         print(f"max |rho u| = {np.abs(gathered.axial_momentum).max():.4f}  "
               f"physical={gathered.is_physical()}")
         if args.verify:
-            from repro.parallel.runner import run_serial_reference
+            from repro.parallel.runner import serial_reference
 
-            ref = run_serial_reference(sc.state, config, args.steps)
+            ref = serial_reference(sc.state, config, args.steps)
             same = np.array_equal(gathered.q, ref.q)
             print(f"bitwise identical to serial: {same}")
             if not same:

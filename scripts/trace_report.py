@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Component-split report from a recorded trace file (the paper's Figure 5).
+
+Reads a trace produced by ``repro.api.run(..., trace="out.json")`` — either
+the Chrome ``trace_event`` JSON or the JSON-lines export — and prints the
+per-rank and mean computation / message-startup / data-transfer breakdown
+that Figures 5-6 of the paper plot per platform.
+
+Usage::
+
+    python scripts/trace_report.py out.json [more.json ...]
+    python scripts/trace_report.py --selftest
+
+``--selftest`` records two fresh traces of the same deterministic simulated
+run and verifies the exports are byte-identical (the determinism smoke test
+wired into ``make check``).
+"""
+
+import argparse
+import sys
+
+
+def report(path: str) -> str:
+    from repro.analysis.metrics import component_breakdown
+    from repro.analysis.report import format_table
+    from repro.obs import load_trace
+
+    trace = load_trace(path)
+    bd = component_breakdown(trace)
+    rows = []
+    for rank, c in bd.per_rank:
+        rows.append(
+            [
+                rank,
+                f"{c.computation:.4f}",
+                f"{c.startup:.4f}",
+                f"{c.transfer:.4f}",
+                f"{c.total:.4f}",
+            ]
+        )
+    fc, fs, ft = bd.fractions()
+    rows.append(
+        [
+            "mean",
+            f"{bd.computation:.4f}",
+            f"{bd.startup:.4f}",
+            f"{bd.transfer:.4f}",
+            f"{bd.total:.4f}",
+        ]
+    )
+    meta = trace.meta or {}
+    where = meta.get("platform", f"{len(bd.per_rank)} rank(s)")
+    title = (
+        f"{path}: {bd.source} components, {where} — "
+        f"computation {100 * fc:.1f}%, startup {100 * fs:.1f}%, "
+        f"transfer {100 * ft:.1f}% (paper Fig. 5)"
+    )
+    return format_table(
+        ["rank", "computation s", "startup s", "transfer s", "total s"],
+        rows,
+        title=title,
+    )
+
+
+def selftest() -> int:
+    import tempfile, os
+
+    from repro import run
+    from repro.obs import chrome_trace_json, to_jsonl
+
+    def one() -> tuple[str, str]:
+        res = run(
+            "jet", platform="Cray T3D", nprocs=4, version=5,
+            steps_window=4, trace=True,
+        )
+        return to_jsonl(res.trace), chrome_trace_json(res.trace)
+
+    a, b = one(), one()
+    if a != b:
+        print("FAIL: two identical simulated runs exported different bytes")
+        return 1
+    with tempfile.TemporaryDirectory() as d:
+        p = os.path.join(d, "t.json")
+        res = run(
+            "jet", platform="Cray T3D", nprocs=4, version=5,
+            steps_window=4, trace=p,
+        )
+        print(report(p))
+    print("OK: trace exports byte-identical across runs")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", help="trace files (chrome or jsonl)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="trace determinism smoke test")
+    args = ap.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.paths:
+        ap.error("give at least one trace file (or --selftest)")
+    for p in args.paths:
+        print(report(p))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

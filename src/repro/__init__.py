@@ -19,14 +19,17 @@ The package has three layers:
    a discrete-event simulator that reproduces every table and figure of the
    paper's evaluation (``repro.analysis``, ``repro.experiments``).
 
-Quickstart::
+Every substrate is reached through one facade (``repro.api``; see also
+``repro.obs`` for tracing)::
 
-    from repro import jet_scenario
-    sc = jet_scenario(nx=64, nr=32, viscous=True)
-    sc.solver.run(100)
-    print(sc.state.axial_momentum.max())
+    from repro import run
+    res = run("jet", steps=100, nx=64, nr=32)          # serial
+    res = run("jet", steps=50, nprocs=4, trace=True)   # distributed + trace
+    res = run("jet", platform="Cray T3D", nprocs=16)   # simulated platform
+    print(res.summary())
 """
 
+from .api import RunResult, RunTimings, run
 from .grid import Grid, paper_grid
 from .physics.state import FlowState
 from .physics.jet import JetProfile, InflowExcitation
@@ -36,17 +39,22 @@ from .numerics.solver import (
     SolverConfig,
 )
 from .scenarios import (
+    SCENARIOS,
     Scenario,
     acoustic_pulse_scenario,
     jet_initial_state,
     jet_scenario,
     periodic_advection_scenario,
+    scenario_by_name,
     shock_tube_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "run",
+    "RunResult",
+    "RunTimings",
     "Grid",
     "paper_grid",
     "FlowState",
@@ -56,6 +64,8 @@ __all__ = [
     "EulerSolver",
     "SolverConfig",
     "Scenario",
+    "SCENARIOS",
+    "scenario_by_name",
     "jet_scenario",
     "jet_initial_state",
     "periodic_advection_scenario",

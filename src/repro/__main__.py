@@ -12,6 +12,11 @@ Commands
     instrumented distributed run.
 ``simulate --platform NAME --procs P [--euler] [--version V]``
     One simulated-machine run with the execution-time split.
+``run <scenario> [--steps S --nprocs P --platform NAME --version V
+--trace PATH]``
+    The unified facade (``repro.api.run``): serial, distributed, or
+    simulated-platform execution of a named scenario, optionally exporting
+    a Chrome/Perfetto trace.
 ``jet [--nx N --nr N --steps S --euler]``
     Run the real solver and print diagnostics plus a momentum contour.
 """
@@ -94,17 +99,57 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from .api import run
+
+    kw = {}
+    if args.nx is not None:
+        kw["nx"] = args.nx
+    if args.nr is not None:
+        kw["nr"] = args.nr
+    try:
+        res = run(
+            args.scenario,
+            steps=args.steps,
+            nprocs=args.nprocs,
+            platform=args.platform,
+            version=args.version,
+            trace=args.trace,
+            decomposition=args.decomposition,
+            **kw,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    print(res.summary())
+    if res.trace is not None:
+        print(
+            f"trace: {len(res.trace.spans)} spans, {len(res.trace.events)} "
+            f"events over {max(len(res.trace.ranks()), 1)} rank(s)"
+        )
+    if res.trace_path:
+        print(f"chrome trace written to {res.trace_path} "
+              "(open at https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_jet(args) -> int:
     from .analysis.report import ascii_contour
-    from .scenarios import jet_scenario
+    from .api import run
 
-    sc = jet_scenario(nx=args.nx, nr=args.nr, viscous=not args.euler)
-    sc.solver.run(args.steps)
-    print(
-        f"t={sc.solver.t:.2f}  physical={sc.state.is_physical()}  "
-        f"{1e3 * sc.solver.wall_time / max(sc.solver.nstep, 1):.1f} ms/step"
+    res = run(
+        "jet",
+        steps=args.steps,
+        nx=args.nx,
+        nr=args.nr,
+        viscous=not args.euler,
     )
-    print(ascii_contour(sc.state.axial_momentum, width=90, height=18,
+    print(
+        f"t={res.t:.2f}  physical={res.state.is_physical()}  "
+        f"{res.timings.ms_per_step:.1f} ms/step"
+    )
+    print(ascii_contour(res.state.axial_momentum, width=90, height=18,
                         title="axial momentum rho*u"))
     return 0
 
@@ -143,6 +188,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--version", type=int, default=5)
     p.add_argument("--euler", action="store_true")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "run", help="unified facade: serial / distributed / simulated"
+    )
+    p.add_argument("scenario",
+                   help="jet, jet-euler, advection, acoustic, sod")
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--platform", default=None,
+                   help="simulate on a 1995 platform instead of running")
+    p.add_argument("--version", type=int, default=7, choices=(5, 6, 7))
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="export a Chrome/Perfetto trace of the run")
+    p.add_argument("--decomposition", default="axial",
+                   choices=("axial", "radial", "2d"))
+    p.add_argument("--nx", type=int, default=None)
+    p.add_argument("--nr", type=int, default=None)
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("jet", help="run the real solver")
     p.add_argument("--nx", type=int, default=96)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 
@@ -56,6 +57,142 @@ def balance_spread(values: Sequence[float]) -> float:
     if m == 0:
         return 0.0
     return (max(values) - min(values)) / m
+
+
+@dataclass(frozen=True)
+class RankComponents:
+    """One rank's share of the paper's three execution-time components."""
+
+    computation: float
+    startup: float
+    transfer: float
+
+    @property
+    def communication(self) -> float:
+        return self.startup + self.transfer
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.startup + self.transfer
+
+
+@dataclass(frozen=True)
+class ComponentBreakdown:
+    """The paper's computation / startup / data-transfer split (Figs 5-6),
+    recomputed from a recorded :class:`repro.obs.Trace`."""
+
+    per_rank: tuple[tuple[int, RankComponents], ...]
+    source: str
+    """``"simulated"`` (DES timeline spans) or ``"measured"`` (wall-clock
+    spans of a real run)."""
+
+    def rank(self, r: int) -> RankComponents:
+        for rank, comp in self.per_rank:
+            if rank == r:
+                return comp
+        raise KeyError(f"rank {r} not in trace")
+
+    @property
+    def computation(self) -> float:
+        """Mean per-rank computation seconds."""
+        return sum(c.computation for _, c in self.per_rank) / len(self.per_rank)
+
+    @property
+    def startup(self) -> float:
+        """Mean per-rank message-startup (send-side software) seconds."""
+        return sum(c.startup for _, c in self.per_rank) / len(self.per_rank)
+
+    @property
+    def transfer(self) -> float:
+        """Mean per-rank data-transfer (receive/wait) seconds."""
+        return sum(c.transfer for _, c in self.per_rank) / len(self.per_rank)
+
+    @property
+    def communication(self) -> float:
+        return self.startup + self.transfer
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication
+
+    def fractions(self) -> tuple[float, float, float]:
+        """``(computation, startup, transfer)`` as fractions of the total."""
+        t = self.total
+        if t <= 0:
+            return (0.0, 0.0, 0.0)
+        return (self.computation / t, self.startup / t, self.transfer / t)
+
+
+#: Span category of leaf message operations in real runs.  Collectives
+#: (``cat="collective"``) are deliberately excluded: they nest these leaf
+#: send/recv spans and counting both would double-book the time.
+_COMM_CAT = "comm"
+
+
+def component_breakdown(trace) -> ComponentBreakdown:
+    """Recompute the paper's component split from a trace.
+
+    Works on both kinds of traces this package produces:
+
+    * **simulated-platform traces** (``sim.compute`` / ``sim.library`` /
+      ``sim.wait`` spans on the DES clock): the components are read off
+      directly — computation, startup (message software), transfer
+      (blocked on wire/late messages);
+    * **real-run traces** (wall-clock spans from the virtual cluster or a
+      serial run): computation is ``solver.step`` time net of message
+      passing, startup is send-side time (``comm.send`` — the buffered
+      deposit, i.e. per-message software cost), transfer is receive-side
+      time (``comm.recv`` / ``comm.wait`` — dominated by waiting for data
+      to arrive, including the sends/receives inside collectives).
+
+    Accepts a :class:`repro.obs.Trace` (or anything ``load_trace``
+    returns).  Raises ``ValueError`` for traces with no usable spans.
+    """
+    is_sim = any(s.name.startswith("sim.") for s in trace.spans)
+    per_rank: list[tuple[int, RankComponents]] = []
+    if is_sim:
+        for r in trace.ranks():
+            per_rank.append(
+                (
+                    r,
+                    RankComponents(
+                        computation=trace.total("sim.compute", rank=r),
+                        startup=trace.total("sim.library", rank=r),
+                        transfer=trace.total("sim.wait", rank=r),
+                    ),
+                )
+            )
+    else:
+        for r in trace.ranks():
+            step = trace.total("solver.step", rank=r)
+            if step <= 0:
+                continue
+            startup = transfer = 0.0
+            for s in trace.spans:
+                if s.rank != r or s.cat != _COMM_CAT:
+                    continue
+                if s.name == "comm.send":
+                    startup += s.duration
+                else:  # comm.recv / comm.wait
+                    transfer += s.duration
+            per_rank.append(
+                (
+                    r,
+                    RankComponents(
+                        computation=max(step - startup - transfer, 0.0),
+                        startup=startup,
+                        transfer=transfer,
+                    ),
+                )
+            )
+    if not per_rank:
+        raise ValueError(
+            "trace holds no sim.* or solver.step spans; record one with "
+            "repro.api.run(..., trace=True)"
+        )
+    return ComponentBreakdown(
+        per_rank=tuple(per_rank), source="simulated" if is_sim else "measured"
+    )
 
 
 def crossover(

@@ -1,0 +1,345 @@
+"""The unified run facade: one entry point for every execution substrate.
+
+``run(scenario, ...)`` routes a :class:`~repro.scenarios.Scenario` (or a
+registered scenario name) to
+
+* the **serial solver** (``nprocs=1``, the default),
+* the **distributed solver** over the in-process virtual cluster
+  (``nprocs > 1`` — real SPMD execution, real message passing), or
+* the **simulated platform** (``platform=...`` — the discrete-event model
+  of one of the paper's 1995 machines),
+
+and returns a single :class:`RunResult` shape for all three, optionally
+carrying a full :class:`~repro.obs.Trace` of the run.
+
+Examples
+--------
+Serial jet run (never mutates the input scenario)::
+
+    from repro.api import run
+    res = run("jet", steps=400, nx=96, nr=40)
+    print(res.state.axial_momentum.max(), res.timings.ms_per_step)
+
+Distributed, traced, exported for Perfetto::
+
+    res = run("jet", steps=50, nprocs=4, trace="jet.trace.json")
+    print(res.interior_rank_stats.sends, len(res.trace.spans))
+
+Simulated 1995 platform::
+
+    res = run("jet", platform="Cray T3D", nprocs=16)
+    print(res.sim.execution_time, res.sim.comm_time)
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass
+
+from .msglib.api import CommStats
+from .obs import Trace, Tracer, use_tracer, write_chrome_trace
+from .physics.state import FlowState
+from .scenarios import Scenario, scenario_by_name
+
+__all__ = ["run", "RunResult", "RunTimings"]
+
+
+@dataclass(frozen=True)
+class RunTimings:
+    """Wall-clock accounting of one run (this package's own clock, not the
+    simulated platform's — see ``RunResult.sim`` for the latter)."""
+
+    wall_seconds: float
+    steps: int
+    per_rank_wall: tuple[float, ...] | None = None
+    """Per-rank seconds inside ``solver.step`` (distributed runs only)."""
+
+    @property
+    def ms_per_step(self) -> float:
+        return 1e3 * self.wall_seconds / max(self.steps, 1)
+
+
+@dataclass
+class RunResult:
+    """Uniform outcome of :func:`run` across all three substrates.
+
+    Fields that do not apply to a route are ``None`` (e.g. ``state`` for a
+    simulated platform run, ``sim`` for a real solver run).
+    """
+
+    scenario: str
+    mode: str
+    """``"serial"``, ``"parallel"`` or ``"simulated"``."""
+    nprocs: int
+    version: int | None
+    steps: int
+    t: float | None
+    """Final simulation time (``None`` for simulated platform runs)."""
+    state: FlowState | None
+    per_rank_stats: list[CommStats] | None
+    timings: RunTimings
+    trace: Trace | None = None
+    trace_path: str | None = None
+    """Where the Chrome-trace JSON was written (when requested)."""
+    sim: object | None = None
+    """The :class:`repro.simulate.machine.RunResult` for platform runs."""
+
+    @property
+    def interior_rank_stats(self) -> CommStats:
+        """Middle-rank communication stats (paper's per-processor numbers).
+
+        Raises ``ValueError`` when no interior rank exists (``nprocs < 3``)
+        or the run produced no per-rank statistics (serial / simulated)."""
+        from .parallel.runner import interior_stats
+
+        if self.per_rank_stats is None:
+            raise ValueError(
+                f"no per-rank statistics for a {self.mode} run; "
+                "communication stats exist only for nprocs > 1 real runs"
+            )
+        return interior_stats(self.per_rank_stats)
+
+    @property
+    def total_stats(self) -> CommStats:
+        """All-rank aggregate communication statistics."""
+        agg = CommStats()
+        for st in self.per_rank_stats or []:
+            agg = agg.merged_with(st)
+        return agg
+
+    def summary(self) -> str:
+        if self.mode == "simulated":
+            return self.sim.summary()
+        head = (
+            f"{self.scenario:12s} {self.mode:8s} p={self.nprocs:2d} "
+            f"steps={self.steps:5d} t={self.t:.3f} "
+            f"{self.timings.ms_per_step:6.1f} ms/step"
+        )
+        if self.per_rank_stats:
+            agg = self.total_stats
+            head += f"  msgs={agg.sends} vol={agg.bytes_sent / 1e6:.2f}MB"
+        return head
+
+
+def _coerce_tracer(trace) -> tuple[Tracer | None, str | None]:
+    """``trace`` may be falsy, True, a Tracer, or an export path."""
+    if trace is None or trace is False:
+        return None, None
+    if isinstance(trace, Tracer):
+        return trace, None
+    if trace is True:
+        return Tracer(), None
+    return Tracer(), os.fspath(trace)
+
+
+def _resolve(scenario, **scenario_kw) -> Scenario:
+    if isinstance(scenario, Scenario):
+        if scenario_kw:
+            raise TypeError(
+                "scenario keyword arguments "
+                f"{sorted(scenario_kw)} are only valid when the scenario is "
+                "given by name; pass them to the scenario constructor instead"
+            )
+        return scenario
+    return scenario_by_name(scenario, **scenario_kw)
+
+
+def run(
+    scenario,
+    *,
+    steps: int | None = None,
+    nprocs: int = 1,
+    platform=None,
+    version: int = 7,
+    trace=None,
+    decomposition: str = "axial",
+    px: int | None = None,
+    pr: int | None = None,
+    timeout: float = 120.0,
+    steps_window: int = 30,
+    **scenario_kw,
+) -> RunResult:
+    """Run ``scenario`` on the selected substrate and return a
+    :class:`RunResult`.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`~repro.scenarios.Scenario` or a registered name
+        (``"jet"``, ``"jet-euler"``, ``"advection"``, ``"acoustic"``,
+        ``"sod"``).  Extra keyword arguments are forwarded to the named
+        scenario's constructor (``nx=...``, ``viscous=...``, ...).
+        The input scenario is never mutated; the evolved state comes back
+        in ``RunResult.state``.
+    steps:
+        Time steps to advance.  Required for real runs; for simulated
+        platform runs it sets the *total* (scaled) step count and defaults
+        to the paper's 5000.
+    nprocs:
+        1 = serial solver; >1 = distributed solver over the virtual
+        cluster (``platform=None``), or the simulated processor count.
+    platform:
+        A :class:`~repro.machines.platforms.Platform` or platform name
+        (``"Cray T3D"``, ``"LACE/560+ALLNODE-S"``, ...) — selects the
+        discrete-event simulation route.
+    version:
+        Paper code version (5 grouped / 6 overlapped / 7 de-burstified).
+        Real distributed results are bitwise independent of it; it shapes
+        message traffic and simulated cost.
+    trace:
+        ``True`` to record a :class:`~repro.obs.Trace`, a
+        :class:`~repro.obs.Tracer` to record into, or a path to also
+        export Chrome-trace JSON (openable in Perfetto).
+    decomposition, px, pr, timeout:
+        Forwarded to the distributed solver (``nprocs > 1`` route).
+    steps_window:
+        Simulated steps actually executed by the DES before scaling
+        (simulated route only).
+    """
+    sc = _resolve(scenario, **scenario_kw)
+    tracer, trace_path = _coerce_tracer(trace)
+    if platform is not None:
+        result = _run_simulated(
+            sc, platform, nprocs, version, steps, steps_window, tracer
+        )
+    elif nprocs == 1:
+        result = _run_serial(sc, steps, tracer)
+    else:
+        result = _run_parallel(
+            sc, steps, nprocs, version, decomposition, px, pr, timeout, tracer
+        )
+    if tracer is not None and trace_path is not None:
+        write_chrome_trace(tracer.trace, trace_path)
+        result.trace_path = trace_path
+    return result
+
+
+def _require_steps(steps: int | None) -> int:
+    if steps is None:
+        raise TypeError("steps is required for real solver runs: run(..., steps=N)")
+    return steps
+
+
+def _run_serial(sc: Scenario, steps: int | None, tracer: Tracer | None) -> RunResult:
+    steps = _require_steps(steps)
+    solver = type(sc.solver)(
+        FlowState(sc.grid, sc.state.q.copy(), sc.solver.config.gamma),
+        sc.solver.config,
+    )
+    t0 = _time.perf_counter()
+    with use_tracer(tracer):
+        for _ in range(steps):
+            solver.step()
+    wall = _time.perf_counter() - t0
+    return RunResult(
+        scenario=sc.name or "scenario",
+        mode="serial",
+        nprocs=1,
+        version=None,
+        steps=solver.nstep,
+        t=solver.t,
+        state=solver.state,
+        per_rank_stats=None,
+        timings=RunTimings(wall_seconds=wall, steps=solver.nstep),
+        trace=tracer.trace if tracer is not None else None,
+    )
+
+
+def _run_parallel(
+    sc: Scenario,
+    steps: int | None,
+    nprocs: int,
+    version: int,
+    decomposition: str,
+    px: int | None,
+    pr: int | None,
+    timeout: float,
+    tracer: Tracer | None,
+) -> RunResult:
+    from .parallel.runner import ParallelJetSolver
+
+    steps = _require_steps(steps)
+    solver = ParallelJetSolver(
+        sc.state,
+        sc.solver.config,
+        nranks=nprocs,
+        version=version,
+        decomposition=decomposition,
+        px=px,
+        pr=pr,
+        timeout=timeout,
+    )
+    t0 = _time.perf_counter()
+    res = solver.run(steps, tracer=tracer)
+    wall = _time.perf_counter() - t0
+    return RunResult(
+        scenario=sc.name or "scenario",
+        mode="parallel",
+        nprocs=nprocs,
+        version=version,
+        steps=res.nsteps,
+        t=res.t,
+        state=res.state,
+        per_rank_stats=res.per_rank_stats,
+        timings=RunTimings(
+            wall_seconds=wall,
+            steps=res.nsteps,
+            per_rank_wall=tuple(res.per_rank_wall),
+        ),
+        trace=res.trace,
+    )
+
+
+def _run_simulated(
+    sc: Scenario,
+    platform,
+    nprocs: int,
+    version: int,
+    steps: int | None,
+    steps_window: int,
+    tracer: Tracer | None,
+) -> RunResult:
+    from .machines.platforms import platform_by_name
+    from .simulate.machine import SimulatedMachine
+    from .simulate.sharedmem import SharedMemoryMachine
+    from .simulate.workload import EULER, NAVIER_STOKES
+
+    if isinstance(platform, str):
+        platform = platform_by_name(platform)
+    app = NAVIER_STOKES if sc.solver.config.viscous else EULER
+    t0 = _time.perf_counter()
+    if platform.cpu is None:
+        # Shared-memory vector machine (the Y-MP): analytic, no DES trace.
+        sim = SharedMemoryMachine(platform, nprocs).run(
+            app, version=version, total_steps=steps
+        )
+        if tracer is not None:
+            from .obs import trace_from_timelines
+
+            trace_from_timelines(
+                sim.timelines,
+                tracer=tracer,
+                meta={"platform": platform.name, "app": app.name, "nprocs": nprocs},
+            )
+    else:
+        sim = SimulatedMachine(platform, nprocs, version=version).run(
+            app,
+            steps_window=steps_window,
+            total_steps=steps,
+            tracer=tracer,
+        )
+    wall = _time.perf_counter() - t0
+    return RunResult(
+        scenario=sc.name or "scenario",
+        mode="simulated",
+        nprocs=nprocs,
+        version=version,
+        steps=sim.total_steps,
+        t=None,
+        state=None,
+        per_rank_stats=None,
+        timings=RunTimings(wall_seconds=wall, steps=sim.total_steps),
+        trace=tracer.trace if tracer is not None else None,
+        sim=sim,
+    )

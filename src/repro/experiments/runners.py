@@ -38,35 +38,43 @@ def run_fig01(
     steps: int = 2000,
     full: bool = False,
     save_npz: str | None = None,
+    scenario=None,
+    nprocs: int = 1,
+    trace=None,
 ) -> str:
     """Figure 1: axial momentum in the excited axisymmetric jet.
 
     Runs the actual Navier-Stokes solver with the paper's jet parameters
-    (Mach 1.5, Re 1.2e6, St = 1/8) and renders the rho*u field as an ASCII
-    contour (optionally saving the raw field to ``save_npz``).
+    (Mach 1.5, Re 1.2e6, St = 1/8) via :func:`repro.api.run` and renders
+    the rho*u field as an ASCII contour (optionally saving the raw field to
+    ``save_npz``).  Pass a :class:`~repro.scenarios.Scenario` to override
+    the setup, ``nprocs`` to run distributed, ``trace`` as in the facade.
     """
+    from ..api import run
     from ..scenarios import jet_scenario
 
     if full:
         nx, nr, steps = 250, 100, 16000
-    sc = jet_scenario(nx=nx, nr=nr, viscous=True)
-    sc.solver.run(steps)
+    sc = scenario if scenario is not None else jet_scenario(
+        nx=nx, nr=nr, viscous=True
+    )
+    res = run(sc, steps=steps, nprocs=nprocs, trace=trace)
     # Crop to the jet region (r <= 2.5 radii) — the paper's Figure 1 frame.
     j_max = int(np.searchsorted(sc.grid.r, 2.5))
-    mom = sc.state.axial_momentum[:, : max(j_max, 4)]
+    mom = res.state.axial_momentum[:, : max(j_max, 4)]
     if save_npz:
         np.savez(
             save_npz,
             axial_momentum=mom,
             x=sc.grid.x,
             r=sc.grid.r,
-            t=sc.solver.t,
-            steps=sc.solver.nstep,
+            t=res.t,
+            steps=res.steps,
         )
     title = (
         f"Figure 1: X MOMENTUM — excited axisymmetric jet "
-        f"(M=1.5, Re=1.2e6, St=1/8; grid {nx}x{nr}, {steps} steps, "
-        f"t={sc.solver.t:.1f})"
+        f"(M=1.5, Re=1.2e6, St=1/8; grid {sc.grid.nx}x{sc.grid.nr}, "
+        f"{steps} steps, t={res.t:.1f})"
     )
     return ascii_contour(mom, title=title)
 

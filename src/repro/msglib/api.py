@@ -15,6 +15,7 @@ solver's statistics are the *measured* source for the paper's Table 1
 from __future__ import annotations
 
 import abc
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,22 +29,31 @@ class MessageRecord:
     peer: int
     tag: str
     nbytes: int
+    seconds: float = 0.0
+    """Wall seconds spent inside the library call (0 when not timed)."""
 
 
 @dataclass
 class CommStats:
-    """Per-rank message counts and byte volumes.
+    """Per-rank message counts, byte volumes, and library time.
 
     ``startups`` counts each send *and* each receive as one startup, the
     convention that best matches the magnitude of the paper's Table 1
     (sends alone undercount the library's per-message overheads, which is
     what the startup figure is meant to capture).
+
+    The time dimension (``send_seconds`` / ``recv_seconds``) accumulates
+    wall time spent inside the communication calls — the measured
+    counterpart of the paper's communication-startup (send side, buffered
+    deposit) and data-transfer/wait (receive side, blocking) components.
     """
 
     sends: int = 0
     recvs: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    send_seconds: float = 0.0
+    recv_seconds: float = 0.0
     trace: list[MessageRecord] | None = None
 
     @property
@@ -55,17 +65,28 @@ class CommStats:
         """Per-processor communication volume (bytes sent), Table 1 style."""
         return self.bytes_sent
 
-    def record_send(self, peer: int, tag: str, nbytes: int) -> None:
+    @property
+    def comm_seconds(self) -> float:
+        """Total wall time inside send + receive calls."""
+        return self.send_seconds + self.recv_seconds
+
+    def record_send(
+        self, peer: int, tag: str, nbytes: int, seconds: float = 0.0
+    ) -> None:
         self.sends += 1
         self.bytes_sent += nbytes
+        self.send_seconds += seconds
         if self.trace is not None:
-            self.trace.append(MessageRecord("send", peer, tag, nbytes))
+            self.trace.append(MessageRecord("send", peer, tag, nbytes, seconds))
 
-    def record_recv(self, peer: int, tag: str, nbytes: int) -> None:
+    def record_recv(
+        self, peer: int, tag: str, nbytes: int, seconds: float = 0.0
+    ) -> None:
         self.recvs += 1
         self.bytes_received += nbytes
+        self.recv_seconds += seconds
         if self.trace is not None:
-            self.trace.append(MessageRecord("recv", peer, tag, nbytes))
+            self.trace.append(MessageRecord("recv", peer, tag, nbytes, seconds))
 
     def merged_with(self, other: "CommStats") -> "CommStats":
         return CommStats(
@@ -73,6 +94,8 @@ class CommStats:
             recvs=self.recvs + other.recvs,
             bytes_sent=self.bytes_sent + other.bytes_sent,
             bytes_received=self.bytes_received + other.bytes_received,
+            send_seconds=self.send_seconds + other.send_seconds,
+            recv_seconds=self.recv_seconds + other.recv_seconds,
         )
 
 
@@ -155,17 +178,29 @@ class Communicator(abc.ABC):
         """Global minimum via gather-to-root + broadcast."""
         if self.size == 1:
             return value
-        buf = np.array([value])
-        if self.rank == 0:
-            acc = float(value)
-            for src in range(1, self.size):
-                acc = min(acc, float(self.recv(src, f"{tag}:up")[0]))
-            out = np.array([acc])
-            for dst in range(1, self.size):
-                self.send(dst, f"{tag}:down", out)
+        from ..obs import get_tracer
+
+        tr = get_tracer()
+        with tr.span("comm.allreduce", cat="collective", rank=self.rank, tag=tag):
+            t0 = _time.perf_counter() if tr.enabled else 0.0
+            buf = np.array([value])
+            if self.rank == 0:
+                acc = float(value)
+                for src in range(1, self.size):
+                    acc = min(acc, float(self.recv(src, f"{tag}:up")[0]))
+                out = np.array([acc])
+                for dst in range(1, self.size):
+                    self.send(dst, f"{tag}:down", out)
+            else:
+                self.send(0, f"{tag}:up", buf)
+                acc = float(self.recv(0, f"{tag}:down")[0])
+            if tr.enabled:
+                tr.count(
+                    "barrier_wait_seconds",
+                    _time.perf_counter() - t0,
+                    rank=self.rank,
+                )
             return acc
-        self.send(0, f"{tag}:up", buf)
-        return float(self.recv(0, f"{tag}:down")[0])
 
     def barrier(self, tag: str = "barrier") -> None:
         """Synchronize all ranks."""

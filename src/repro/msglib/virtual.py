@@ -18,10 +18,12 @@ identified), and receives that stall past the timeout raise
 from __future__ import annotations
 
 import threading
+import time as _time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs import get_tracer
 from .api import Communicator, CommStats, Request
 from .vchannel import Mailbox
 
@@ -38,13 +40,27 @@ class VirtualComm(Communicator):
     def send(self, dest: int, tag: str, array: np.ndarray) -> None:
         if not (0 <= dest < self.size) or dest == self.rank:
             raise ValueError(f"invalid destination {dest} from rank {self.rank}")
-        payload = np.ascontiguousarray(array).copy()
-        self.stats.record_send(dest, tag, payload.nbytes)
-        self.cluster.mailboxes[dest].put(self.rank, tag, payload)
+        tr = get_tracer()
+        with tr.span("comm.send", cat="comm", rank=self.rank, peer=dest, tag=tag):
+            t0 = _time.perf_counter()
+            payload = np.ascontiguousarray(array).copy()
+            self.cluster.mailboxes[dest].put(self.rank, tag, payload)
+            seconds = _time.perf_counter() - t0
+        self.stats.record_send(dest, tag, payload.nbytes, seconds)
+        if tr.enabled:
+            tr.count("messages", 1, rank=self.rank)
+            tr.count("bytes_sent", payload.nbytes, rank=self.rank)
 
     def recv(self, source: int, tag: str) -> np.ndarray:
-        payload = self.cluster.mailboxes[self.rank].get(source, tag)
-        self.stats.record_recv(source, tag, payload.nbytes)
+        tr = get_tracer()
+        with tr.span("comm.recv", cat="comm", rank=self.rank, peer=source, tag=tag):
+            t0 = _time.perf_counter()
+            payload = self.cluster.mailboxes[self.rank].get(source, tag)
+            seconds = _time.perf_counter() - t0
+        self.stats.record_recv(source, tag, payload.nbytes, seconds)
+        if tr.enabled:
+            tr.count("messages", 1, rank=self.rank)
+            tr.count("bytes_received", payload.nbytes, rank=self.rank)
         return payload
 
     def irecv(self, source: int, tag: str) -> Request:
@@ -57,8 +73,8 @@ class VirtualComm(Communicator):
                 self._value = None
                 self._done = False
 
-            def _account(self, payload) -> None:
-                comm.stats.record_recv(source, tag, payload.nbytes)
+            def _account(self, payload, seconds: float = 0.0) -> None:
+                comm.stats.record_recv(source, tag, payload.nbytes, seconds)
                 self._value = payload
                 self._done = True
 
@@ -72,7 +88,17 @@ class VirtualComm(Communicator):
 
             def wait(self):
                 if not self._done:
-                    self._account(mailbox.get(source, tag))
+                    tr = get_tracer()
+                    with tr.span(
+                        "comm.recv",
+                        cat="comm",
+                        rank=comm.rank,
+                        peer=source,
+                        tag=tag,
+                    ):
+                        t0 = _time.perf_counter()
+                        payload = mailbox.get(source, tag)
+                        self._account(payload, _time.perf_counter() - t0)
                 return self._value
 
         return _ProbingRecv()
@@ -105,6 +131,9 @@ class VirtualCluster:
 
         def worker(rank: int) -> None:
             extra = per_rank_args[rank] if per_rank_args is not None else ()
+            # Default-rank binding: spans opened below here (solver stages,
+            # MacCormack phases) are attributed to this rank's thread.
+            get_tracer().bind_rank(rank)
             try:
                 results[rank] = fn(self.comms[rank], *args, *extra)
             except BaseException as exc:  # noqa: BLE001 - reported to caller

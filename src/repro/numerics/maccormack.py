@@ -31,6 +31,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import get_tracer
 from .stencils import backward_difference, extend_axis, forward_difference
 
 #: Phase labels passed to workspace hooks.
@@ -123,8 +124,11 @@ class SplitOperator:
 
     def apply(self, q: np.ndarray, dt: float) -> np.ndarray:
         """Advance ``q`` by ``dt`` along this direction; returns a new array."""
+        tr = get_tracer()
         ws = self.workspace
-        q_star = q + dt * self._rate(q, PREDICTOR)
-        q_star = ws.fix_state(q_star, PREDICTOR)
-        q_new = 0.5 * (q + q_star + dt * self._rate(q_star, CORRECTOR))
-        return ws.fix_state(q_new, CORRECTOR)
+        with tr.span("maccormack.predictor", axis=self.axis):
+            q_star = q + dt * self._rate(q, PREDICTOR)
+            q_star = ws.fix_state(q_star, PREDICTOR)
+        with tr.span("maccormack.corrector", axis=self.axis):
+            q_new = 0.5 * (q + q_star + dt * self._rate(q_star, CORRECTOR))
+            return ws.fix_state(q_new, CORRECTOR)

@@ -29,6 +29,7 @@ import numpy as np
 
 from .. import constants
 from ..grid import Grid
+from ..obs import get_tracer
 from ..physics import eos
 from ..physics.fluxes import axisymmetric_source, inviscid_fluxes
 from ..physics.state import FlowState
@@ -226,6 +227,9 @@ class CompressibleSolver:
         self.nstep = 0
         self._dt_cached: float | None = None
         self.wall_time = 0.0
+        #: Rank attributed to this solver's trace spans (the distributed
+        #: solver overrides it with the communicator rank).
+        self._trace_rank = 0
         cfg = self.config
         if cfg.axisymmetric:
             self._inv_weight = 1.0 / self.grid.r[None, None, :]
@@ -394,22 +398,32 @@ class CompressibleSolver:
     # -- main loop ---------------------------------------------------------------
     def step(self) -> None:
         """Advance one time step (one ``L1x L1r`` or ``L2r L2x`` composite)."""
+        tr = get_tracer()
+        rank = self._trace_rank
         t0 = _time.perf_counter()
-        dt = self.current_dt()
-        variant = 1 if self.nstep % 2 == 0 else 2
-        Lx, Lr = self._operators(variant)
-        q_before = self.state.q.copy()
-        if variant == 1:
-            q = Lr.apply(self.state.q, dt)
-            q = Lx.apply(q, dt)
-        else:
-            q = Lx.apply(self.state.q, dt)
-            q = Lr.apply(q, dt)
-        q = self.apply_filter(q)
-        self.state.q = q
-        self.t += dt
-        self.nstep += 1
-        self._apply_boundaries(q_before, dt, variant)
+        with tr.span("solver.step", rank=rank, step=self.nstep):
+            with tr.span("solver.dt", rank=rank):
+                dt = self.current_dt()
+            variant = 1 if self.nstep % 2 == 0 else 2
+            Lx, Lr = self._operators(variant)
+            q_before = self.state.q.copy()
+            if variant == 1:
+                with tr.span("solver.sweep_r", rank=rank):
+                    q = Lr.apply(self.state.q, dt)
+                with tr.span("solver.sweep_x", rank=rank):
+                    q = Lx.apply(q, dt)
+            else:
+                with tr.span("solver.sweep_x", rank=rank):
+                    q = Lx.apply(self.state.q, dt)
+                with tr.span("solver.sweep_r", rank=rank):
+                    q = Lr.apply(q, dt)
+            with tr.span("solver.filter", rank=rank):
+                q = self.apply_filter(q)
+            self.state.q = q
+            self.t += dt
+            self.nstep += 1
+            with tr.span("solver.boundaries", rank=rank):
+                self._apply_boundaries(q_before, dt, variant)
         self.wall_time += _time.perf_counter() - t0
 
     def run(

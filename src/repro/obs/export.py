@@ -1,0 +1,291 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+Both serializations are deterministic — keys sorted, compact separators,
+records in monotone ``(t0, seq)`` order — so traces recorded against a
+deterministic clock (the DES engine's) export byte-identically across
+runs.  The Chrome format opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: one process, one thread
+row per rank, nested slices for hierarchical spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .tracer import EventRecord, SpanRecord, Trace
+
+#: Spans shorter than this many seconds are still exported with a non-zero
+#: Chrome ``dur`` so Perfetto renders them as selectable slices.
+_MIN_DUR_US = 1e-3
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(trace: Trace, path: str | None = None) -> str:
+    """Serialize a trace as JSON-lines; optionally also write to ``path``.
+
+    Line order: one ``meta`` line, spans by ``(t0, seq)``, events by
+    ``(t, seq)``, counters by ``(rank, name)``.
+    """
+    lines = [_dumps({"type": "meta", **{str(k): v for k, v in trace.meta.items()}})]
+    for s in trace.ordered_spans():
+        lines.append(
+            _dumps(
+                {
+                    "type": "span",
+                    "name": s.name,
+                    "cat": s.cat,
+                    "rank": s.rank,
+                    "t0": s.t0,
+                    "t1": s.t1,
+                    "seq": s.seq,
+                    "parent": s.parent,
+                    "args": dict(s.args),
+                }
+            )
+        )
+    for e in trace.ordered_events():
+        lines.append(
+            _dumps(
+                {
+                    "type": "event",
+                    "name": e.name,
+                    "cat": e.cat,
+                    "rank": e.rank,
+                    "t": e.t,
+                    "seq": e.seq,
+                    "args": dict(e.args),
+                }
+            )
+        )
+    for (rank, name) in sorted(trace.counters):
+        lines.append(
+            _dumps(
+                {
+                    "type": "counter",
+                    "name": name,
+                    "rank": rank,
+                    "value": trace.counters[(rank, name)],
+                }
+            )
+        )
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def _trace_from_jsonl_lines(lines: Iterable[str]) -> Trace:
+    trace = Trace()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.pop("type", None)
+        if kind is None:
+            raise ValueError(
+                "not a trace file: record has no 'type' field (expected "
+                "JSON-lines from to_jsonl or Chrome trace JSON)"
+            )
+        if kind == "meta":
+            trace.meta.update(rec)
+        elif kind == "span":
+            trace.spans.append(
+                SpanRecord(
+                    name=rec["name"],
+                    cat=rec["cat"],
+                    rank=rec["rank"],
+                    t0=rec["t0"],
+                    t1=rec["t1"],
+                    seq=rec["seq"],
+                    parent=rec.get("parent"),
+                    args=tuple(sorted(rec.get("args", {}).items())),
+                )
+            )
+        elif kind == "event":
+            trace.events.append(
+                EventRecord(
+                    name=rec["name"],
+                    cat=rec["cat"],
+                    rank=rec["rank"],
+                    t=rec["t"],
+                    seq=rec["seq"],
+                    args=tuple(sorted(rec.get("args", {}).items())),
+                )
+            )
+        elif kind == "counter":
+            trace.counters[(rec["rank"], rec["name"])] = rec["value"]
+        else:
+            raise ValueError(f"unknown trace record type {kind!r}")
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event format (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace_events(trace: Trace) -> list[dict]:
+    """The ``traceEvents`` array: complete ('X') slices + instant ('i')
+    events on one thread per rank, with thread-name metadata."""
+    events: list[dict] = []
+    for rank in trace.ranks():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for s in trace.ordered_spans():
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat,
+                "pid": 0,
+                "tid": s.rank,
+                "ts": s.t0 * 1e6,
+                "dur": max(s.duration * 1e6, _MIN_DUR_US),
+                "args": dict(s.args),
+            }
+        )
+    for e in trace.ordered_events():
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": e.name,
+                "cat": e.cat,
+                "pid": 0,
+                "tid": e.rank,
+                "ts": e.t * 1e6,
+                "args": dict(e.args),
+            }
+        )
+    return events
+
+
+def chrome_trace_json(trace: Trace) -> str:
+    """Deterministic Chrome-trace JSON document for a whole trace."""
+    counters = {
+        f"rank{rank}.{name}": trace.counters[(rank, name)]
+        for (rank, name) in sorted(trace.counters)
+    }
+    doc = {
+        "traceEvents": chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {**{str(k): v for k, v in trace.meta.items()}, **counters},
+    }
+    return _dumps(doc)
+
+
+def write_chrome_trace(trace: Trace, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(trace))
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace file written by either exporter (autodetected)."""
+    with open(path) as fh:
+        first = fh.readline()
+        rest = fh.read()
+    text = first + rest
+    stripped = first.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text:
+        return _trace_from_chrome(json.loads(text))
+    return _trace_from_jsonl_lines(text.splitlines())
+
+
+def _trace_from_chrome(doc: dict) -> Trace:
+    trace = Trace()
+    other = doc.get("otherData", {})
+    for k, v in other.items():
+        if k.startswith("rank") and "." in k:
+            rank_part, name = k.split(".", 1)
+            try:
+                rank = int(rank_part[4:])
+            except ValueError:
+                trace.meta[k] = v
+                continue
+            trace.counters[(rank, name)] = v
+        else:
+            trace.meta[k] = v
+    seq = 0
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "X":
+            t0 = ev["ts"] / 1e6
+            trace.spans.append(
+                SpanRecord(
+                    name=ev["name"],
+                    cat=ev.get("cat", ""),
+                    rank=ev.get("tid", 0),
+                    t0=t0,
+                    t1=t0 + ev.get("dur", 0.0) / 1e6,
+                    seq=seq,
+                    args=tuple(sorted(ev.get("args", {}).items())),
+                )
+            )
+        elif ph == "i":
+            trace.events.append(
+                EventRecord(
+                    name=ev["name"],
+                    cat=ev.get("cat", ""),
+                    rank=ev.get("tid", 0),
+                    t=ev["ts"] / 1e6,
+                    seq=seq,
+                    args=tuple(sorted(ev.get("args", {}).items())),
+                )
+            )
+        seq += 1
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# DES timelines -> trace
+# ---------------------------------------------------------------------------
+
+
+def trace_from_timelines(timelines, tracer=None, meta: dict | None = None) -> Trace:
+    """Convert simulated per-rank :class:`~repro.simulate.timeline.RankTimeline`
+    segments into spans (``sim.compute`` / ``sim.library`` / ``sim.wait``).
+
+    Timestamps are the engine's deterministic simulated seconds, so the
+    resulting trace exports byte-identically across runs.  Pass an existing
+    ``tracer`` to append to its trace (e.g. one that also collected engine
+    scheduling events); otherwise a fresh :class:`Trace` is returned.
+    """
+    from .tracer import Tracer
+
+    if tracer is None:
+        tracer = Tracer(clock=lambda: 0.0)
+    if meta:
+        tracer.trace.meta.update(meta)
+    for tl in timelines:
+        segments = tl.segments or []
+        for seg in segments:
+            tracer.add_span(
+                f"sim.{seg.kind}",
+                seg.start,
+                seg.end,
+                cat=seg.kind,
+                rank=tl.rank,
+            )
+        tracer.count("busy_seconds", tl.busy, rank=tl.rank)
+        tracer.count("compute_seconds", tl.compute, rank=tl.rank)
+        tracer.count("library_seconds", tl.library, rank=tl.rank)
+        tracer.count("wait_seconds", tl.comm_wait, rank=tl.rank)
+    return tracer.trace

@@ -1,0 +1,301 @@
+"""Core tracing primitives: spans, events, counters, and the global tracer.
+
+Design constraints (see ISSUE 1):
+
+* **Cheap when off.**  The default active tracer is a :class:`NullTracer`
+  whose ``span()`` returns one shared no-op context manager; instrumented
+  hot paths cost a function call and a branch, nothing more.
+* **Deterministic when driven by a deterministic clock.**  Every record
+  carries a global monotone sequence number assigned at span *start*;
+  exports sort by ``(t0, seq)``, so two runs over the discrete-event
+  engine's clock serialize byte-identically.
+* **Thread-safe.**  The virtual cluster runs one thread per rank; appends
+  go through a lock-free path (CPython list.append / itertools.count are
+  atomic) and per-thread state (current rank, span stack) lives in
+  ``threading.local``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span (a named, timed interval on one rank)."""
+
+    name: str
+    cat: str
+    rank: int
+    t0: float
+    t1: float
+    seq: int
+    parent: str | None = None
+    args: tuple = ()
+    """Extra attributes as a sorted tuple of ``(key, value)`` pairs."""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """An instant event (zero duration)."""
+
+    name: str
+    cat: str
+    rank: int
+    t: float
+    seq: int
+    args: tuple = ()
+
+
+@dataclass
+class Trace:
+    """The collected records of one traced run."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+    counters: dict[tuple[int, str], float] = field(default_factory=dict)
+    """``(rank, counter_name) -> accumulated value``."""
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def ordered_spans(self) -> list[SpanRecord]:
+        """Spans in monotone ``(t0, seq)`` order."""
+        return sorted(self.spans, key=lambda s: (s.t0, s.seq))
+
+    def ordered_events(self) -> list[EventRecord]:
+        return sorted(self.events, key=lambda e: (e.t, e.seq))
+
+    def ranks(self) -> list[int]:
+        seen = {s.rank for s in self.spans}
+        seen.update(e.rank for e in self.events)
+        seen.update(r for r, _ in self.counters)
+        return sorted(seen)
+
+    def counter(self, rank: int, name: str) -> float:
+        return self.counters.get((rank, name), 0.0)
+
+    def spans_named(self, name: str, rank: int | None = None) -> list[SpanRecord]:
+        return [
+            s
+            for s in self.spans
+            if s.name == name and (rank is None or s.rank == rank)
+        ]
+
+    def total(self, name: str, rank: int | None = None) -> float:
+        """Summed duration of all spans with this name (optionally one rank)."""
+        return sum(s.duration for s in self.spans_named(name, rank))
+
+
+class _Span:
+    """Context manager recording one span into the owning tracer."""
+
+    __slots__ = ("tracer", "name", "cat", "rank", "args", "t0", "seq", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, rank: int, args: tuple):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.rank = rank
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        tr = self.tracer
+        stack = tr._stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self.seq = next(tr._seq)
+        self.t0 = tr.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tr = self.tracer
+        t1 = tr.clock()
+        stack = tr._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        tr.trace.spans.append(
+            SpanRecord(
+                name=self.name,
+                cat=self.cat,
+                rank=self.rank,
+                t0=self.t0,
+                t1=t1,
+                seq=self.seq,
+                parent=self.parent,
+                args=self.args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing context manager (the fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Inert tracer: every operation is a no-op.  The global default."""
+
+    enabled = False
+    trace = None
+
+    __slots__ = ()
+
+    def span(self, name, cat="solver", rank=None, **args):
+        return _NULL_SPAN
+
+    def instant(self, name, cat="event", rank=None, ts=None, **args) -> None:
+        return None
+
+    def count(self, name, value, rank=0) -> None:
+        return None
+
+    def add_span(self, name, t0, t1, cat="solver", rank=0, parent=None, **args) -> None:
+        return None
+
+    def bind_rank(self, rank) -> None:
+        return None
+
+
+class Tracer:
+    """Collects spans/events/counters into a :class:`Trace`.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in seconds.
+        Defaults to ``time.perf_counter`` (wall clock).  Pass a
+        deterministic clock (e.g. ``lambda: engine.now``) for byte-stable
+        exports; records built from the DES timelines use explicit
+        timestamps and bypass the clock entirely.
+    name:
+        Stored in ``trace.meta['name']`` and carried into exports.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, name: str = "") -> None:
+        self.clock = clock
+        self.trace = Trace(meta={"name": name} if name else {})
+        self._seq = itertools.count()
+        self._tls = threading.local()
+        self._counter_lock = threading.Lock()
+
+    # -- per-thread state -----------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def bind_rank(self, rank: int) -> None:
+        """Set the default rank for spans opened from the calling thread
+        (the virtual cluster binds each rank thread once)."""
+        self._tls.rank = rank
+
+    def _rank(self, rank: int | None) -> int:
+        if rank is not None:
+            return rank
+        return getattr(self._tls, "rank", 0)
+
+    # -- recording ------------------------------------------------------------
+    def span(self, name: str, cat: str = "solver", rank: int | None = None, **args):
+        """Open a span; use as a context manager."""
+        return _Span(
+            self, name, cat, self._rank(rank), tuple(sorted(args.items()))
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "event",
+        rank: int | None = None,
+        ts: float | None = None,
+        **args,
+    ) -> None:
+        """Record an instant event (``ts=None`` reads the clock)."""
+        self.trace.events.append(
+            EventRecord(
+                name=name,
+                cat=cat,
+                rank=self._rank(rank),
+                t=self.clock() if ts is None else ts,
+                seq=next(self._seq),
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    def count(self, name: str, value: float, rank: int | None = None) -> None:
+        """Accumulate ``value`` into the per-rank counter ``name``."""
+        key = (self._rank(rank), name)
+        with self._counter_lock:
+            self.trace.counters[key] = self.trace.counters.get(key, 0.0) + value
+
+    def add_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "solver",
+        rank: int = 0,
+        parent: str | None = None,
+        **args,
+    ) -> None:
+        """Append a pre-timed span (used when converting DES timelines)."""
+        self.trace.spans.append(
+            SpanRecord(
+                name=name,
+                cat=cat,
+                rank=rank,
+                t0=t0,
+                t1=t1,
+                seq=next(self._seq),
+                parent=parent,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+
+#: Process-wide active tracer; hot paths read it via :func:`get_tracer`.
+_NULL = NullTracer()
+_active: Tracer | NullTracer = _NULL
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer (a :class:`NullTracer` unless one was installed)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` globally (``None`` restores the null tracer)."""
+    global _active
+    _active = tracer if tracer is not None else _NULL
+    return _active
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else _NULL
+    try:
+        yield _active
+    finally:
+        _active = previous

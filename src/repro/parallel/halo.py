@@ -26,11 +26,36 @@ identical).
 
 from __future__ import annotations
 
+import functools
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_tracer
 from .versions import Version
+
+
+def _traced(kind: str):
+    """Wrap an exchange helper in a ``halo.<kind>`` span and accumulate the
+    per-rank ``halo_seconds`` counter.  Zero-cost beyond one branch when no
+    tracer is installed."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(comm, tag, *args, **kwargs):
+            tr = get_tracer()
+            if not tr.enabled:
+                return fn(comm, tag, *args, **kwargs)
+            t0 = _time.perf_counter()
+            with tr.span(f"halo.{kind}", cat="halo", rank=comm.rank, tag=tag):
+                out = fn(comm, tag, *args, **kwargs)
+            tr.count("halo_seconds", _time.perf_counter() - t0, rank=comm.rank)
+            return out
+
+        return wrapper
+
+    return deco
 
 
 @dataclass(frozen=True)
@@ -48,6 +73,7 @@ class ExchangePolicy:
         )
 
 
+@_traced("uvT")
 def exchange_uvT(
     comm,
     tag: str,
@@ -115,6 +141,7 @@ def _recv_flux_columns(comm, source: int, tag: str, split: bool) -> np.ndarray:
     return comm.recv(source, tag)
 
 
+@_traced("flux_high")
 def exchange_flux_high(
     comm,
     tag: str,
@@ -141,6 +168,7 @@ def exchange_flux_high(
     return np.stack([cols[:, 0], cols[:, 1]])
 
 
+@_traced("flux_low")
 def exchange_flux_low(
     comm,
     tag: str,
@@ -169,6 +197,7 @@ def exchange_flux_low(
     return np.stack([cols[:, 1], cols[:, 0]])
 
 
+@_traced("state_low")
 def exchange_state_halo_low(
     comm,
     tag: str,
@@ -187,6 +216,7 @@ def exchange_state_halo_low(
     return np.stack([cols[:, 1], cols[:, 0]])
 
 
+@_traced("state_high")
 def exchange_state_halo_high(
     comm,
     tag: str,

@@ -9,7 +9,8 @@ source for the paper's Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -17,8 +18,29 @@ from ..grid import Grid
 from ..msglib.api import CommStats
 from ..msglib.virtual import VirtualCluster
 from ..numerics.solver import SolverConfig
+from ..obs import Trace, Tracer, use_tracer
 from ..physics.state import FlowState
 from .spmd import DistributedSolver
+
+
+def interior_stats(per_rank_stats: list[CommStats]) -> CommStats:
+    """Stats of a middle rank — the paper's 'per processor' numbers.
+
+    Interior ranks have two neighbours; edge ranks communicate less.  With
+    fewer than three ranks *every* rank is an edge rank and the paper's
+    per-processor figure is ill-defined, so this raises instead of silently
+    returning an edge rank's (understated) numbers.
+    """
+    n = len(per_rank_stats)
+    if n < 3:
+        raise ValueError(
+            f"no interior rank exists for nprocs={n}: with fewer than 3 "
+            "ranks every rank touches a physical boundary and communicates "
+            "with at most one neighbour, so the paper's per-processor "
+            "(two-neighbour) numbers are ill-defined.  Inspect "
+            "per_rank_stats directly or run with nprocs >= 3."
+        )
+    return per_rank_stats[n // 2]
 
 
 @dataclass
@@ -32,12 +54,16 @@ class ParallelRunResult:
     nsteps: int
     t: float
     """Final simulation time."""
+    per_rank_wall: list[float] = field(default_factory=list)
+    """Wall seconds each rank spent inside ``solver.step``."""
+    trace: Trace | None = None
+    """Span/counter records when the run was traced (else ``None``)."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
-        """Stats of a middle rank — the paper's 'per processor' numbers
-        (interior ranks have two neighbours; edge ranks communicate less)."""
-        return self.per_rank_stats[len(self.per_rank_stats) // 2]
+        """Stats of a middle rank (see :func:`interior_stats`; raises
+        ``ValueError`` for ``nprocs < 3`` where no interior rank exists)."""
+        return interior_stats(self.per_rank_stats)
 
 
 class ParallelJetSolver:
@@ -92,8 +118,13 @@ class ParallelJetSolver:
         self.px, self.pr = px, pr
         self.timeout = timeout
 
-    def run(self, steps: int) -> ParallelRunResult:
-        """Execute ``steps`` time steps across all ranks and gather."""
+    def run(self, steps: int, tracer: Tracer | None = None) -> ParallelRunResult:
+        """Execute ``steps`` time steps across all ranks and gather.
+
+        ``tracer`` optionally records per-rank spans (solver stages, sends,
+        receives, halo exchanges) for the duration of the run; it is
+        installed as the process-global tracer while the cluster executes.
+        """
         cluster = VirtualCluster(self.nranks, timeout=self.timeout)
         grid = self.global_grid
         q0 = self.q0
@@ -120,22 +151,31 @@ class ParallelJetSolver:
             for _ in range(steps):
                 solver.step()
             gathered = solver.gather_state()
-            return gathered, solver.t, solver.nstep
+            return gathered, solver.t, solver.nstep, solver.wall_time
 
-        results = cluster.run(program)
-        state, t, nsteps = results[0]
+        if tracer is not None:
+            with use_tracer(tracer):
+                results = cluster.run(program)
+        else:
+            results = cluster.run(program)
+        state, t, nsteps, _ = results[0]
         return ParallelRunResult(
             state=state,
             per_rank_stats=[c.stats for c in cluster.comms],
             nsteps=nsteps,
             t=t,
+            per_rank_wall=[r[3] for r in results],
+            trace=tracer.trace if tracer is not None else None,
         )
 
 
-def run_serial_reference(
+def serial_reference(
     state: FlowState, config: SolverConfig, steps: int
 ) -> FlowState:
-    """Serial run from the same initial state, for equivalence checks."""
+    """Serial run from a copy of ``state``, for equivalence checks.
+
+    This is the low-level helper behind the serial route of
+    :func:`repro.api.run` (which is the preferred entry point)."""
     from ..numerics.solver import CompressibleSolver
 
     solver = CompressibleSolver(
@@ -144,3 +184,21 @@ def run_serial_reference(
     for _ in range(steps):
         solver.step()
     return solver.state
+
+
+def run_serial_reference(
+    state: FlowState, config: SolverConfig, steps: int
+) -> FlowState:
+    """Deprecated alias of :func:`serial_reference`.
+
+    .. deprecated:: 1.1
+       Use ``repro.api.run(scenario, steps=...)`` (or
+       :func:`serial_reference` for raw state/config inputs).
+    """
+    warnings.warn(
+        "run_serial_reference is deprecated; use repro.api.run(scenario, "
+        "steps=...) or repro.parallel.runner.serial_reference",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return serial_reference(state, config, steps)

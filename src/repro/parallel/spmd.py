@@ -84,6 +84,13 @@ class DistributedSolver(CompressibleSolver):
             local_grid, q_global[:, self.lo : self.hi, :].copy(), config.gamma
         )
         super().__init__(local_state, config)
+        # Attribute this solver's spans to its rank (also bound as the
+        # thread default so MacCormack-phase spans inherit it under MPI,
+        # where no VirtualCluster worker does the binding).
+        self._trace_rank = comm.rank
+        from ..obs import get_tracer
+
+        get_tracer().bind_rank(comm.rank)
 
     # -- tags -----------------------------------------------------------------
     def _tag(self, op: str, phase: str = "") -> str:

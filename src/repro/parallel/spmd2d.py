@@ -138,6 +138,10 @@ class Distributed2DSolver(CompressibleSolver):
                     "sponge width exceeds the top radial blocks"
                 )
         super().__init__(local_state, config)
+        self._trace_rank = comm.rank
+        from ..obs import get_tracer
+
+        get_tracer().bind_rank(comm.rank)
         self.fm.halo_axis = 2  # uvT halos along both axes
 
     # -- tags --------------------------------------------------------------------

@@ -81,6 +81,10 @@ class RadialDistributedSolver(CompressibleSolver):
                     "sponge width exceeds the last rank's radial slab"
                 )
         super().__init__(local_state, config)
+        self._trace_rank = comm.rank
+        from ..obs import get_tracer
+
+        get_tracer().bind_rank(comm.rank)
         self.fm.halo_axis = 1  # uvT halos are rows
 
     # -- tags -------------------------------------------------------------------

@@ -35,6 +35,13 @@ class Scenario:
     solver: CompressibleSolver
     name: str = ""
 
+    def run(self, steps: int, **kw):
+        """Run this scenario through :func:`repro.api.run` (serial by
+        default; pass ``nprocs=``/``platform=``/``trace=`` as usual)."""
+        from .api import run
+
+        return run(self, steps=steps, **kw)
+
 
 def jet_initial_state(grid: Grid, profile: JetProfile) -> FlowState:
     """Initial field: the inflow mean profile swept downstream unchanged.
@@ -172,3 +179,30 @@ def shock_tube_scenario(nx: int = 200, nr: int = 8, mu: float = 2e-3) -> Scenari
         cfl=0.3,
     )
     return Scenario(grid, state, NavierStokesSolver(state, config), name="sod")
+
+
+def _jet_euler(**kw) -> Scenario:
+    return jet_scenario(viscous=False, **kw)
+
+
+#: Named constructors accepted by :func:`repro.api.run` (and the CLI).
+SCENARIOS = {
+    "jet": jet_scenario,
+    "jet-ns": jet_scenario,
+    "jet-euler": _jet_euler,
+    "advection": periodic_advection_scenario,
+    "acoustic": acoustic_pulse_scenario,
+    "sod": shock_tube_scenario,
+    "shock-tube": shock_tube_scenario,
+}
+
+
+def scenario_by_name(name: str, **kw) -> Scenario:
+    """Build a registered scenario; ``kw`` goes to its constructor."""
+    try:
+        make = SCENARIOS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return make(**kw)

@@ -106,14 +106,21 @@ class _Proc:
 
 
 class Engine:
-    """The event loop."""
+    """The event loop.
 
-    def __init__(self) -> None:
+    ``tracer`` optionally records every process schedule/resume as an
+    instant event keyed on the engine's deterministic clock (``self.now``),
+    so traced simulations export byte-identically across runs.  The default
+    ``None`` keeps the hot loop untouched.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, _Proc]] = []
         self._seq = 0
         self.processes: list[_Proc] = []
         self.steps = 0
+        self.tracer = tracer
 
     # -- public API -------------------------------------------------------------
     def add_process(self, gen: Generator, name: str = "proc") -> None:
@@ -146,9 +153,21 @@ class Engine:
     def _schedule(self, delay: float, proc: _Proc) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, proc))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "proc.schedule",
+                cat="engine",
+                ts=self.now,
+                proc=proc.name,
+                at=self.now + delay,
+            )
 
     def _step(self, proc: _Proc) -> None:
         """Advance one process until it blocks or finishes."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                "proc.resume", cat="engine", ts=self.now, proc=proc.name
+            )
         while True:
             try:
                 cmd = next(proc.gen)

@@ -127,21 +127,28 @@ class SimulatedMachine:
         steps_window: int = 40,
         total_steps: int | None = None,
         trace: bool = False,
+        tracer=None,
     ) -> RunResult:
         """Simulate ``steps_window`` steps and scale to the full run.
 
         ``trace=True`` records per-rank activity segments for the Gantt
-        rendering (``repro.analysis.report.render_gantt``)."""
+        rendering (``repro.analysis.report.render_gantt``).  ``tracer``
+        (a :class:`repro.obs.Tracer`) additionally records engine
+        schedule/resume events and, after the run, the per-rank activity
+        segments as spans — all keyed on the engine's deterministic clock,
+        so the export is byte-stable across runs."""
         workload = app if isinstance(app, Workload) else Workload.paper(app)
         application = workload.app
         total = total_steps if total_steps is not None else application.steps
         p = self.nprocs
+        if tracer is not None:
+            trace = True
 
         cost = CostModel.of(self.platform.cpu, self.version)
         ws = workload.working_set_bytes(p)
         step_seconds = cost.compute_time(workload.flops_per_step_per_rank(p), ws)
 
-        engine = Engine()
+        engine = Engine(tracer=tracer)
         network = self.platform.network(p)
         capacities = network.capacities()
         resources: dict[str, Resource] = {
@@ -180,6 +187,20 @@ class SimulatedMachine:
                 name=f"rank{r}",
             )
         makespan = engine.run()
+        if tracer is not None:
+            from ..obs import trace_from_timelines
+
+            trace_from_timelines(
+                [c.timeline for c in contexts],
+                tracer=tracer,
+                meta={
+                    "platform": self.platform.name,
+                    "app": application.name,
+                    "nprocs": p,
+                    "version": self.version.number,
+                    "steps_window": steps_window,
+                },
+            )
         return RunResult(
             platform=f"{self.platform.name}",
             app=application.name,

@@ -1,0 +1,271 @@
+"""Tracing/metrics layer: tracer semantics, exporters, determinism."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    get_tracer,
+    load_trace,
+    set_tracer,
+    to_jsonl,
+    trace_from_timelines,
+    use_tracer,
+)
+
+
+class TickClock:
+    """Deterministic clock: returns 0.0, 1.0, 2.0, ..."""
+
+    def __init__(self):
+        self.t = -1.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# Tracer semantics
+# ---------------------------------------------------------------------------
+
+
+def test_span_records_nesting_and_args():
+    tr = Tracer(clock=TickClock())
+    with tr.span("outer", cat="a", rank=3, step=7):
+        with tr.span("inner", cat="b", rank=3):
+            pass
+    inner, outer = tr.trace.spans  # inner closes first
+    assert (inner.name, outer.name) == ("inner", "outer")
+    assert inner.parent == "outer" and outer.parent is None
+    assert outer.args == (("step", 7),)
+    assert outer.rank == 3 and inner.cat == "b"
+    assert outer.t0 < inner.t0 and inner.t1 < outer.t1
+    assert outer.seq < inner.seq  # seq assigned at span *start*
+
+
+def test_bind_rank_sets_thread_default():
+    tr = Tracer()
+    tr.bind_rank(5)
+    with tr.span("s"):
+        pass
+    assert tr.trace.spans[0].rank == 5
+    # explicit rank wins over the bound default
+    with tr.span("s", rank=1):
+        pass
+    assert tr.trace.spans[1].rank == 1
+
+    # another thread gets its own binding
+    seen = []
+
+    def other():
+        tr.bind_rank(9)
+        with tr.span("o"):
+            pass
+        seen.append(True)
+
+    th = threading.Thread(target=other)
+    th.start()
+    th.join()
+    assert seen and tr.trace.spans_named("o")[0].rank == 9
+
+
+def test_counters_accumulate_per_rank():
+    tr = Tracer()
+    tr.count("bytes", 10, rank=0)
+    tr.count("bytes", 5, rank=0)
+    tr.count("bytes", 7, rank=1)
+    assert tr.trace.counter(0, "bytes") == 15
+    assert tr.trace.counter(1, "bytes") == 7
+    assert tr.trace.counter(2, "bytes") == 0.0
+
+
+def test_global_tracer_default_is_null_and_use_tracer_restores():
+    assert isinstance(get_tracer(), NullTracer)
+    assert not get_tracer().enabled
+    tr = Tracer()
+    with use_tracer(tr):
+        assert get_tracer() is tr
+        with use_tracer(None):
+            assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer() is tr
+    assert isinstance(get_tracer(), NullTracer)
+    # set_tracer(None) restores the null tracer too
+    set_tracer(tr)
+    assert get_tracer() is tr
+    set_tracer(None)
+    assert isinstance(get_tracer(), NullTracer)
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    with null.span("anything", rank=3, arbitrary="arg"):
+        null.instant("x")
+        null.count("c", 1.0)
+        null.add_span("y", 0.0, 1.0)
+        null.bind_rank(2)
+    assert null.trace is None
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def _sample_trace() -> Tracer:
+    tr = Tracer(clock=TickClock(), name="sample")
+    tr.bind_rank(0)
+    with tr.span("step", cat="solver", step=1):
+        with tr.span("sweep", cat="solver"):
+            pass
+    tr.instant("mark", cat="engine", rank=1, ts=2.5, note="hello")
+    tr.count("bytes", 42.0, rank=1)
+    return tr
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tr = _sample_trace()
+    p = tmp_path / "t.jsonl"
+    text = to_jsonl(tr.trace, str(p))
+    assert p.read_text() == text
+    back = load_trace(str(p))
+    assert back.meta["name"] == "sample"
+    assert [s.name for s in back.ordered_spans()] == ["step", "sweep"]
+    sweep = back.spans_named("sweep")[0]
+    assert sweep.parent == "step"
+    assert back.events[0].args == (("note", "hello"),)
+    assert back.counters == {(1, "bytes"): 42.0}
+    assert back.total("step") == tr.trace.total("step")
+
+
+def test_chrome_export_structure(tmp_path):
+    tr = _sample_trace()
+    doc = json.loads(chrome_trace_json(tr.trace))
+    evs = doc["traceEvents"]
+    phases = [e["ph"] for e in evs]
+    # thread-name metadata for both ranks, slices, one instant
+    assert phases.count("M") == 2
+    assert phases.count("X") == 2
+    assert phases.count("i") == 1
+    x = [e for e in evs if e["ph"] == "X"]
+    assert x[0]["name"] == "step" and x[0]["tid"] == 0
+    assert x[0]["ts"] == pytest.approx(tr.trace.spans[1].t0 * 1e6)
+    assert all(e["dur"] > 0 for e in x)
+    assert doc["otherData"]["rank1.bytes"] == 42.0
+    assert doc["otherData"]["name"] == "sample"
+
+
+def test_chrome_roundtrip(tmp_path):
+    from repro.obs import write_chrome_trace
+
+    tr = _sample_trace()
+    p = tmp_path / "t.json"
+    write_chrome_trace(tr.trace, str(p))
+    back = load_trace(str(p))
+    assert [s.name for s in back.ordered_spans()] == ["step", "sweep"]
+    assert back.counters == {(1, "bytes"): 42.0}
+    assert back.meta["name"] == "sample"
+    assert back.total("sweep") == pytest.approx(tr.trace.total("sweep"))
+
+
+def test_zero_duration_spans_get_min_chrome_dur():
+    tr = Tracer(clock=lambda: 1.0)
+    with tr.span("instantaneous"):
+        pass
+    ev = [e for e in chrome_trace_events(tr.trace) if e["ph"] == "X"][0]
+    assert ev["dur"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Engine events and DES timelines
+# ---------------------------------------------------------------------------
+
+
+def test_engine_records_schedule_and_resume_events():
+    from repro.simulate.engine import Delay, Engine
+
+    def prog():
+        yield Delay(1.0)
+        yield Delay(0.5)
+
+    tr = Tracer()
+    eng = Engine(tracer=tr)
+    eng.add_process(prog(), name="p0")
+    eng.run()
+    resumes = [e.t for e in tr.trace.events if e.name == "proc.resume"]
+    assert resumes == [0.0, 1.0, 1.5]
+    scheds = [e for e in tr.trace.events if e.name == "proc.schedule"]
+    assert [dict(e.args)["at"] for e in scheds] == [0.0, 1.0, 1.5]
+    assert all(dict(e.args)["proc"] == "p0" for e in scheds)
+
+
+def test_trace_from_timelines_spans_and_counters():
+    from repro.simulate.timeline import RankTimeline, Segment
+
+    tl = RankTimeline(rank=2)
+    tl.busy = 3.0
+    tl.compute = 2.5
+    tl.library = 0.5
+    tl.comm_wait = 1.0
+    tl.segments = [
+        Segment(kind="compute", start=0.0, end=2.5),
+        Segment(kind="library", start=2.5, end=3.0),
+        Segment(kind="wait", start=3.0, end=4.0),
+    ]
+    trace = trace_from_timelines([tl], meta={"platform": "x"})
+    assert trace.total("sim.compute", rank=2) == pytest.approx(2.5)
+    assert trace.total("sim.library", rank=2) == pytest.approx(0.5)
+    assert trace.total("sim.wait", rank=2) == pytest.approx(1.0)
+    assert trace.counter(2, "busy_seconds") == pytest.approx(3.0)
+    assert trace.meta["platform"] == "x"
+
+
+# ---------------------------------------------------------------------------
+# Determinism: identical simulated runs export identical bytes
+# ---------------------------------------------------------------------------
+
+
+def _traced_sim_run() -> Tracer:
+    from repro.machines.platforms import LACE_560
+    from repro.simulate.machine import SimulatedMachine
+    from repro.simulate.workload import NAVIER_STOKES
+
+    tr = Tracer(name="det")
+    SimulatedMachine(LACE_560, 4, version=5).run(
+        NAVIER_STOKES, steps_window=2, tracer=tr
+    )
+    return tr
+
+
+def test_simulated_trace_exports_are_byte_identical():
+    a, b = _traced_sim_run(), _traced_sim_run()
+    assert a.trace.spans, "traced simulation produced no spans"
+    assert a.trace.events, "engine produced no schedule/resume events"
+    assert to_jsonl(a.trace) == to_jsonl(b.trace)
+    assert chrome_trace_json(a.trace) == chrome_trace_json(b.trace)
+
+
+def test_instrumented_serial_solver_spans():
+    from repro import run
+
+    res = run("jet", steps=2, nx=32, nr=16, trace=True)
+    names = {s.name for s in res.trace.spans}
+    assert {
+        "solver.step",
+        "solver.dt",
+        "solver.sweep_x",
+        "solver.sweep_r",
+        "solver.filter",
+        "solver.boundaries",
+        "maccormack.predictor",
+        "maccormack.corrector",
+    } <= names
+    assert len(res.trace.spans_named("solver.step")) == 2
+    # hierarchical: sweeps are children of the step span
+    sweep = res.trace.spans_named("solver.sweep_x")[0]
+    assert sweep.parent == "solver.step"

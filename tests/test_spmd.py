@@ -8,20 +8,20 @@ import numpy as np
 import pytest
 
 from repro import jet_scenario
-from repro.parallel.runner import ParallelJetSolver, run_serial_reference
+from repro.parallel.runner import ParallelJetSolver, serial_reference
 
 
 @pytest.fixture(scope="module")
 def ns_case():
     sc = jet_scenario(nx=60, nr=20, viscous=True)
-    ref = run_serial_reference(sc.state, sc.solver.config, steps=12)
+    ref = serial_reference(sc.state, sc.solver.config, steps=12)
     return sc, ref
 
 
 @pytest.fixture(scope="module")
 def euler_case():
     sc = jet_scenario(nx=60, nr=20, viscous=False)
-    ref = run_serial_reference(sc.state, sc.solver.config, steps=12)
+    ref = serial_reference(sc.state, sc.solver.config, steps=12)
     return sc, ref
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import jet_scenario
-from repro.parallel.runner import ParallelJetSolver, run_serial_reference
+from repro.parallel.runner import ParallelJetSolver, serial_reference
 from repro.parallel.spmd2d import CartesianDecomposition
 
 
@@ -47,7 +47,7 @@ class TestCartesianDecomposition:
 @pytest.fixture(scope="module")
 def ns_case():
     sc = jet_scenario(nx=60, nr=24, viscous=True)
-    ref = run_serial_reference(sc.state, sc.solver.config, steps=10)
+    ref = serial_reference(sc.state, sc.solver.config, steps=10)
     return sc, ref
 
 
@@ -72,7 +72,7 @@ class TestBitwiseEquivalence:
 
     def test_euler(self):
         sc = jet_scenario(nx=60, nr=24, viscous=False)
-        ref = run_serial_reference(sc.state, sc.solver.config, steps=10)
+        ref = serial_reference(sc.state, sc.solver.config, steps=10)
         res = ParallelJetSolver(
             sc.state, sc.solver.config, nranks=4,
             decomposition="2d", px=2, pr=2, timeout=60,

@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro import jet_scenario
-from repro.parallel.runner import ParallelJetSolver, run_serial_reference
+from repro.parallel.runner import ParallelJetSolver, serial_reference
 
 
 @pytest.fixture(scope="module")
 def ns_case():
     sc = jet_scenario(nx=50, nr=24, viscous=True)
-    ref = run_serial_reference(sc.state, sc.solver.config, steps=10)
+    ref = serial_reference(sc.state, sc.solver.config, steps=10)
     return sc, ref
 
 
@@ -35,7 +35,7 @@ class TestBitwiseEquivalence:
 
     def test_euler(self):
         sc = jet_scenario(nx=50, nr=24, viscous=False)
-        ref = run_serial_reference(sc.state, sc.solver.config, steps=10)
+        ref = serial_reference(sc.state, sc.solver.config, steps=10)
         res = ParallelJetSolver(
             sc.state, sc.solver.config, nranks=4,
             decomposition="radial", timeout=60,
