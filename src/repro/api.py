@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
 from .msglib.api import CommStats
 from .obs import Trace, Tracer, use_tracer, write_chrome_trace
@@ -153,6 +153,7 @@ def run(
     platform=None,
     version: int = 7,
     trace=None,
+    backend: str | None = None,
     decomposition: str = "axial",
     px: int | None = None,
     pr: int | None = None,
@@ -191,6 +192,12 @@ def run(
         ``True`` to record a :class:`~repro.obs.Trace`, a
         :class:`~repro.obs.Tracer` to record into, or a path to also
         export Chrome-trace JSON (openable in Perfetto).
+    backend:
+        Kernel backend name (``"baseline"`` or ``"fused"``; see
+        :mod:`repro.numerics.kernels`).  ``None`` keeps the scenario's
+        configured backend, which itself defaults to the ``REPRO_BACKEND``
+        environment variable.  Backends are bitwise-identical — this only
+        selects how the hot-path kernels are evaluated.
     decomposition, px, pr, timeout:
         Forwarded to the distributed solver (``nprocs > 1`` route).
     steps_window:
@@ -204,10 +211,11 @@ def run(
             sc, platform, nprocs, version, steps, steps_window, tracer
         )
     elif nprocs == 1:
-        result = _run_serial(sc, steps, tracer)
+        result = _run_serial(sc, steps, tracer, backend)
     else:
         result = _run_parallel(
-            sc, steps, nprocs, version, decomposition, px, pr, timeout, tracer
+            sc, steps, nprocs, version, decomposition, px, pr, timeout, tracer,
+            backend,
         )
     if tracer is not None and trace_path is not None:
         write_chrome_trace(tracer.trace, trace_path)
@@ -221,11 +229,27 @@ def _require_steps(steps: int | None) -> int:
     return steps
 
 
-def _run_serial(sc: Scenario, steps: int | None, tracer: Tracer | None) -> RunResult:
+def _backend_config(config, backend: str | None):
+    """The scenario's solver config, with the backend overridden if asked.
+
+    ``replace`` keeps the input scenario immutable (the facade's contract).
+    """
+    if backend is None:
+        return config
+    return _dc_replace(config, backend=backend)
+
+
+def _run_serial(
+    sc: Scenario,
+    steps: int | None,
+    tracer: Tracer | None,
+    backend: str | None = None,
+) -> RunResult:
     steps = _require_steps(steps)
+    config = _backend_config(sc.solver.config, backend)
     solver = type(sc.solver)(
-        FlowState(sc.grid, sc.state.q.copy(), sc.solver.config.gamma),
-        sc.solver.config,
+        FlowState(sc.grid, sc.state.q.copy(), config.gamma),
+        config,
     )
     t0 = _time.perf_counter()
     with use_tracer(tracer):
@@ -256,13 +280,14 @@ def _run_parallel(
     pr: int | None,
     timeout: float,
     tracer: Tracer | None,
+    backend: str | None = None,
 ) -> RunResult:
     from .parallel.runner import ParallelJetSolver
 
     steps = _require_steps(steps)
     solver = ParallelJetSolver(
         sc.state,
-        sc.solver.config,
+        _backend_config(sc.solver.config, backend),
         nranks=nprocs,
         version=version,
         decomposition=decomposition,

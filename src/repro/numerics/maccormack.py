@@ -40,6 +40,34 @@ CORRECTOR = "corrector"
 
 
 @dataclass
+class SweepScratch:
+    """Preallocated buffers for one sweep direction (fused kernel backend).
+
+    All arrays are caller-owned and persist across steps; the two sweep
+    directions of a solver may share ``q_star``/``rate``/``tmp`` (the sweeps
+    run sequentially) but each needs its own ``ext`` because the
+    ghost-extended shape depends on the sweep axis.
+
+    Attributes
+    ----------
+    ext:
+        Ghost-extended flux buffer — state shape with the sweep axis grown
+        by 4 (two ghost planes each side).
+    q_star:
+        Predicted state, state-shaped.
+    rate:
+        ``dq/dt`` accumulator, state-shaped.
+    tmp:
+        State-shaped scratch for the one-sided difference.
+    """
+
+    ext: np.ndarray
+    q_star: np.ndarray
+    rate: np.ndarray
+    tmp: np.ndarray
+
+
+@dataclass
 class SweepWorkspace:
     """Pluggable flux evaluation and ghost supply for one sweep direction.
 
@@ -59,6 +87,11 @@ class SweepWorkspace:
     fix_state:
         Optional hook applied to the predicted state before the corrector
         flux evaluation (used to pin Dirichlet boundaries mid-step).
+    scratch:
+        Optional :class:`SweepScratch` enabling the zero-allocation path of
+        :meth:`SplitOperator.apply` (requires the caller to pass ``out``).
+        When set, the ``flux`` callable must return arrays that do not alias
+        the scratch buffers.  ``None`` keeps the allocating behaviour.
     """
 
     flux: Callable[[np.ndarray, str], tuple[np.ndarray, Optional[np.ndarray]]]
@@ -70,6 +103,7 @@ class SweepWorkspace:
     )
     inv_weight: np.ndarray | float = 1.0
     fix_state: Callable[[np.ndarray, str], np.ndarray] = lambda q, phase: q
+    scratch: Optional[SweepScratch] = None
 
 
 @dataclass
@@ -122,13 +156,62 @@ class SplitOperator:
             rate = source - d
         return rate * ws.inv_weight
 
-    def apply(self, q: np.ndarray, dt: float) -> np.ndarray:
-        """Advance ``q`` by ``dt`` along this direction; returns a new array."""
+    def _rate_into(self, q: np.ndarray, phase: str, sc: SweepScratch) -> np.ndarray:
+        """Zero-allocation ``_rate``: bitwise-identical, into ``sc.rate``."""
+        ws = self.workspace
+        flux, source = ws.flux(q, phase)
+        ext = extend_axis(
+            flux,
+            self.axis,
+            low=ws.low_ghosts(flux, phase),
+            high=ws.high_ghosts(flux, phase),
+            out=sc.ext,
+        )
+        forward = (self.variant == 1) == (phase == PREDICTOR)
+        diff = forward_difference if forward else backward_difference
+        d = diff(ext, self.axis, self.h, out=sc.rate, tmp=sc.tmp)
+        if source is None:
+            np.negative(d, out=d)
+        else:
+            np.subtract(source, d, out=d)
+        iw = ws.inv_weight
+        # Skip the identity weight (x * 1.0 == x bitwise); radial sweeps
+        # carry the 1/r array and multiply in place.
+        if not (isinstance(iw, float) and iw == 1.0):
+            np.multiply(d, iw, out=d)
+        return d
+
+    def apply(
+        self, q: np.ndarray, dt: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Advance ``q`` by ``dt`` along this direction.
+
+        Without ``out`` the result is a fresh array (the baseline path).
+        With ``out`` (and ``workspace.scratch`` set) every intermediate is
+        written into preallocated buffers and the result lands in ``out``;
+        the two paths are bitwise-identical.  ``out`` must not alias ``q``.
+        """
         tr = get_tracer()
         ws = self.workspace
+        sc = ws.scratch
+        if out is None or sc is None:
+            with tr.span("maccormack.predictor", axis=self.axis):
+                q_star = q + dt * self._rate(q, PREDICTOR)
+                q_star = ws.fix_state(q_star, PREDICTOR)
+            with tr.span("maccormack.corrector", axis=self.axis):
+                q_new = 0.5 * (q + q_star + dt * self._rate(q_star, CORRECTOR))
+                return ws.fix_state(q_new, CORRECTOR)
+        if out is q:
+            raise ValueError("apply(out=...) must not alias the input state")
         with tr.span("maccormack.predictor", axis=self.axis):
-            q_star = q + dt * self._rate(q, PREDICTOR)
-            q_star = ws.fix_state(q_star, PREDICTOR)
+            rate = self._rate_into(q, PREDICTOR, sc)
+            np.multiply(rate, dt, out=rate)
+            np.add(q, rate, out=sc.q_star)
+            q_star = ws.fix_state(sc.q_star, PREDICTOR)
         with tr.span("maccormack.corrector", axis=self.axis):
-            q_new = 0.5 * (q + q_star + dt * self._rate(q_star, CORRECTOR))
-            return ws.fix_state(q_new, CORRECTOR)
+            rate = self._rate_into(q_star, CORRECTOR, sc)
+            np.add(q, q_star, out=out)
+            np.multiply(rate, dt, out=rate)
+            np.add(out, rate, out=out)
+            np.multiply(out, 0.5, out=out)
+            return ws.fix_state(out, CORRECTOR)

@@ -39,7 +39,9 @@ from .boundary import (
     apply_axis_ghosts,
     characteristic_outflow_rates,
 )
+from .kernels import fused_axial_flux, fused_radial_flux, resolve_backend
 from .maccormack import PREDICTOR, SplitOperator, SweepWorkspace
+from .stencils import extend_axis
 from .timestep import stable_dt
 
 
@@ -77,6 +79,12 @@ class SolverConfig:
     fourth-difference filter.  Applied in conservative difference form so
     periodic conservation is preserved; set to 0 to disable.
     """
+    backend: str | None = None
+    """Kernel backend name (``"baseline"``, ``"fused"``, or a name added
+    via :func:`repro.numerics.kernels.register_backend`).  ``None`` defers
+    to the ``REPRO_BACKEND`` environment variable, then ``"baseline"``.
+    Backends select *how* the hot-path kernels are evaluated, never what
+    they compute: all backends are bitwise-identical."""
 
     def viscosity(self) -> float:
         if not self.viscous:
@@ -161,13 +169,22 @@ class FluxModel:
         )
         return u, v, terms
 
-    def axial_flux(self, q: np.ndarray, uvT_halo=None) -> np.ndarray:
+    def axial_flux(
+        self, q: np.ndarray, uvT_halo=None, ws=None, primitives_ready=False
+    ) -> np.ndarray:
         """Total axial flux ``F`` (no radial weight: r is constant in x).
 
         ``uvT_halo = (lo, hi)`` optionally supplies neighbour ghost columns
         of ``(u, v, T)`` so viscous gradients at subdomain edges match the
-        serial interior arithmetic.
+        serial interior arithmetic.  ``ws`` selects the fused zero-allocation
+        kernels (result lands in ``ws.F``, bitwise-identical);
+        ``primitives_ready`` says the workspace primitive buffers already
+        hold this ``q``'s values (set by the distributed halo packing).
         """
+        if ws is not None:
+            return fused_axial_flux(
+                self, q, ws, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+            )
         F, _G, _p = inviscid_fluxes(q, self.gamma)
         if self.mu:
             u, v, terms = self._viscous(q, uvT_halo)
@@ -175,11 +192,18 @@ class FluxModel:
             F -= Fv
         return F
 
-    def radial_flux(self, q: np.ndarray, uvT_halo=None) -> tuple[np.ndarray, np.ndarray]:
+    def radial_flux(
+        self, q: np.ndarray, uvT_halo=None, ws=None, primitives_ready=False
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Weighted radial flux ``r G`` and source ``S = (0,0,p - tau_tt,0)``.
 
         In planar mode the weight is 1 and the geometric source is absent.
+        ``ws``/``primitives_ready`` as in :meth:`axial_flux`.
         """
+        if ws is not None:
+            return fused_radial_flux(
+                self, q, ws, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+            )
         _F, G, p = inviscid_fluxes(q, self.gamma)
         tau_tt: np.ndarray | float = 0.0
         if self.mu:
@@ -215,8 +239,14 @@ class CompressibleSolver:
         Initial :class:`~repro.physics.state.FlowState` (mutated in place).
     config:
         :class:`SolverConfig`.  ``config.boundary`` supplies the jet inflow
-        excitation, outflow treatment and sponge.
+        excitation, outflow treatment and sponge.  ``config.backend``
+        selects the kernel backend (see :mod:`repro.numerics.kernels`).
     """
+
+    #: Whether this solver class supports the fused kernel workspace.  The
+    #: radial and 2-D decompositions keep the allocating path for now (the
+    #: fused backend silently degrades to it there).
+    _supports_fused_kernels = True
 
     def __init__(self, state: FlowState, config: SolverConfig | None = None):
         self.state = state
@@ -230,6 +260,14 @@ class CompressibleSolver:
         #: Rank attributed to this solver's trace spans (the distributed
         #: solver overrides it with the communicator rank).
         self._trace_rank = 0
+        self.backend = resolve_backend(self.config.backend)
+        self._ws = self.backend.step_workspace(self)
+        #: Split operators cached per variant (their workspaces close over
+        #: ``self`` and read mutable state lazily, so reuse is safe).  Also
+        #: holds the outflow helper's radial operator under ("ofw", variant).
+        self._ops_cache: dict = {}
+        #: Filter index tuples cached per axis (rebuilt-per-step before).
+        self._filter_ix: dict[int, list[tuple]] = {}
         cfg = self.config
         if cfg.axisymmetric:
             self._inv_weight = 1.0 / self.grid.r[None, None, :]
@@ -256,16 +294,30 @@ class CompressibleSolver:
     # -- sweep plumbing ------------------------------------------------------
     def _x_workspace(self) -> SweepWorkspace:
         cfg = self.config
+        ws = self._ws
+        flux = lambda q, ph: (self.fm.axial_flux(q, ws=ws), None)
+        scratch = ws.sweep_x if ws is not None else None
         if cfg.periodic_x:
             return SweepWorkspace(
-                flux=lambda q, ph: (self.fm.axial_flux(q), None),
+                flux=flux,
                 low_ghosts=lambda f, ph: _wrap_ghosts(f, 1, "low"),
                 high_ghosts=lambda f, ph: _wrap_ghosts(f, 1, "high"),
+                scratch=scratch,
             )
-        return SweepWorkspace(flux=lambda q, ph: (self.fm.axial_flux(q), None))
+        return SweepWorkspace(flux=flux, scratch=scratch)
 
     def _r_workspace(self) -> SweepWorkspace:
-        return self._r_workspace_serial()
+        base = self._r_workspace_serial()
+        ws = self._ws
+        if ws is None:
+            return base
+        return SweepWorkspace(
+            flux=lambda q, ph: self.fm.radial_flux(q, ws=ws),
+            low_ghosts=base.low_ghosts,
+            high_ghosts=base.high_ghosts,
+            inv_weight=base.inv_weight,
+            scratch=ws.sweep_r,
+        )
 
     def _r_workspace_serial(self) -> SweepWorkspace:
         """Halo-free radial workspace (also used by the outflow helper,
@@ -293,6 +345,19 @@ class CompressibleSolver:
         Lx = SplitOperator(axis=1, h=self.grid.dx, variant=variant, workspace=ws_x)
         Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws_r)
         return Lx, Lr
+
+    def _cached_operators(self, variant: int):
+        """The per-variant operator pair, constructed once and reused.
+
+        Safe for every solver subclass because the sweep workspaces close
+        over ``self`` and read mutable state (``nstep``, halo tags) at call
+        time, not construction time.
+        """
+        ops = self._ops_cache.get(variant)
+        if ops is None:
+            ops = self._operators(variant)
+            self._ops_cache[variant] = ops
+        return ops
 
     # -- time step ------------------------------------------------------------
     def current_dt(self) -> float:
@@ -323,23 +388,54 @@ class CompressibleSolver:
         dF = (7.0 * (F[:, -1] - F[:, -2]) - (F[:, -2] - F[:, -3])) / (6.0 * h)
         # Radial contribution near the boundary via the split machinery
         # (a 5-column window keeps the viscous x-gradients well-posed).
+        # The window shape differs from the state's, so this stays on the
+        # allocating kernels regardless of backend.
         col = np.ascontiguousarray(window)
-        ws = self._r_workspace_serial()
-        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
+        Lr = self._ops_cache.get(("ofw", variant))
+        if Lr is None:
+            ws = self._r_workspace_serial()
+            Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
+            self._ops_cache[("ofw", variant)] = Lr
         radial_rate = Lr._rate(col, PREDICTOR)[:, -1, :]
         return -dF + radial_rate
 
-    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):
+    def _boundary_snapshot(self) -> np.ndarray | None:
+        """Pre-step copy of the state strips the boundary update reads.
+
+        The characteristic outflow is the only boundary treatment that
+        reads the pre-step state, and every implementation reads at most
+        the trailing five columns (``q[:, -5:, :]``); copying just that
+        strip replaces the full-state copy the solver used to make each
+        step.  Returns ``None`` when no snapshot is needed.
+        """
+        bc = self.config.boundary
+        if bc is None or not bc.characteristic_outflow:
+            return None
+        q = self.state.q
+        ws = self._ws
+        if ws is not None:
+            np.copyto(ws.q_tail, q[:, -ws.q_tail.shape[1] :, :])
+            return ws.q_tail
+        return q[:, -5:, :].copy()
+
+    def _apply_boundaries(self, q_tail: np.ndarray | None, dt: float, variant: int):
+        """Post-sweep boundary update.
+
+        ``q_tail`` is the :meth:`_boundary_snapshot` strip — the trailing
+        (up to) five pre-step columns, so ``q_tail[:, -5:, :]`` and
+        ``q_tail[:, -1, :]`` mean the same thing they meant on the full
+        pre-step array.
+        """
         bc = self.config.boundary
         if bc is None:
             return
         q = self.state.q
         if bc.characteristic_outflow:
-            q_t = self._outflow_rates(q_before, variant)
+            q_t = self._outflow_rates(q_tail, variant)
             rates = characteristic_outflow_rates(
-                q_before[:, -1, :], q_t, self.config.gamma
+                q_tail[:, -1, :], q_t, self.config.gamma
             )
-            q[:, -1, :] = q_before[:, -1, :] + dt * rates
+            q[:, -1, :] = q_tail[:, -1, :] + dt * rates
         if bc.inflow is not None:
             q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
         if bc.sponge is not None and self._sponge_col is not None:
@@ -364,66 +460,110 @@ class CompressibleSolver:
             return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
         return None  # cubic extrapolation
 
-    def apply_filter(self, q: np.ndarray) -> np.ndarray:
+    def _filter_indices(self, axis: int, n: int) -> list[tuple]:
+        """The five stencil index tuples into the extended array, cached.
+
+        These were rebuilt (as slice closures) on every step; the solver
+        geometry is fixed, so one construction per axis suffices for both
+        backends.
+        """
+        cached = self._filter_ix.get(axis)
+        if cached is None:
+            cached = []
+            for off in (-2, -1, 0, 1, 2):
+                sl: list = [slice(None)] * 3
+                sl[axis] = slice(2 + off, 2 + off + n)
+                cached.append(tuple(sl))
+            self._filter_ix[axis] = cached
+        return cached
+
+    def apply_filter(self, q: np.ndarray, ws=None) -> np.ndarray:
         """One pass of the conservative fourth-difference smoothing.
 
         ``q <- q - eps * (q_{i-2} - 4 q_{i-1} + 6 q_i - 4 q_{i+1} + q_{i+2})``
         along each direction.  With cubic-extrapolated ghosts the fourth
         difference vanishes identically at smooth boundaries, so the filter
         acts only on marginally-resolved interior content.
+
+        With a :class:`~repro.numerics.kernels.StepWorkspace` ``ws`` the
+        filter runs in place on ``q`` using the workspace's extended and
+        scratch buffers (which are free after the sweeps), bitwise-identical
+        to the allocating form.
         """
         eps = self.config.dissipation
         if eps <= 0.0:
             return q
-        from .stencils import extend_axis
-
         for axis in (1, 2):
-            ext = extend_axis(
-                q,
-                axis,
-                low=self._state_ghosts(q, axis, "low"),
-                high=self._state_ghosts(q, axis, "high"),
-            )
-            n = q.shape[axis]
-
-            def s(off: int) -> np.ndarray:
-                sl = [slice(None)] * q.ndim
-                sl[axis] = slice(2 + off, 2 + off + n)
-                return ext[tuple(sl)]
-
-            d4 = s(-2) - 4.0 * s(-1) + 6.0 * s(0) - 4.0 * s(1) + s(2)
-            q = q - eps * d4
+            low = self._state_ghosts(q, axis, "low")
+            high = self._state_ghosts(q, axis, "high")
+            ix = self._filter_indices(axis, q.shape[axis])
+            if ws is None:
+                ext = extend_axis(q, axis, low=low, high=high)
+                d4 = (
+                    ext[ix[0]]
+                    - 4.0 * ext[ix[1]]
+                    + 6.0 * ext[ix[2]]
+                    - 4.0 * ext[ix[3]]
+                    + ext[ix[4]]
+                )
+                q = q - eps * d4
+                continue
+            ext = extend_axis(q, axis, low=low, high=high, out=ws.ext_for(axis))
+            d4, tmp = ws.rate, ws.tmp3
+            np.multiply(ext[ix[1]], 4.0, out=d4)
+            np.subtract(ext[ix[0]], d4, out=d4)
+            np.multiply(ext[ix[2]], 6.0, out=tmp)
+            np.add(d4, tmp, out=d4)
+            np.multiply(ext[ix[3]], 4.0, out=tmp)
+            np.subtract(d4, tmp, out=d4)
+            np.add(d4, ext[ix[4]], out=d4)
+            np.multiply(d4, eps, out=d4)
+            np.subtract(q, d4, out=q)
         return q
 
     # -- main loop ---------------------------------------------------------------
     def step(self) -> None:
-        """Advance one time step (one ``L1x L1r`` or ``L2r L2x`` composite)."""
+        """Advance one time step (one ``L1x L1r`` or ``L2r L2x`` composite).
+
+        With a fused-kernel workspace the two sweeps write into the
+        workspace's ping-pong state buffers (the first sweep's output must
+        not alias its input because predictor and corrector both read it;
+        the second sweep may land back on the step's input, which is dead
+        by then) and the filter runs in place — a steady-state step touches
+        no fresh heap memory beyond small boundary lines.
+        """
         tr = get_tracer()
         rank = self._trace_rank
+        ws = self._ws
         t0 = _time.perf_counter()
         with tr.span("solver.step", rank=rank, step=self.nstep):
             with tr.span("solver.dt", rank=rank):
                 dt = self.current_dt()
             variant = 1 if self.nstep % 2 == 0 else 2
-            Lx, Lr = self._operators(variant)
-            q_before = self.state.q.copy()
+            Lx, Lr = self._cached_operators(variant)
+            q_tail = self._boundary_snapshot()
+            q_in = self.state.q
+            if ws is not None:
+                out1, out2 = ws.rotate_states(q_in)
+            else:
+                out1 = out2 = None
             if variant == 1:
                 with tr.span("solver.sweep_r", rank=rank):
-                    q = Lr.apply(self.state.q, dt)
+                    q = Lr.apply(q_in, dt, out=out1)
                 with tr.span("solver.sweep_x", rank=rank):
-                    q = Lx.apply(q, dt)
+                    q = Lx.apply(q, dt, out=out2)
             else:
                 with tr.span("solver.sweep_x", rank=rank):
-                    q = Lx.apply(self.state.q, dt)
+                    q = Lx.apply(q_in, dt, out=out1)
                 with tr.span("solver.sweep_r", rank=rank):
-                    q = Lr.apply(q, dt)
+                    q = Lr.apply(q, dt, out=out2)
             with tr.span("solver.filter", rank=rank):
-                q = self.apply_filter(q)
+                q = self.apply_filter(q, ws=ws)
             self.state.q = q
             self.t += dt
             self.nstep += 1
             with tr.span("solver.boundaries", rank=rank):
-                self._apply_boundaries(q_before, dt, variant)
+                self._apply_boundaries(q_tail, dt, variant)
         self.wall_time += _time.perf_counter() - t0
 
     def run(

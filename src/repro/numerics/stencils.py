@@ -75,6 +75,7 @@ def extend_axis(
     axis: int,
     low: np.ndarray | None = None,
     high: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pad ``F`` with two ghost planes on each side along ``axis``.
 
@@ -83,11 +84,17 @@ def extend_axis(
     when ``None``, cubic extrapolation generates them.  The distributed
     solver passes neighbour halo data here, which is what makes the parallel
     arithmetic bitwise-identical to the serial solver.
+
+    ``out`` optionally supplies the extended array (shape ``F`` with
+    ``axis`` grown by 4) so steady-state callers avoid the allocation.
     """
     n = F.shape[axis]
     shape = list(F.shape)
     shape[axis] = n + 4
-    out = np.empty(shape, dtype=F.dtype)
+    if out is None:
+        out = np.empty(shape, dtype=F.dtype)
+    elif out.shape != tuple(shape):
+        raise ValueError(f"extend_axis out shape {out.shape} != {tuple(shape)}")
     sl = [slice(None)] * F.ndim
     sl[axis] = slice(2, 2 + n)
     out[tuple(sl)] = F
@@ -112,11 +119,20 @@ def extend_axis(
     return out
 
 
-def forward_difference(F_ext: np.ndarray, axis: int, h: float) -> np.ndarray:
+def forward_difference(
+    F_ext: np.ndarray,
+    axis: int,
+    h: float,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
     """One-sided forward 2-4 difference on a ghost-extended array.
 
     ``F_ext`` must carry two ghost planes on each side (from
     :func:`extend_axis`); the result has the original (unextended) extent.
+    ``out``/``tmp`` optionally supply result and scratch buffers of the
+    unextended shape; the in-place evaluation is bitwise-identical to the
+    allocating expression.
     """
     n = F_ext.shape[axis] - 4
 
@@ -126,10 +142,23 @@ def forward_difference(F_ext: np.ndarray, axis: int, h: float) -> np.ndarray:
         return F_ext[tuple(sl)]
 
     f0, f1, f2 = s(0), s(1), s(2)
-    return (7.0 * (f1 - f0) - (f2 - f1)) / (6.0 * h)
+    if out is None:
+        return (7.0 * (f1 - f0) - (f2 - f1)) / (6.0 * h)
+    np.subtract(f1, f0, out=out)
+    np.multiply(out, 7.0, out=out)
+    np.subtract(f2, f1, out=tmp)
+    np.subtract(out, tmp, out=out)
+    np.divide(out, 6.0 * h, out=out)
+    return out
 
 
-def backward_difference(F_ext: np.ndarray, axis: int, h: float) -> np.ndarray:
+def backward_difference(
+    F_ext: np.ndarray,
+    axis: int,
+    h: float,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
     """One-sided backward 2-4 difference on a ghost-extended array."""
     n = F_ext.shape[axis] - 4
 
@@ -139,4 +168,11 @@ def backward_difference(F_ext: np.ndarray, axis: int, h: float) -> np.ndarray:
         return F_ext[tuple(sl)]
 
     f0, fm1, fm2 = s(0), s(-1), s(-2)
-    return (7.0 * (f0 - fm1) - (fm1 - fm2)) / (6.0 * h)
+    if out is None:
+        return (7.0 * (f0 - fm1) - (fm1 - fm2)) / (6.0 * h)
+    np.subtract(f0, fm1, out=out)
+    np.multiply(out, 7.0, out=out)
+    np.subtract(fm1, fm2, out=tmp)
+    np.subtract(out, tmp, out=out)
+    np.divide(out, 6.0 * h, out=out)
+    return out

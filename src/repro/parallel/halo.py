@@ -83,6 +83,7 @@ def exchange_uvT(
     left: int | None,
     right: int | None,
     axis: int = 0,
+    buf: np.ndarray | None = None,
 ):
     """Exchange one packed ``(u, v, T)`` ghost line with each neighbour.
 
@@ -91,32 +92,39 @@ def exchange_uvT(
     ``(halo_lo, halo_hi)`` — each a ``(3, n_perp)`` array or ``None`` at a
     physical boundary — for
     :func:`repro.physics.viscous.field_gradients`.
+
+    ``buf`` optionally supplies a ``(3, n_perp)`` packing buffer (fused
+    kernel backend).  It is reused for both directions because sends are
+    buffered: the payload is copied before ``send`` returns.
     """
 
     def edge(f, k):
         return f[k] if axis == 0 else np.ascontiguousarray(f[:, k])
 
+    def pack(k):
+        if buf is None:
+            return np.stack([edge(u, k), edge(v, k), edge(T, k)])
+        buf[0] = edge(u, k)
+        buf[1] = edge(v, k)
+        buf[2] = edge(T, k)
+        return buf
+
     if left is not None:
-        comm.send(
-            left,
-            f"{tag}:uvT:toleft",
-            np.stack([edge(u, 0), edge(v, 0), edge(T, 0)]),
-        )
+        comm.send(left, f"{tag}:uvT:toleft", pack(0))
     if right is not None:
-        comm.send(
-            right,
-            f"{tag}:uvT:toright",
-            np.stack([edge(u, -1), edge(v, -1), edge(T, -1)]),
-        )
+        comm.send(right, f"{tag}:uvT:toright", pack(-1))
     halo_lo = comm.recv(left, f"{tag}:uvT:toright") if left is not None else None
     halo_hi = comm.recv(right, f"{tag}:uvT:toleft") if right is not None else None
     return halo_lo, halo_hi
 
 
-def _pair(F: np.ndarray, axis: int, sl: slice) -> np.ndarray:
+def _pair(F: np.ndarray, axis: int, sl: slice, buf: np.ndarray | None = None) -> np.ndarray:
     """Two edge lines of a ``(4, nx, nr)`` flux array along ``axis`` as a
-    ``(4, 2, n_perp)`` pair."""
+    ``(4, 2, n_perp)`` pair, optionally packed into ``buf``."""
     if axis == 1:
+        if buf is not None:
+            np.copyto(buf, F[:, sl, :])
+            return buf
         return np.ascontiguousarray(F[:, sl, :])
     return np.ascontiguousarray(F[:, :, sl].transpose(0, 2, 1))
 
@@ -150,17 +158,19 @@ def exchange_flux_high(
     right: int | None,
     policy: ExchangePolicy,
     axis: int = 1,
+    buf: np.ndarray | None = None,
 ):
     """Flux ghosts for a *forward* one-sided difference.
 
     Every rank ships its two lowest columns leftward; the ghosts beyond a
     rank's high edge are therefore its right neighbour's first two columns.
     Returns ``(2, 4, nr)`` ordered outward, or ``None`` at the outflow end.
+    ``buf`` optionally supplies a ``(4, 2, n_perp)`` packing buffer.
     """
     t = f"{tag}:fxh"
     if left is not None:
         _send_flux_columns(
-            comm, left, t, _pair(F, axis, slice(0, 2)), policy.split_flux_columns
+            comm, left, t, _pair(F, axis, slice(0, 2), buf), policy.split_flux_columns
         )
     if right is None:
         return None
@@ -177,6 +187,7 @@ def exchange_flux_low(
     right: int | None,
     policy: ExchangePolicy,
     axis: int = 1,
+    buf: np.ndarray | None = None,
 ):
     """Flux ghosts for a *backward* one-sided difference.
 
@@ -184,11 +195,12 @@ def exchange_flux_low(
     rank's low edge are its left neighbour's last two columns.  Returns
     ``(2, 4, nr)`` ordered outward (nearest ghost = neighbour's last
     column), or ``None`` at the inflow end.
+    ``buf`` optionally supplies a ``(4, 2, n_perp)`` packing buffer.
     """
     t = f"{tag}:fxl"
     if right is not None:
         _send_flux_columns(
-            comm, right, t, _pair(F, axis, slice(-2, None)),
+            comm, right, t, _pair(F, axis, slice(-2, None), buf),
             policy.split_flux_columns,
         )
     if left is None:
@@ -205,11 +217,12 @@ def exchange_state_halo_low(
     left: int | None,
     right: int | None,
     axis: int = 1,
+    buf: np.ndarray | None = None,
 ):
     """Two state lines flowing toward higher ranks (filter low ghosts)."""
     t = f"{tag}:qlo"
     if right is not None:
-        comm.send(right, t, _pair(q, axis, slice(-2, None)))
+        comm.send(right, t, _pair(q, axis, slice(-2, None), buf))
     if left is None:
         return None
     cols = comm.recv(left, t)
@@ -224,11 +237,12 @@ def exchange_state_halo_high(
     left: int | None,
     right: int | None,
     axis: int = 1,
+    buf: np.ndarray | None = None,
 ):
     """Two state lines flowing toward lower ranks (filter high ghosts)."""
     t = f"{tag}:qhi"
     if left is not None:
-        comm.send(left, t, _pair(q, axis, slice(0, 2)))
+        comm.send(left, t, _pair(q, axis, slice(0, 2), buf))
     if right is None:
         return None
     cols = comm.recv(right, t)

@@ -84,6 +84,9 @@ class DistributedSolver(CompressibleSolver):
             local_grid, q_global[:, self.lo : self.hi, :].copy(), config.gamma
         )
         super().__init__(local_state, config)
+        if self._ws is not None:
+            # Packed halo-line buffers (safe to reuse: sends are buffered).
+            self._ws.add_halo_buffers(self.state.q.shape[2])
         # Attribute this solver's spans to its rank (also bound as the
         # thread default so MacCormack-phase spans inherit it under MPI,
         # where no VirtualCluster worker does the binding).
@@ -106,12 +109,46 @@ class DistributedSolver(CompressibleSolver):
         u, v, T = self.fm.primitives(q)
         return exchange_uvT(self.comm, tag, u, v, T, self.left, self.right)
 
+    def _uvT_halo_fused(self, q: np.ndarray, tag: str):
+        """Halo exchange with primitives evaluated once into the workspace.
+
+        Returns ``(halo, primitives_ready)``: the fused flux kernels skip
+        their own primitive evaluation when the packing already did it
+        (bitwise the same values either way).
+        """
+        from ..physics.fluxes import primitives_into
+
+        ws = self._ws
+        fm = self.fm
+        if not fm.mu:
+            return None, False
+        primitives_into(
+            q, fm.gamma, ws.inv_rho, ws.u, ws.v, ws.p, ws.t2a, ws.t2b, T=ws.T
+        )
+        if self.left is None and self.right is None:
+            return None, True
+        halo = exchange_uvT(
+            self.comm, tag, ws.u, ws.v, ws.T, self.left, self.right,
+            buf=ws.uvT_buf,
+        )
+        return halo, True
+
     def _x_workspace(self, variant: int) -> SweepWorkspace:  # type: ignore[override]
         solver = self
+        ws = self._ws
+        buf = ws.pair_buf if ws is not None else None
 
         def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("x", phase))
-            return solver.fm.axial_flux(q, uvT_halo=halo), None
+            tag = solver._tag("x", phase)
+            if ws is None:
+                return solver.fm.axial_flux(q, uvT_halo=solver._uvT_halo(q, tag)), None
+            halo, ready = solver._uvT_halo_fused(q, tag)
+            return (
+                solver.fm.axial_flux(
+                    q, uvT_halo=halo, ws=ws, primitives_ready=ready
+                ),
+                None,
+            )
 
         def high_ghosts(F, phase):
             # Forward differencing consumes high-side ghosts.
@@ -123,6 +160,7 @@ class DistributedSolver(CompressibleSolver):
                     solver.left,
                     solver.right,
                     solver.policy,
+                    buf=buf,
                 )
             return None
 
@@ -135,26 +173,37 @@ class DistributedSolver(CompressibleSolver):
                     solver.left,
                     solver.right,
                     solver.policy,
+                    buf=buf,
                 )
             return None
 
         return SweepWorkspace(
-            flux=flux, low_ghosts=low_ghosts, high_ghosts=high_ghosts
+            flux=flux,
+            low_ghosts=low_ghosts,
+            high_ghosts=high_ghosts,
+            scratch=ws.sweep_x if ws is not None else None,
         )
 
     def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
         solver = self
-        base = super()._r_workspace()
+        ws = self._ws
+        base = self._r_workspace_serial()
 
         def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("r", phase))
-            return solver.fm.radial_flux(q, uvT_halo=halo)
+            tag = solver._tag("r", phase)
+            if ws is None:
+                return solver.fm.radial_flux(q, uvT_halo=solver._uvT_halo(q, tag))
+            halo, ready = solver._uvT_halo_fused(q, tag)
+            return solver.fm.radial_flux(
+                q, uvT_halo=halo, ws=ws, primitives_ready=ready
+            )
 
         return SweepWorkspace(
             flux=flux,
             low_ghosts=base.low_ghosts,
             high_ghosts=base.high_ghosts,
             inv_weight=base.inv_weight,
+            scratch=ws.sweep_r if ws is not None else None,
         )
 
     def _operators(self, variant: int):  # type: ignore[override]
@@ -198,12 +247,13 @@ class DistributedSolver(CompressibleSolver):
     def _state_ghosts(self, q: np.ndarray, axis: int, side: str):  # type: ignore[override]
         if axis == 1:
             tag = self._tag("filter")
+            buf = self._ws.pair_buf if self._ws is not None else None
             if side == "low":
                 return exchange_state_halo_low(
-                    self.comm, tag, q, self.left, self.right
+                    self.comm, tag, q, self.left, self.right, buf=buf
                 )
             ghosts = exchange_state_halo_high(
-                self.comm, tag, q, self.left, self.right
+                self.comm, tag, q, self.left, self.right, buf=buf
             )
             return ghosts
         # Radial ghosts are local: axis mirror / cubic as in the serial code.
@@ -216,19 +266,19 @@ class DistributedSolver(CompressibleSolver):
         return None
 
     # -- boundaries: only the owning ranks act --------------------------------
-    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):  # type: ignore[override]
+    def _apply_boundaries(self, q_tail: np.ndarray | None, dt: float, variant: int):  # type: ignore[override]
         bc = self.config.boundary
         if bc is None:
             return
         q = self.state.q
         if bc.characteristic_outflow and self.right is None:
-            q_t = self._outflow_rates(q_before, variant)
+            q_t = self._outflow_rates(q_tail, variant)
             from ..numerics.boundary import characteristic_outflow_rates
 
             rates = characteristic_outflow_rates(
-                q_before[:, -1, :], q_t, self.config.gamma
+                q_tail[:, -1, :], q_t, self.config.gamma
             )
-            q[:, -1, :] = q_before[:, -1, :] + dt * rates
+            q[:, -1, :] = q_tail[:, -1, :] + dt * rates
         if bc.inflow is not None and self.left is None:
             q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
         if bc.sponge is not None and self._sponge_col is not None:

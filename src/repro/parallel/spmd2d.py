@@ -96,6 +96,10 @@ class CartesianDecomposition:
 class Distributed2DSolver(CompressibleSolver):
     """Per-rank solver over a 2-D Cartesian block decomposition."""
 
+    #: The fused kernel workspace is not wired through the 2-D halo
+    #: plumbing yet; the fused backend degrades to the allocating path here.
+    _supports_fused_kernels = False
+
     def __init__(
         self,
         comm: Communicator,

@@ -53,6 +53,10 @@ from .versions import Version, version_by_number
 class RadialDistributedSolver(CompressibleSolver):
     """Per-rank solver over a radial block decomposition."""
 
+    #: The fused kernel workspace is not wired through the radial halo
+    #: plumbing yet; the fused backend degrades to the allocating path here.
+    _supports_fused_kernels = False
+
     def __init__(
         self,
         comm: Communicator,

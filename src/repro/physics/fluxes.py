@@ -71,6 +71,83 @@ def inviscid_fluxes(q: np.ndarray, gamma: float = constants.GAMMA):
     return F, G, p
 
 
+def primitives_into(
+    q: np.ndarray,
+    gamma: float,
+    inv_rho: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    p: np.ndarray,
+    tmp_a: np.ndarray,
+    tmp_b: np.ndarray,
+    T: np.ndarray | None = None,
+) -> None:
+    """Primitive fields evaluated once into caller-owned buffers.
+
+    Bitwise-identical, operation for operation, to the expressions in
+    :func:`inviscid_fluxes` and ``FluxModel.primitives`` — the fused kernel
+    backend computes them a single time and shares the result between the
+    inviscid assembly and the viscous stress gradients (the baseline path
+    evaluates the same expressions twice per flux call).
+    """
+    np.divide(1.0, q[0], out=inv_rho)
+    np.multiply(q[1], inv_rho, out=u)
+    np.multiply(q[2], inv_rho, out=v)
+    # p = (gamma - 1) * (E - 0.5 * (rho_u * u + rho_v * v))
+    np.multiply(q[1], u, out=tmp_a)
+    np.multiply(q[2], v, out=tmp_b)
+    np.add(tmp_a, tmp_b, out=tmp_a)
+    np.multiply(tmp_a, 0.5, out=tmp_a)
+    np.subtract(q[3], tmp_a, out=tmp_a)
+    np.multiply(tmp_a, gamma - 1.0, out=p)
+    if T is not None:
+        # T = gamma * p / rho, with the single division reused.
+        np.multiply(p, gamma, out=tmp_a)
+        np.multiply(tmp_a, inv_rho, out=T)
+
+
+def axial_inviscid_into(
+    q: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    p: np.ndarray,
+    F: np.ndarray,
+    tmp: np.ndarray,
+) -> np.ndarray:
+    """Axial inviscid flux only, into ``F`` (the radial ``G`` is skipped).
+
+    The allocating :func:`inviscid_fluxes` always assembles both flux
+    vectors although each split sweep consumes exactly one of them; this
+    kernel writes the four axial components into a preallocated ``F`` and
+    is bitwise-identical to the corresponding rows of the full evaluation.
+    """
+    np.copyto(F[0], q[1])
+    np.multiply(q[1], u, out=F[1])
+    F[1] += p
+    np.multiply(q[1], v, out=F[2])
+    np.add(q[3], p, out=tmp)  # E + p
+    np.multiply(u, tmp, out=F[3])
+    return F
+
+
+def radial_inviscid_into(
+    q: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    p: np.ndarray,
+    G: np.ndarray,
+    tmp: np.ndarray,
+) -> np.ndarray:
+    """Radial inviscid flux only, into ``G`` (the axial ``F`` is skipped)."""
+    np.copyto(G[0], q[2])
+    np.multiply(q[2], u, out=G[1])
+    np.multiply(q[2], v, out=G[2])
+    G[2] += p
+    np.add(q[3], p, out=tmp)  # E + p
+    np.multiply(v, tmp, out=G[3])
+    return G
+
+
 def axisymmetric_source(
     q: np.ndarray,
     p: np.ndarray,

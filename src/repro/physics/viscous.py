@@ -42,6 +42,46 @@ class ViscousTerms:
     heat_r: np.ndarray
 
 
+def gradient_axis(
+    f: np.ndarray,
+    h: float,
+    axis: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Second-order central gradient along one axis, optionally into ``out``.
+
+    Bitwise-identical to ``np.gradient(f, h, axis=axis, edge_order=2)`` —
+    the interior stencil ``(f[i+1] - f[i-1]) / (2 h)`` and numpy's one-sided
+    second-order edge formulas are transcribed operation for operation — but
+    computes only the requested axis and writes into a caller-owned buffer,
+    which is what lets the fused kernel backend evaluate single-direction
+    viscous stresses without allocating.
+    """
+    if out is None:
+        return np.gradient(f, h, axis=axis, edge_order=2)
+    n = f.shape[axis]
+    if n < 3:
+        raise ValueError(
+            "gradient_axis needs at least 3 points for second-order edges"
+        )
+
+    def sl(idx) -> tuple:
+        s = [slice(None)] * f.ndim
+        s[axis] = idx
+        return tuple(s)
+
+    # Interior: (f[i+1] - f[i-1]) / (2 h).
+    interior = out[sl(slice(1, -1))]
+    np.subtract(f[sl(slice(2, None))], f[sl(slice(None, -2))], out=interior)
+    np.divide(interior, 2.0 * h, out=interior)
+    # Second-order one-sided edges (numpy's uniform-spacing coefficients).
+    a, b, c = -1.5 / h, 2.0 / h, -0.5 / h
+    out[sl(0)] = a * f[sl(0)] + b * f[sl(1)] + c * f[sl(2)]
+    a, b, c = 0.5 / h, -2.0 / h, 1.5 / h
+    out[sl(-1)] = a * f[sl(-3)] + b * f[sl(-2)] + c * f[sl(-1)]
+    return out
+
+
 def field_gradients(
     u: np.ndarray,
     v: np.ndarray,

@@ -191,6 +191,63 @@ class TestFilter:
         assert sc.solver.apply_filter(q) is q
 
 
+class TestKernelBackends:
+    """Backend choice must never change the numbers (ISSUE tentpole)."""
+
+    @pytest.mark.parametrize("viscous", [True, False], ids=["ns", "euler"])
+    def test_fused_bitwise_identical(self, viscous):
+        ref = jet_scenario(nx=48, nr=24, viscous=viscous)
+        ref.solver.run(12)
+        sc = jet_scenario(nx=48, nr=24, viscous=viscous)
+        sc.solver.config.backend = "fused"
+        solver = type(sc.solver)(sc.state, sc.solver.config)
+        solver.run(12)
+        assert np.array_equal(solver.state.q, ref.state.q)
+
+    def test_fused_power_law_viscosity(self):
+        """The mu(T) field path also runs through the fused kernels."""
+        ref = jet_scenario(nx=40, nr=20, viscous=True)
+        ref.solver.config.mu_exponent = 0.7
+        ref.solver.config.dt = 0.01
+        ref.solver.run(8)
+        sc = jet_scenario(nx=40, nr=20, viscous=True)
+        sc.solver.config.mu_exponent = 0.7
+        sc.solver.config.dt = 0.01
+        sc.solver.config.backend = "fused"
+        solver = type(sc.solver)(sc.state, sc.solver.config)
+        solver.run(8)
+        assert np.array_equal(solver.state.q, ref.state.q)
+
+    def test_fused_planar_periodic(self):
+        """Planar/periodic verification mode under the fused kernels."""
+        ref = periodic_advection_scenario(n=24)
+        ref.solver.run(20)
+        sc = periodic_advection_scenario(n=24)
+        sc.solver.config.backend = "fused"
+        solver = type(sc.solver)(sc.state, sc.solver.config)
+        solver.run(20)
+        assert np.array_equal(solver.state.q, ref.state.q)
+
+    def test_boundary_strip_snapshot_width(self):
+        """The pre-step copy is the 5-column outflow strip, not the state."""
+        sc = jet_scenario(nx=48, nr=24, viscous=False)
+        tail = sc.solver._boundary_snapshot()
+        assert tail.shape == (4, 5, 24)
+        assert np.array_equal(tail, sc.state.q[:, -5:, :])
+
+    def test_no_snapshot_without_outflow(self):
+        cfg = SolverConfig(
+            viscous=False, axisymmetric=False, periodic_x=True,
+            periodic_r=True, boundary=None,
+        )
+        g = Grid(nx=16, nr=16, length_x=1.0, length_r=1.0)
+        st = FlowState.from_primitive(
+            g, np.ones((16, 16)), 0.0, 0.0, 1 / 1.4
+        )
+        solver = EulerSolver(st, cfg)
+        assert solver._boundary_snapshot() is None
+
+
 class TestTemperatureDependentViscosity:
     def test_power_law_changes_solution(self):
         from repro import jet_scenario

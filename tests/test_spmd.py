@@ -57,6 +57,18 @@ class TestBitwiseEquivalence:
         assert res.nsteps == 12
         assert res.t > 0
 
+    @pytest.mark.parametrize("viscous", [True, False], ids=["ns", "euler"])
+    def test_fused_backend_matches_serial_baseline(
+        self, ns_case, euler_case, viscous
+    ):
+        """Kernel backend and rank count are both bitwise-invisible."""
+        import dataclasses
+
+        sc, ref = ns_case if viscous else euler_case
+        config = dataclasses.replace(sc.solver.config, backend="fused")
+        res = ParallelJetSolver(sc.state, config, nranks=4, timeout=60).run(12)
+        assert np.array_equal(res.state.q, ref.q)
+
 
 class TestCommunicationStructure:
     def test_interior_rank_counts(self, ns_case):
