@@ -130,6 +130,61 @@ def test_nulltracer_overhead():
     )
 
 
+def test_faultycomm_passthrough_overhead():
+    """A FaultyComm with injection disabled must cost < 3% of a step.
+
+    Same direct-measurement strategy as ``test_nulltracer_overhead``: count
+    the communicator calls one distributed step makes per rank, time the
+    inert decorator's per-call cost over a no-op inner communicator, and
+    bound ``calls x per_call`` against the median real step time — stable
+    on loaded machines because the decorator cost is measured in isolation.
+    """
+    import time
+
+    import numpy as np
+
+    from repro import jet_scenario
+    from repro.faults import FaultyComm
+    from repro.parallel.runner import ParallelJetSolver
+
+    sc = jet_scenario(nx=120, nr=50, viscous=True)
+
+    # Calls per step per rank, from the real run's own statistics.
+    res = ParallelJetSolver(sc.state, sc.solver.config, nranks=4).run(5)
+    stats = res.interior_rank_stats
+    calls_per_step = (stats.sends + stats.recvs) / 5
+
+    # Median per-rank step time of the same run.
+    step_seconds = sorted(res.per_rank_wall)[2] / 5
+
+    class _NoopComm:
+        rank, size = 1, 4
+        stats = None
+        _payload = np.empty((4, 2, 50))
+
+        def send(self, dest, tag, array):
+            return None
+
+        def recv(self, source, tag, timeout=None):
+            return self._payload
+
+    inert = FaultyComm(_NoopComm(), None)
+    payload = np.empty((4, 2, 50))
+    reps = 20_000
+    t0 = time.perf_counter()
+    for _ in range(reps // 2):
+        inert.send(2, "t", payload)
+        inert.recv(2, "t")
+    per_call = (time.perf_counter() - t0) / reps
+
+    overhead = calls_per_step * per_call
+    assert overhead < 0.03 * step_seconds, (
+        f"inert FaultyComm overhead {1e6 * overhead:.1f}us/step "
+        f"({calls_per_step:.0f} calls) exceeds 3% of the "
+        f"{1e3 * step_seconds:.2f}ms step"
+    )
+
+
 def test_distributed_step_4ranks(benchmark):
     """One distributed step (4 ranks, real message passing) — measures the
     virtual-cluster overhead relative to the serial step."""

@@ -20,6 +20,42 @@ import argparse
 import sys
 
 
+def fault_timeline(trace, limit: int = 40) -> str:
+    """Chronological table of injected faults and recovery actions.
+
+    Covers the ``cat="fault"`` instants both substrates record: the
+    thread substrate's ``fault.drop`` / ``fault.duplicate`` / ... /
+    ``recovery.restart`` events and the DES substrate's
+    ``fault.sim_delay`` occupancy injections.  Empty string when the run
+    had no fault layer active.
+    """
+    from repro.analysis.report import format_table
+
+    events = [e for e in trace.ordered_events() if e.cat == "fault"]
+    if not events:
+        return ""
+    rows = []
+    for e in events[:limit]:
+        args = dict(e.args)
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(args.items()) if k != "step"
+        )
+        rows.append(
+            [f"{e.t:.6f}", e.rank, args.get("step", ""), e.name, detail]
+        )
+    counts = {}
+    for e in events:
+        counts[e.name] = counts.get(e.name, 0) + 1
+    summary = ", ".join(f"{n} x{c}" for n, c in sorted(counts.items()))
+    title = f"fault timeline ({len(events)} events: {summary})"
+    table = format_table(
+        ["t (s)", "rank", "step", "event", "detail"], rows, title=title
+    )
+    if len(events) > limit:
+        table += f"\n... and {len(events) - limit} more fault events"
+    return table
+
+
 def report(path: str) -> str:
     from repro.analysis.metrics import component_breakdown
     from repro.analysis.report import format_table
@@ -55,11 +91,15 @@ def report(path: str) -> str:
         f"computation {100 * fc:.1f}%, startup {100 * fs:.1f}%, "
         f"transfer {100 * ft:.1f}% (paper Fig. 5)"
     )
-    return format_table(
+    table = format_table(
         ["rank", "computation s", "startup s", "transfer s", "total s"],
         rows,
         title=title,
     )
+    faults = fault_timeline(trace)
+    if faults:
+        table += "\n\n" + faults
+    return table
 
 
 def selftest() -> int:

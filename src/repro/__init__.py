@@ -30,6 +30,7 @@ Every substrate is reached through one facade (``repro.api``; see also
 """
 
 from .api import RunResult, RunTimings, run
+from .faults import FaultPlan
 from .grid import Grid, paper_grid
 from .physics.state import FlowState
 from .physics.jet import JetProfile, InflowExcitation
@@ -55,6 +56,7 @@ __all__ = [
     "run",
     "RunResult",
     "RunTimings",
+    "FaultPlan",
     "Grid",
     "paper_grid",
     "FlowState",

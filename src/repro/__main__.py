@@ -116,6 +116,9 @@ def _cmd_run(args) -> int:
             version=args.version,
             trace=args.trace,
             decomposition=args.decomposition,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            checkpoint_every=args.checkpoint_every,
             **kw,
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -123,6 +126,16 @@ def _cmd_run(args) -> int:
         print(f"error: {msg}", file=sys.stderr)
         return 2
     print(res.summary())
+    if res.fault_stats is not None:
+        injected = sum(s.total_injected for s in res.fault_stats if s)
+        recovered = sum(
+            s.retransmissions + s.dups_discarded + s.corrupt_discarded
+            for s in res.fault_stats if s
+        )
+        print(
+            f"faults: {injected} injected, {recovered} recovery actions, "
+            f"{res.restarts} checkpoint restart(s)"
+        )
     if res.trace is not None:
         print(
             f"trace: {len(res.trace.spans)} spans, {len(res.trace.events)} "
@@ -205,6 +218,14 @@ def main(argv: list[str] | None = None) -> int:
                    choices=("axial", "radial", "2d"))
     p.add_argument("--nx", type=int, default=None)
     p.add_argument("--nr", type=int, default=None)
+    p.add_argument("--faults", default=None, metavar="PRESET",
+                   help="inject faults: lossy-ethernet, jittery-now, "
+                        "drop-storm, crash-rank1, lossy-crash")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="re-seed the fault plan (reproduces a printed seed)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="gather a restart snapshot every N steps "
+                        "(distributed runs; lets injected crashes recover)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("jet", help="run the real solver")

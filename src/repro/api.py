@@ -84,6 +84,11 @@ class RunResult:
     """Where the Chrome-trace JSON was written (when requested)."""
     sim: object | None = None
     """The :class:`repro.simulate.machine.RunResult` for platform runs."""
+    restarts: int = 0
+    """Checkpoint restarts a faulted distributed run needed (0 = clean)."""
+    fault_stats: list | None = None
+    """Per-rank :class:`~repro.faults.FaultStats` when faults were active
+    on the distributed route, else ``None``."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -159,6 +164,10 @@ def run(
     pr: int | None = None,
     timeout: float = 120.0,
     steps_window: int = 30,
+    faults=None,
+    fault_seed: int | None = None,
+    checkpoint_every: int = 0,
+    max_restarts: int = 2,
     **scenario_kw,
 ) -> RunResult:
     """Run ``scenario`` on the selected substrate and return a
@@ -203,19 +212,46 @@ def run(
     steps_window:
         Simulated steps actually executed by the DES before scaling
         (simulated route only).
+    faults:
+        ``None`` (default), a preset name (``"lossy-ethernet"``,
+        ``"jittery-now"``, ``"drop-storm"``, ``"crash-rank1"``,
+        ``"lossy-crash"``) or a :class:`~repro.faults.FaultPlan`.  On the
+        distributed route this wraps every rank's communicator in a
+        fault-injecting :class:`~repro.faults.FaultyComm`; on the simulated
+        route it degrades the DES network deterministically.  Not valid for
+        serial runs (there is no network to break).
+    fault_seed:
+        Re-seeds the plan (``plan.with_seed``); every injection decision is
+        a pure function of the seed, so a printed seed reproduces a run.
+    checkpoint_every:
+        Distributed route: gather a restart snapshot every N steps so an
+        injected crash resumes instead of failing (0 = off).
+    max_restarts:
+        Distributed route: checkpoint restarts allowed before the
+        structured :class:`~repro.msglib.RankFailure` propagates.
     """
     sc = _resolve(scenario, **scenario_kw)
     tracer, trace_path = _coerce_tracer(trace)
+    from .faults import resolve_fault_plan
+
+    plan = resolve_fault_plan(faults, seed=fault_seed)
     if platform is not None:
         result = _run_simulated(
-            sc, platform, nprocs, version, steps, steps_window, tracer
+            sc, platform, nprocs, version, steps, steps_window, tracer,
+            faults=plan,
         )
     elif nprocs == 1:
+        if plan is not None:
+            raise ValueError(
+                "faults= requires a network to break: use nprocs > 1 "
+                "(virtual cluster) or platform=... (simulated machine)"
+            )
         result = _run_serial(sc, steps, tracer, backend)
     else:
         result = _run_parallel(
             sc, steps, nprocs, version, decomposition, px, pr, timeout, tracer,
-            backend,
+            backend, faults=plan, checkpoint_every=checkpoint_every,
+            max_restarts=max_restarts,
         )
     if tracer is not None and trace_path is not None:
         write_chrome_trace(tracer.trace, trace_path)
@@ -281,6 +317,9 @@ def _run_parallel(
     timeout: float,
     tracer: Tracer | None,
     backend: str | None = None,
+    faults=None,
+    checkpoint_every: int = 0,
+    max_restarts: int = 2,
 ) -> RunResult:
     from .parallel.runner import ParallelJetSolver
 
@@ -294,6 +333,9 @@ def _run_parallel(
         px=px,
         pr=pr,
         timeout=timeout,
+        faults=faults,
+        checkpoint_every=checkpoint_every,
+        max_restarts=max_restarts,
     )
     t0 = _time.perf_counter()
     res = solver.run(steps, tracer=tracer)
@@ -313,6 +355,8 @@ def _run_parallel(
             per_rank_wall=tuple(res.per_rank_wall),
         ),
         trace=res.trace,
+        restarts=res.restarts,
+        fault_stats=res.fault_stats,
     )
 
 
@@ -324,6 +368,7 @@ def _run_simulated(
     steps: int | None,
     steps_window: int,
     tracer: Tracer | None,
+    faults=None,
 ) -> RunResult:
     from .machines.platforms import platform_by_name
     from .simulate.machine import SimulatedMachine
@@ -336,6 +381,11 @@ def _run_simulated(
     t0 = _time.perf_counter()
     if platform.cpu is None:
         # Shared-memory vector machine (the Y-MP): analytic, no DES trace.
+        if faults is not None:
+            raise ValueError(
+                f"faults= is not supported on {platform.name}: the "
+                "shared-memory model has no network to degrade"
+            )
         sim = SharedMemoryMachine(platform, nprocs).run(
             app, version=version, total_steps=steps
         )
@@ -348,7 +398,9 @@ def _run_simulated(
                 meta={"platform": platform.name, "app": app.name, "nprocs": nprocs},
             )
     else:
-        sim = SimulatedMachine(platform, nprocs, version=version).run(
+        sim = SimulatedMachine(
+            platform, nprocs, version=version, faults=faults
+        ).run(
             app,
             steps_window=steps_window,
             total_steps=steps,

@@ -1,0 +1,53 @@
+"""Fault injection for the virtual cluster, the MPI adapter, and the DES.
+
+The paper's NOW results hinge on an unreliable shared medium — LACE over
+10 Mbps Ethernet degrades under load while ALLNODE/ATM stay predictable —
+so this package makes unreliability a first-class, *testable* input:
+
+* :class:`FaultPlan` — a seeded, deterministic schedule of message drop,
+  duplication, reordering, truncation, delay jitter, rank slowdown and
+  rank crash (with named presets like ``"lossy-ethernet"``);
+* :class:`FaultyComm` — a decorator over any
+  :class:`~repro.msglib.api.Communicator` that injects the plan's faults
+  *and* hides the recoverable ones behind a sequence-numbered, idempotent
+  transport with timeout/retry/backoff receives;
+* DES hooks — :class:`~repro.simulate.machine.SimulatedMachine` maps the
+  same plan onto deterministic extra network occupancy and per-node
+  slowdown factors.
+
+Entry points: ``repro.api.run(..., faults="lossy-ethernet")`` or the CLI's
+``python -m repro run jet --nprocs 4 --faults lossy-ethernet``.
+"""
+
+from .comm import (
+    FaultError,
+    FaultStats,
+    FaultyComm,
+    MessageTimeout,
+    RankCrashed,
+)
+from .plan import (
+    PRESETS,
+    Fate,
+    FaultPlan,
+    fault_plan_by_name,
+    resolve_fault_plan,
+)
+from .wire import HEADER_BYTES, pack_frame, truncate_frame, unpack_frame
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyComm",
+    "Fate",
+    "HEADER_BYTES",
+    "MessageTimeout",
+    "PRESETS",
+    "RankCrashed",
+    "fault_plan_by_name",
+    "pack_frame",
+    "resolve_fault_plan",
+    "truncate_frame",
+    "unpack_frame",
+]

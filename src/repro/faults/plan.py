@@ -1,0 +1,305 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` is a frozen description of *which* faults to inject
+and *how often*; every concrete decision ("is this transmission dropped?")
+is a pure function of ``(plan.seed, salt, src, dst, tag, seq, attempt)``
+hashed through BLAKE2 — never of wall-clock time or thread interleaving.
+Two runs of the same program under the same plan therefore inject exactly
+the same faults on exactly the same messages, which is what makes the
+chaos suite reproducible from a printed seed.
+
+The same plan drives both execution substrates:
+
+* the **thread substrate** (:class:`~repro.faults.comm.FaultyComm` over the
+  virtual cluster or the MPI adapter) injects real message-level faults —
+  drop, duplication, reordering, payload truncation, delay jitter, rank
+  slowdown and rank crash;
+* the **DES substrate** (:class:`~repro.simulate.machine.SimulatedMachine`)
+  maps the wire-level faults onto deterministic extra occupancy of the
+  simulated network (retransmissions and jitter) and the rank slowdowns
+  onto per-node speed factors.
+
+``salt`` distinguishes restart attempts: the checkpoint/restart path in
+:mod:`repro.parallel.runner` re-runs with ``salt = attempt`` so a crash
+scheduled for attempt 0 does not fire again after recovery (see
+``crash_attempts``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+
+def _unit(seed: int, *key) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from ``(seed, *key)``."""
+    material = repr((seed,) + key).encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class Fate:
+    """The plan's verdict for one transmission attempt of one message."""
+
+    drop: bool = False
+    truncate: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    delay_seconds: float = 0.0
+
+    @property
+    def delivered(self) -> bool:
+        """Whether an intact frame reaches the wire on this attempt."""
+        return not (self.drop or self.truncate)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    All probabilities are per *transmission attempt*; a message whose
+    attempt is dropped or truncated is retransmitted (up to
+    ``max_transmits`` attempts total), modelling an unreliable wire under
+    the sequence-numbered transport :class:`~repro.faults.comm.FaultyComm`
+    implements.  A message whose every attempt fails is lost for good and
+    surfaces at the receiver as a
+    :class:`~repro.faults.comm.MessageTimeout`.
+    """
+
+    seed: int = 0
+    name: str = ""
+    drop: float = 0.0
+    """P(transmission attempt lost on the wire)."""
+    duplicate: float = 0.0
+    """P(delivered frame deposited twice)."""
+    reorder: float = 0.0
+    """P(delivered frame held back until the sender's next library call)."""
+    truncate: float = 0.0
+    """P(frame delivered with its tail cut off — detected and discarded
+    by the receiver's length check, then retransmitted)."""
+    delay: float = 0.0
+    """P(extra latency injected before the transmission)."""
+    max_delay: float = 0.002
+    """Upper bound of the injected latency, seconds (thread substrate);
+    the DES substrate scales it relative to the uncontended message time."""
+    max_transmits: int = 3
+    """Sender-side transmissions per message (1 = no retransmission)."""
+    slow_ranks: tuple[tuple[int, float], ...] = ()
+    """``(rank, factor)`` pairs; factor >= 1 slows that rank down."""
+    op_seconds: float = 0.0002
+    """Busy-wait unit for slowed ranks: each library call on a slowed rank
+    sleeps ``(factor - 1) * op_seconds`` (thread substrate only)."""
+    crashes: tuple[tuple[int, int], ...] = ()
+    """``(rank, step)`` pairs: the rank raises
+    :class:`~repro.faults.comm.RankCrashed` at its first library call at or
+    after that solver step."""
+    crash_attempts: int = 1
+    """Crashes fire only while ``salt < crash_attempts`` — after a
+    checkpoint restart (salt = attempt number) the rank stays up."""
+    recv_timeout: float = 0.5
+    """Receiver poll window per attempt, seconds."""
+    recv_retries: int = 4
+    """Extra receive polls (with backoff) before declaring the message
+    lost."""
+    backoff: float = 1.5
+    """Multiplier applied to the poll window after each timeout."""
+    always_wrap: bool = False
+    """Force the sequence-numbered transport on even with all fault
+    probabilities at zero (used to test the envelope round-trip and to
+    measure transport overhead)."""
+
+    # -- state queries -------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this plan injects anything at all."""
+        return bool(
+            self.drop
+            or self.duplicate
+            or self.reorder
+            or self.truncate
+            or self.delay
+            or self.slow_ranks
+            or self.crashes
+            or self.always_wrap
+        )
+
+    @property
+    def wire_faulty(self) -> bool:
+        """Whether any message-level fault is active (vs crash/slow only)."""
+        return bool(
+            self.drop or self.duplicate or self.reorder or self.truncate
+            or self.delay
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return dataclasses.replace(self, seed=seed)
+
+    # -- deterministic decisions --------------------------------------------
+    def fate(
+        self, src: int, dst: int, tag: str, seq: int, attempt: int, salt: int = 0
+    ) -> Fate:
+        """The verdict for transmission ``attempt`` of message ``seq`` on
+        the ``(src, dst, tag)`` stream.  Pure and thread-independent."""
+        key = (salt, src, dst, tag, seq, attempt)
+        drop = self.drop > 0.0 and _unit(self.seed, "drop", *key) < self.drop
+        truncate = (
+            not drop
+            and self.truncate > 0.0
+            and _unit(self.seed, "trunc", *key) < self.truncate
+        )
+        duplicate = (
+            self.duplicate > 0.0
+            and _unit(self.seed, "dup", *key) < self.duplicate
+        )
+        reorder = (
+            self.reorder > 0.0
+            and _unit(self.seed, "reorder", *key) < self.reorder
+        )
+        delay_seconds = 0.0
+        if self.delay > 0.0 and _unit(self.seed, "delay", *key) < self.delay:
+            delay_seconds = self.max_delay * _unit(self.seed, "delayamt", *key)
+        return Fate(
+            drop=drop,
+            truncate=truncate,
+            duplicate=duplicate,
+            reorder=reorder,
+            delay_seconds=delay_seconds,
+        )
+
+    def crash_step(self, rank: int) -> int | None:
+        """The step at which ``rank`` is scheduled to crash, or ``None``."""
+        steps = [s for r, s in self.crashes if r == rank]
+        return min(steps) if steps else None
+
+    def slow_factor(self, rank: int) -> float:
+        """Slowdown factor for ``rank`` (1.0 = full speed)."""
+        for r, factor in self.slow_ranks:
+            if r == rank:
+                return max(float(factor), 1.0)
+        return 1.0
+
+    def slow_seconds(self, rank: int) -> float:
+        """Per-library-call sleep injected on a slowed rank."""
+        return (self.slow_factor(rank) - 1.0) * self.op_seconds
+
+    # -- DES substrate mapping ----------------------------------------------
+    def sim_extra_delay(
+        self, src: int, dst: int, key: tuple, base_seconds: float
+    ) -> float:
+        """Deterministic extra wire occupancy for one simulated transfer.
+
+        Failed transmission attempts (drop or truncate) each cost one more
+        ``base_seconds`` of occupancy (the retransmission); delay jitter
+        adds up to one extra uncontended message time.  The draw key mirrors
+        the thread substrate's ``(src, dst, message-identity, attempt)``
+        shape so the two substrates consume the same schedule family.
+        """
+        extra = 0.0
+        for attempt in range(max(self.max_transmits, 1) - 1):
+            k = ("sim", src, dst) + key + (attempt,)
+            failed = (
+                self.drop > 0.0 and _unit(self.seed, "drop", *k) < self.drop
+            ) or (
+                self.truncate > 0.0
+                and _unit(self.seed, "trunc", *k) < self.truncate
+            )
+            if not failed:
+                break
+            extra += base_seconds
+        k = ("sim", src, dst) + key
+        if self.delay > 0.0 and _unit(self.seed, "delay", *k) < self.delay:
+            extra += base_seconds * _unit(self.seed, "delayamt", *k)
+        return extra
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for field in ("drop", "duplicate", "reorder", "truncate", "delay"):
+            v = getattr(self, field)
+            if v:
+                parts.append(f"{field}={v:g}")
+        if self.slow_ranks:
+            parts.append(f"slow={dict(self.slow_ranks)}")
+        if self.crashes:
+            parts.append(f"crashes={list(self.crashes)}")
+        label = self.name or "faults"
+        return f"{label}({', '.join(parts)})"
+
+
+#: Named presets, mirroring the paper's platforms: the shared 10 Mbps
+#: Ethernet NOW degrades under load (loss, duplication, reordering, heavy
+#: jitter) while the switched fabrics only jitter mildly.
+PRESETS: dict[str, FaultPlan] = {
+    "lossy-ethernet": FaultPlan(
+        name="lossy-ethernet",
+        drop=0.12,
+        duplicate=0.05,
+        reorder=0.08,
+        truncate=0.04,
+        delay=0.25,
+        max_delay=0.002,
+        max_transmits=4,
+    ),
+    "jittery-now": FaultPlan(
+        name="jittery-now",
+        delay=0.6,
+        max_delay=0.004,
+        reorder=0.05,
+        slow_ranks=((1, 2.5),),
+        max_transmits=3,
+    ),
+    "drop-storm": FaultPlan(
+        name="drop-storm",
+        drop=0.5,
+        max_transmits=2,
+        recv_timeout=0.25,
+        recv_retries=3,
+    ),
+    "crash-rank1": FaultPlan(
+        name="crash-rank1",
+        crashes=((1, 3),),
+        recv_timeout=0.25,
+        recv_retries=3,
+    ),
+    "lossy-crash": FaultPlan(
+        name="lossy-crash",
+        drop=0.1,
+        duplicate=0.05,
+        reorder=0.05,
+        max_transmits=4,
+        crashes=((1, 3),),
+        recv_timeout=0.25,
+        recv_retries=3,
+    ),
+}
+
+
+def fault_plan_by_name(name: str, seed: int | None = None) -> FaultPlan:
+    """Look up a preset plan, optionally re-seeded."""
+    try:
+        plan = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(
+            f"unknown fault preset {name!r}; known presets: {known}"
+        ) from None
+    return plan if seed is None else plan.with_seed(seed)
+
+
+def resolve_fault_plan(faults, seed: int | None = None) -> FaultPlan | None:
+    """Coerce the ``faults=`` argument of :func:`repro.api.run`.
+
+    ``None`` stays ``None``; a string selects a preset; a
+    :class:`FaultPlan` passes through (re-seeded when ``seed`` is given).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        return fault_plan_by_name(faults, seed=seed)
+    if isinstance(faults, FaultPlan):
+        return faults if seed is None else faults.with_seed(seed)
+    raise TypeError(
+        f"faults must be None, a preset name, or a FaultPlan; got "
+        f"{type(faults).__name__}"
+    )

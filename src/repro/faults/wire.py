@@ -1,0 +1,88 @@
+"""Self-describing wire frames for the fault-tolerant transport.
+
+When a :class:`~repro.faults.comm.FaultyComm` has faults enabled, every
+payload travels as a *frame*: a flat ``uint8`` array carrying a fixed
+header (magic, sequence number, byte count, dtype, shape) followed by the
+raw payload bytes.  The header lets the receiver
+
+* restore ordering and discard duplicates (the sequence number),
+* detect truncated frames (declared vs actual byte count), and
+* reconstruct the exact numpy array (dtype + shape), bitwise-identical to
+  what was sent.
+
+Frames are deliberately numpy arrays so they flow through any
+:class:`~repro.msglib.api.Communicator` unchanged — the virtual cluster's
+mailboxes and the MPI adapter both ship plain arrays.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+#: magic (4s) | version (B) | seq (I) | payload bytes (Q) | dtype (8s) |
+#: ndim (B) | shape (4I)
+_HEADER = struct.Struct("<4sBIQ8sB4I")
+MAGIC = b"RFRM"
+HEADER_BYTES = _HEADER.size
+_MAX_NDIM = 4
+
+
+def pack_frame(seq: int, array: np.ndarray) -> np.ndarray:
+    """Wrap ``array`` into a sequence-numbered ``uint8`` frame."""
+    a = np.ascontiguousarray(array)
+    if np.ndim(array) == 0:
+        a = a.reshape(())  # ascontiguousarray promotes 0-d to 1-d; undo
+    if a.ndim > _MAX_NDIM:
+        raise ValueError(f"cannot frame a {a.ndim}-D payload (max {_MAX_NDIM})")
+    dtype = a.dtype.str.encode()
+    if len(dtype) > 8:
+        raise ValueError(f"dtype descriptor {a.dtype.str!r} too long to frame")
+    shape = list(a.shape) + [0] * (_MAX_NDIM - a.ndim)
+    header = _HEADER.pack(
+        MAGIC, 1, seq & 0xFFFFFFFF, a.nbytes, dtype.ljust(8, b"\0"),
+        a.ndim, *shape,
+    )
+    frame = np.empty(HEADER_BYTES + a.nbytes, dtype=np.uint8)
+    frame[:HEADER_BYTES] = np.frombuffer(header, dtype=np.uint8)
+    frame[HEADER_BYTES:] = np.frombuffer(a.tobytes(), dtype=np.uint8)
+    return frame
+
+
+def unpack_frame(frame: np.ndarray) -> tuple[int, np.ndarray] | None:
+    """``(seq, payload)`` from a frame, or ``None`` if it is corrupt.
+
+    Any inconsistency — short frame, bad magic, length mismatch against
+    the declared byte count, impossible dtype/shape — returns ``None``
+    rather than raising: corrupt frames are a *modelled* fault and the
+    transport handles them by waiting for the retransmission.
+    """
+    buf = np.ascontiguousarray(frame, dtype=np.uint8).tobytes()
+    if len(buf) < HEADER_BYTES:
+        return None
+    magic, version, seq, nbytes, dtype_s, ndim, *shape = _HEADER.unpack_from(buf)
+    if magic != MAGIC or version != 1 or ndim > _MAX_NDIM:
+        return None
+    if len(buf) - HEADER_BYTES != nbytes:
+        return None
+    try:
+        dtype = np.dtype(dtype_s.rstrip(b"\0").decode())
+    except (TypeError, ValueError, UnicodeDecodeError):
+        return None
+    dims = tuple(shape[:ndim])
+    if dtype.itemsize * math.prod(dims) != nbytes:
+        return None
+    payload = np.frombuffer(buf, dtype=dtype, offset=HEADER_BYTES)
+    return seq, payload.reshape(dims).copy()
+
+
+def truncate_frame(frame: np.ndarray, fraction: float) -> np.ndarray:
+    """A copy of ``frame`` with its tail cut off (a corrupt transmission).
+
+    ``fraction`` in ``(0, 1]`` selects how much of the frame to cut; at
+    least one byte is always removed so the receiver's length check fires.
+    """
+    cut = max(1, int(len(frame) * min(max(fraction, 0.0), 1.0)))
+    return frame[: max(len(frame) - cut, 0)].copy()

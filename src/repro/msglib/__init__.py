@@ -14,15 +14,18 @@ Two halves:
 """
 
 from .api import CommStats, Communicator, MessageRecord
-from .vchannel import Mailbox
-from .virtual import VirtualCluster, VirtualComm
+from .vchannel import ClusterAborted, DeadlockError, Mailbox
+from .virtual import RankFailure, VirtualCluster, VirtualComm
 from .libmodel import LibraryModel, MPL, PVM, PVME, library_by_name
 
 __all__ = [
+    "ClusterAborted",
     "Communicator",
     "CommStats",
+    "DeadlockError",
     "MessageRecord",
     "Mailbox",
+    "RankFailure",
     "VirtualCluster",
     "VirtualComm",
     "LibraryModel",

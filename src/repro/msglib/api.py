@@ -139,8 +139,16 @@ class Communicator(abc.ABC):
         """Buffered send: deposits a copy and returns immediately."""
 
     @abc.abstractmethod
-    def recv(self, source: int, tag: str) -> np.ndarray:
-        """Blocking receive of the message matching ``(source, tag)``."""
+    def recv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> np.ndarray:
+        """Blocking receive of the message matching ``(source, tag)``.
+
+        ``timeout`` optionally bounds this call in seconds (overriding any
+        backend default); on expiry the backend raises
+        :class:`~repro.msglib.vchannel.DeadlockError` naming receiver,
+        sender and tag so a mis-tagged send fails fast instead of hanging.
+        """
 
     # -- non-blocking variants (paper Version 6's primitive) -------------------
     def isend(self, dest: int, tag: str, array: np.ndarray) -> Request:

@@ -69,8 +69,26 @@ class MPIComm(Communicator):
         self._comm.Send(payload, dest=dest, tag=itag)
         self.stats.record_send(dest, tag, payload.nbytes)
 
-    def recv(self, source: int, tag: str) -> np.ndarray:
+    def recv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> np.ndarray:
         itag = tag_to_int(tag)
+        if timeout is not None:  # pragma: no cover - exercised on-cluster
+            # MPI has no timed receive; poll the matching envelope so the
+            # fault layer's retry/backoff loop works over this adapter too.
+            import time as _t
+
+            from .vchannel import DeadlockError
+
+            deadline = _t.monotonic() + timeout
+            while not self._comm.iprobe(source=source, tag=itag):
+                if _t.monotonic() >= deadline:
+                    raise DeadlockError(
+                        f"rank {self.rank}: no message from {source} tag "
+                        f"{tag!r} within {timeout}s (likely deadlock, tag "
+                        "mismatch, or a lost message)"
+                    )
+                _t.sleep(1e-4)
         header = self._comm.recv(source=source, tag=itag)
         got_tag, shape, dtype = header
         if got_tag != tag:

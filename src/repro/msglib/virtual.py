@@ -10,9 +10,16 @@ Typical use::
     cluster = VirtualCluster(4)
     results = cluster.run(my_rank_program, extra_arg)
 
-Exceptions in any rank are re-raised in the caller (with the failing rank
-identified), and receives that stall past the timeout raise
-:class:`~repro.msglib.vchannel.DeadlockError`.
+Failure semantics (the resilience contract the chaos suite exercises):
+
+* any rank exception aborts every mailbox, so ranks blocked on a dead
+  peer fail promptly with :class:`~repro.msglib.vchannel.ClusterAborted`
+  instead of hanging until the cluster timeout;
+* the caller receives a single structured :class:`RankFailure` naming the
+  primary failing rank, the solver step it died at (when known), and every
+  secondary casualty;
+* receives that stall past the (per-call or cluster-default) timeout raise
+  :class:`~repro.msglib.vchannel.DeadlockError`.
 """
 
 from __future__ import annotations
@@ -25,7 +32,49 @@ import numpy as np
 
 from ..obs import get_tracer
 from .api import Communicator, CommStats, Request
-from .vchannel import Mailbox
+from .vchannel import ClusterAborted, Mailbox
+
+
+class RankFailure(RuntimeError):
+    """A rank (or several) died during a :meth:`VirtualCluster.run`.
+
+    Attributes
+    ----------
+    rank:
+        The primary failing rank (the first non-secondary casualty).
+    step:
+        Solver step the primary failure occurred at, when the underlying
+        exception carried one (e.g. an injected crash), else ``None``.
+    failures:
+        Every ``(rank, step, exception)`` collected from the run —
+        secondary :class:`~repro.msglib.vchannel.ClusterAborted` casualties
+        included.
+    last_good_step:
+        Highest checkpointed step available for restart (filled in by the
+        checkpointing runner; ``None`` when no checkpointing was active).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        cause: BaseException,
+        step: int | None = None,
+        failures: tuple[tuple[int, int | None, BaseException], ...] = (),
+    ) -> None:
+        self.rank = rank
+        self.step = step
+        self.failures = tuple(failures)
+        self.last_good_step: int | None = None
+        at = f" at step {step}" if step is not None else ""
+        others = [r for r, _, _ in self.failures if r != rank]
+        tail = f"; also took down ranks {sorted(others)}" if others else ""
+        super().__init__(f"rank {rank} failed{at}: {cause!r}{tail}")
+
+    @property
+    def ranks(self) -> list[int]:
+        """All ranks that raised, primary first."""
+        rest = sorted({r for r, _, _ in self.failures if r != self.rank})
+        return [self.rank, *rest]
 
 
 class VirtualComm(Communicator):
@@ -51,11 +100,18 @@ class VirtualComm(Communicator):
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_sent", payload.nbytes, rank=self.rank)
 
-    def recv(self, source: int, tag: str) -> np.ndarray:
+    def recv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> np.ndarray:
+        """Blocking receive; ``timeout`` overrides the cluster default for
+        this call (seconds), failing fast with a ``DeadlockError`` that
+        names receiver, sender and tag."""
         tr = get_tracer()
         with tr.span("comm.recv", cat="comm", rank=self.rank, peer=source, tag=tag):
             t0 = _time.perf_counter()
-            payload = self.cluster.mailboxes[self.rank].get(source, tag)
+            payload = self.cluster.mailboxes[self.rank].get(
+                source, tag, timeout=timeout
+            )
             seconds = _time.perf_counter() - t0
         self.stats.record_recv(source, tag, payload.nbytes, seconds)
         if tr.enabled:
@@ -123,8 +179,10 @@ class VirtualCluster:
         """Run ``fn(comm, *args)`` on every rank; returns per-rank results.
 
         ``per_rank_args`` optionally supplies a distinct argument tuple per
-        rank (appended after the shared ``args``).  Any rank exception is
-        re-raised in the caller after all threads stop.
+        rank (appended after the shared ``args``).  Any rank exception
+        aborts every mailbox (so peers blocked on the dead rank fail fast
+        instead of hanging) and is re-raised in the caller as a structured
+        :class:`RankFailure` after all threads stop.
         """
         results: list[Any] = [None] * self.size
         errors: list[tuple[int, BaseException]] = []
@@ -138,6 +196,7 @@ class VirtualCluster:
                 results[rank] = fn(self.comms[rank], *args, *extra)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors.append((rank, exc))
+                self.abort(f"rank {rank} died with {exc!r}")
 
         if self.size == 1:
             worker(0)
@@ -151,9 +210,28 @@ class VirtualCluster:
             for t in threads:
                 t.join()
         if errors:
-            rank, exc = errors[0]
-            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+            raise self._failure(errors)
         return results
+
+    def abort(self, reason: str) -> None:
+        """Poison every mailbox: blocked receives raise ``ClusterAborted``."""
+        for mb in self.mailboxes:
+            mb.abort(reason)
+
+    @staticmethod
+    def _failure(errors: list[tuple[int, BaseException]]) -> RankFailure:
+        """Build the structured failure: the primary casualty is the first
+        rank that did not merely observe the abort of another rank."""
+        primary = [e for e in errors if not isinstance(e[1], ClusterAborted)]
+        rank, exc = (primary or errors)[0]
+        failures = tuple(
+            (r, getattr(e, "step", None), e) for r, e in errors
+        )
+        failure = RankFailure(
+            rank, exc, step=getattr(exc, "step", None), failures=failures
+        )
+        failure.__cause__ = exc
+        return failure
 
     def total_stats(self) -> CommStats:
         """Aggregate statistics over all ranks."""

@@ -566,6 +566,20 @@ class CompressibleSolver:
                 self._apply_boundaries(q_tail, dt, variant)
         self.wall_time += _time.perf_counter() - t0
 
+    def restore(self, nstep: int, t: float) -> None:
+        """Resume the step/time counters after reloading checkpointed state.
+
+        The caller has already placed the snapshot into ``self.state.q``
+        (or constructed the solver from it); this re-aligns the step
+        parity (which selects the MacCormack variant), the simulation
+        time (which drives the inflow excitation), and invalidates the
+        adaptive ``dt`` cache so the next step recomputes it from the
+        restored state.
+        """
+        self.nstep = nstep
+        self.t = t
+        self._dt_cached = None
+
     def run(
         self,
         steps: int,

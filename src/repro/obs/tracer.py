@@ -88,6 +88,20 @@ class Trace:
             if s.name == name and (rank is None or s.rank == rank)
         ]
 
+    def events_named(self, name: str, rank: int | None = None) -> list[EventRecord]:
+        """Instant events with this name (optionally one rank), in record
+        order; name may be a prefix ending in ``.`` to select a family
+        (e.g. ``"fault."`` matches every injected-fault event)."""
+        if name.endswith("."):
+            match = lambda n: n.startswith(name)
+        else:
+            match = lambda n: n == name
+        return [
+            e
+            for e in self.events
+            if match(e.name) and (rank is None or e.rank == rank)
+        ]
+
     def total(self, name: str, rank: int | None = None) -> float:
         """Summed duration of all spans with this name (optionally one rank)."""
         return sum(s.duration for s in self.spans_named(name, rank))

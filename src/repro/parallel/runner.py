@@ -5,6 +5,15 @@ processor count and a paper code version, executes the SPMD program for real
 (one thread per rank, actual message passing), and returns the gathered
 global state together with per-rank communication statistics — the measured
 source for the paper's Table 1.
+
+With ``faults=`` (a :class:`~repro.faults.FaultPlan` or preset name) every
+rank's communicator is wrapped in a
+:class:`~repro.faults.FaultyComm`, injecting the plan's seeded faults and
+recovering the recoverable ones; ``checkpoint_every=`` additionally gathers
+periodic snapshots so a :class:`~repro.msglib.virtual.RankFailure` (e.g. an
+injected crash) restarts from the last checkpoint instead of aborting —
+up to ``max_restarts`` times, after which the structured failure (annotated
+with ``last_good_step``) propagates to the caller.
 """
 
 from __future__ import annotations
@@ -16,10 +25,11 @@ import numpy as np
 
 from ..grid import Grid
 from ..msglib.api import CommStats
-from ..msglib.virtual import VirtualCluster
+from ..msglib.virtual import RankFailure, VirtualCluster
 from ..numerics.solver import SolverConfig
-from ..obs import Trace, Tracer, use_tracer
+from ..obs import Trace, Tracer, get_tracer, use_tracer
 from ..physics.state import FlowState
+from .checkpoint import CheckpointStore, Snapshot
 from .spmd import DistributedSolver
 
 
@@ -58,6 +68,11 @@ class ParallelRunResult:
     """Wall seconds each rank spent inside ``solver.step``."""
     trace: Trace | None = None
     """Span/counter records when the run was traced (else ``None``)."""
+    restarts: int = 0
+    """Checkpoint restarts the run needed to complete (0 = clean run)."""
+    fault_stats: list | None = None
+    """Per-rank :class:`~repro.faults.FaultStats` when faults were active
+    (from the final, successful attempt), else ``None``."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -86,6 +101,17 @@ class ParallelJetSolver:
         blocks; pass ``px``/``pr`` with ``px * pr == nranks``).
     timeout:
         Per-receive deadlock timeout in seconds.
+    faults:
+        ``None`` (default), a preset name (``"lossy-ethernet"``, ...), or a
+        :class:`~repro.faults.FaultPlan`: wraps every rank's communicator
+        in a fault-injecting, self-healing :class:`~repro.faults.FaultyComm`.
+    checkpoint_every:
+        Steps between gathered snapshots (0 disables checkpointing).  For
+        bitwise-exact resume keep it a multiple of
+        ``config.dt_recompute_every`` (or fix ``dt``).
+    max_restarts:
+        Checkpoint restarts allowed after a
+        :class:`~repro.msglib.virtual.RankFailure` before it propagates.
     """
 
     def __init__(
@@ -98,7 +124,11 @@ class ParallelJetSolver:
         px: int | None = None,
         pr: int | None = None,
         timeout: float = 120.0,
+        faults=None,
+        checkpoint_every: int = 0,
+        max_restarts: int = 2,
     ) -> None:
+        from ..faults import resolve_fault_plan
         if decomposition not in ("axial", "radial", "2d"):
             raise ValueError(
                 f"decomposition must be 'axial', 'radial' or '2d', got "
@@ -117,6 +147,80 @@ class ParallelJetSolver:
         self.decomposition = decomposition
         self.px, self.pr = px, pr
         self.timeout = timeout
+        self.faults = resolve_fault_plan(faults)
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+
+    def _make_solver(self, comm, q_global: np.ndarray):
+        """Build the per-rank solver from a (possibly restored) global q."""
+        grid = self.global_grid
+        config = self.config
+        version = self.version
+        if self.decomposition == "radial":
+            from .spmd_radial import RadialDistributedSolver
+
+            return RadialDistributedSolver(
+                comm, grid, q_global, config, version=version
+            )
+        if self.decomposition == "2d":
+            from .spmd2d import Distributed2DSolver
+
+            return Distributed2DSolver(
+                comm, grid, q_global, config,
+                px=self.px, pr=self.pr, version=version,
+            )
+        return DistributedSolver(comm, grid, q_global, config, version=version)
+
+    def _attempt(
+        self,
+        steps: int,
+        start: Snapshot,
+        salt: int,
+        store: CheckpointStore | None,
+    ) -> list:
+        """One cluster execution from snapshot ``start`` (may raise
+        :class:`~repro.msglib.virtual.RankFailure`)."""
+        from ..faults import FaultyComm
+
+        plan = self.faults
+        cluster = VirtualCluster(self.nranks, timeout=self.timeout)
+        checkpoint_every = self.checkpoint_every
+
+        def program(comm):
+            fcomm = (
+                FaultyComm(comm, plan, salt=salt)
+                if plan is not None and plan.enabled
+                else comm
+            )
+            try:
+                solver = self._make_solver(fcomm, start.q)
+                if start.step:
+                    solver.restore(start.step, start.t)
+                for _ in range(steps - start.step):
+                    solver.step()
+                    if (
+                        checkpoint_every
+                        and solver.nstep % checkpoint_every == 0
+                        and solver.nstep < steps
+                    ):
+                        snap = solver.checkpoint()
+                        if snap is not None and store is not None:
+                            store.save(*snap)
+                gathered = solver.gather_state()
+                return (
+                    gathered,
+                    solver.t,
+                    solver.nstep,
+                    solver.wall_time,
+                    fcomm.fault_stats if fcomm is not comm else None,
+                )
+            finally:
+                if fcomm is not comm:
+                    fcomm.drain()
+
+        results = cluster.run(program)
+        self._last_comms = cluster.comms
+        return results
 
     def run(self, steps: int, tracer: Tracer | None = None) -> ParallelRunResult:
         """Execute ``steps`` time steps across all ranks and gather.
@@ -124,48 +228,60 @@ class ParallelJetSolver:
         ``tracer`` optionally records per-rank spans (solver stages, sends,
         receives, halo exchanges) for the duration of the run; it is
         installed as the process-global tracer while the cluster executes.
+
+        With a fault plan active a :class:`~repro.msglib.virtual.RankFailure`
+        triggers a restart from the newest checkpoint (fresh cluster,
+        ``salt`` = attempt number) up to ``max_restarts`` times; the failure
+        propagates — annotated with ``last_good_step`` — once restarts are
+        exhausted or no faults were requested.
         """
-        cluster = VirtualCluster(self.nranks, timeout=self.timeout)
-        grid = self.global_grid
-        q0 = self.q0
-        config = self.config
-        version = self.version
-        if self.decomposition == "radial":
-            from .spmd_radial import RadialDistributedSolver as solver_cls
+        store = CheckpointStore(keep=2) if self.checkpoint_every else None
+        start = Snapshot(step=0, t=0.0, q=self.q0)
+        attempt = 0
 
-            make = lambda comm: solver_cls(comm, grid, q0, config, version=version)
-        elif self.decomposition == "2d":
-            from .spmd2d import Distributed2DSolver
-
-            px, pr = self.px, self.pr
-            make = lambda comm: Distributed2DSolver(
-                comm, grid, q0, config, px=px, pr=pr, version=version
-            )
-        else:
-            make = lambda comm: DistributedSolver(
-                comm, grid, q0, config, version=version
-            )
-
-        def program(comm):
-            solver = make(comm)
-            for _ in range(steps):
-                solver.step()
-            gathered = solver.gather_state()
-            return gathered, solver.t, solver.nstep, solver.wall_time
+        def attempts():
+            nonlocal attempt, start
+            while True:
+                try:
+                    return self._attempt(steps, start, attempt, store)
+                except RankFailure as failure:
+                    latest = store.latest if store is not None else None
+                    failure.last_good_step = (
+                        latest.step if latest is not None else 0
+                    )
+                    if self.faults is None or attempt >= self.max_restarts:
+                        raise
+                    attempt += 1
+                    tr = get_tracer()
+                    if tr.enabled:
+                        tr.instant(
+                            "recovery.restart",
+                            cat="fault",
+                            attempt=attempt,
+                            failed_rank=failure.rank,
+                            resume_step=failure.last_good_step,
+                        )
+                    if latest is not None:
+                        start = latest
 
         if tracer is not None:
             with use_tracer(tracer):
-                results = cluster.run(program)
+                results = attempts()
         else:
-            results = cluster.run(program)
-        state, t, nsteps, _ = results[0]
+            results = attempts()
+        state, t, nsteps, _, _ = results[0]
+        fault_stats = [r[4] for r in results]
         return ParallelRunResult(
             state=state,
-            per_rank_stats=[c.stats for c in cluster.comms],
+            per_rank_stats=[c.stats for c in self._last_comms],
             nsteps=nsteps,
             t=t,
             per_rank_wall=[r[3] for r in results],
             trace=tracer.trace if tracer is not None else None,
+            restarts=attempt,
+            fault_stats=fault_stats if any(
+                s is not None for s in fault_stats
+            ) else None,
         )
 
 

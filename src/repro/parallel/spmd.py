@@ -292,3 +292,17 @@ class DistributedSolver(CompressibleSolver):
             return None
         q_full = np.concatenate(parts, axis=1)
         return FlowState(self.global_grid, q_full, self.config.gamma)
+
+    # -- checkpoint/restart ----------------------------------------------------
+    def checkpoint(self) -> tuple[int, float, np.ndarray] | None:
+        """Gather a recoverable ``(nstep, t, q_global)`` snapshot on rank 0.
+
+        All ranks must call this collectively (it is a gather); non-root
+        ranks return ``None``.  The checkpointing runner stores the result
+        in a :class:`~repro.parallel.checkpoint.CheckpointStore` outside
+        the cluster so a crashed run can resume from it.
+        """
+        parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:ckpt")
+        if parts is None:
+            return None
+        return self.nstep, self.t, np.concatenate(parts, axis=1)

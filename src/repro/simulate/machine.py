@@ -93,11 +93,21 @@ class SimulatedMachine:
         version: int | Version = 5,
         library: LibraryModel | None = None,
         node_speed_factors: list[float] | None = None,
+        faults=None,
     ) -> None:
         """``node_speed_factors`` optionally scales each rank's compute
         speed (1.0 = the platform CPU; 1.7 = a 590-class node in a 560
         cluster), modelling heterogeneous clusters like the real mixed
-        LACE — the SPMD program then waits on its slowest member."""
+        LACE — the SPMD program then waits on its slowest member.
+
+        ``faults`` (a :class:`~repro.faults.FaultPlan` or preset name)
+        degrades the simulated platform deterministically: the plan's
+        wire-level faults become extra route occupancy per transfer
+        (retransmissions + jitter) and its ``slow_ranks`` become per-node
+        speed factors — the DES counterpart of wrapping the real cluster's
+        communicators in a :class:`~repro.faults.FaultyComm`."""
+        from ..faults import resolve_fault_plan
+
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if platform.cpu is None:
@@ -107,6 +117,18 @@ class SimulatedMachine:
             )
         if node_speed_factors is not None and len(node_speed_factors) != nprocs:
             raise ValueError("need one speed factor per rank")
+        self.faults = resolve_fault_plan(faults)
+        if self.faults is not None and self.faults.slow_ranks:
+            # A slowdown factor f >= 1 is a speed factor 1/f.
+            factors = (
+                list(node_speed_factors)
+                if node_speed_factors is not None
+                else [1.0] * nprocs
+            )
+            for r, f in self.faults.slow_ranks:
+                if 0 <= r < nprocs:
+                    factors[r] /= max(float(f), 1.0)
+            node_speed_factors = factors
         self.node_speed_factors = node_speed_factors
         self.platform = platform
         self.nprocs = nprocs
@@ -164,6 +186,20 @@ class SimulatedMachine:
             return ev
 
         contexts = [RankContext(engine, r, trace=trace) for r in range(p)]
+
+        def fault_note(src: int, dst: int, key: tuple, extra: float) -> None:
+            if tracer is not None:
+                tracer.instant(
+                    "fault.sim_delay",
+                    cat="fault",
+                    rank=src,
+                    ts=engine.now,
+                    peer=dst,
+                    step=key[0],
+                    seconds=round(extra, 9),
+                )
+                tracer.count("faults_injected", 1, rank=src)
+
         for r in range(p):
             factor = (
                 self.node_speed_factors[r]
@@ -183,6 +219,8 @@ class SimulatedMachine:
                     event_for,
                     steps_window,
                     step_seconds / factor,
+                    faults=self.faults,
+                    fault_note=fault_note,
                 ),
                 name=f"rank{r}",
             )

@@ -51,14 +51,20 @@ def transfer_process(
     nbytes: int,
     arrival: Event,
     wire_startup: float = 0.0,
+    extra_delay: float = 0.0,
 ) -> Generator:
-    """Wire transfer: protocol startup, hold the route, occupy, signal."""
+    """Wire transfer: protocol startup, hold the route, occupy, signal.
+
+    ``extra_delay`` is additional route occupancy injected by a fault plan
+    (retransmissions of dropped/truncated frames plus delay jitter) — it is
+    charged while the route is held, so lost messages congest the shared
+    wire exactly as real retransmissions would."""
     if wire_startup > 0.0:
         yield Delay(wire_startup)
     keys = network.link_ids(src, dst)
     for k in keys:
         yield Acquire(resources[k])
-    yield Delay(network.latency + network.transfer_time(nbytes))
+    yield Delay(network.latency + network.transfer_time(nbytes) + extra_delay)
     for k in reversed(keys):
         yield Release(resources[k])
     yield Trigger(arrival)
@@ -76,8 +82,16 @@ def build_rank_program(
     event_for: Callable[[tuple], Event],
     steps: int,
     step_compute_seconds: float,
+    faults=None,
+    fault_note: Callable[[int, int, tuple, float], None] | None = None,
 ) -> Generator:
-    """The SPMD program of one rank as an event-engine generator."""
+    """The SPMD program of one rank as an event-engine generator.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) maps the plan's
+    wire-level faults onto deterministic extra occupancy of each transfer
+    (see :meth:`~repro.faults.plan.FaultPlan.sim_extra_delay`);
+    ``fault_note`` is called once per afflicted transfer so the machine can
+    record the injection through the tracer."""
     left = rank - 1 if rank > 0 else None
     right = rank + 1 if rank < nprocs - 1 else None
 
@@ -88,6 +102,8 @@ def build_rank_program(
         # Symmetric SPMD: my neighbour's mirror-direction send targets me.
         return right if msg.direction == "L" else left
 
+    wire_faulty = faults is not None and faults.wire_faulty
+
     def send_msg(step: int, ph: int, mi: int, msg: Message) -> Generator:
         dst = dest_of(msg)
         if dst is None:
@@ -95,6 +111,14 @@ def build_rank_program(
         for part, nbytes in _split_for_version(msg, version):
             yield from ctx.busy_library(library.send_cpu_time(nbytes))
             arrival = event_for((rank, dst, step, ph, mi, part))
+            extra = 0.0
+            if wire_faulty:
+                base = network.latency + network.transfer_time(nbytes)
+                extra = faults.sim_extra_delay(
+                    rank, dst, (step, ph, mi, part), base
+                )
+                if extra > 0.0 and fault_note is not None:
+                    fault_note(rank, dst, (step, ph, mi, part), extra)
             if library.blocking_send:
                 t0 = ctx.engine.now
                 yield from transfer_process(
@@ -105,6 +129,7 @@ def build_rank_program(
                     nbytes,
                     arrival,
                     wire_startup=library.wire_startup,
+                    extra_delay=extra,
                 )
                 ctx.timeline.comm_wait += ctx.engine.now - t0
             else:
@@ -117,6 +142,7 @@ def build_rank_program(
                         nbytes,
                         arrival,
                         wire_startup=library.wire_startup,
+                        extra_delay=extra,
                     )
                 )
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,31 @@ from repro import jet_scenario, periodic_advection_scenario
 from repro.grid import Grid
 from repro.physics.jet import JetProfile
 from repro.physics.state import FlowState
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed",
+        default=None,
+        help="seed for the fault-injection chaos suite: an int, or "
+             "'random' to draw one (it is printed so any failure can be "
+             "replayed with --chaos-seed=<printed value>)",
+    )
+
+
+@pytest.fixture(scope="session")
+def chaos_seed(request) -> int:
+    """The chaos suite's fault-plan seed — printed for reproducibility."""
+    raw = request.config.getoption("--chaos-seed")
+    if raw is None:
+        seed = 11
+    elif raw == "random":
+        seed = random.SystemRandom().randrange(2**31)
+    else:
+        seed = int(raw)
+    print(f"\n[chaos] fault-plan seed = {seed} "
+          f"(replay with: pytest --chaos-seed={seed})")
+    return seed
 
 
 @pytest.fixture

@@ -1,0 +1,386 @@
+"""Chaos suite: seeded fault injection over the virtual cluster.
+
+The invariant under test is the fault layer's contract (ISSUE 3): under
+any seeded :class:`~repro.faults.FaultPlan` a distributed run either
+
+* **completes bitwise-equal** to the fault-free baseline (every injected
+  wire fault recovered by the sequence-numbered transport), or
+* **raises a structured** :class:`~repro.msglib.RankFailure` naming the
+  failed ranks and steps —
+
+but never hangs and never silently corrupts the numerics.  Every fault
+decision is a pure hash of the seed, so any failure reproduces from the
+seed the ``chaos_seed`` fixture prints (``pytest --chaos-seed=<n>``).
+
+This module intentionally does not import ``hypothesis`` — the CI chaos
+job runs it in a minimal environment (see
+``tests/test_property_invariants.py`` for the property-based half).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario
+from repro.faults import (
+    PRESETS,
+    FaultPlan,
+    FaultyComm,
+    MessageTimeout,
+    RankCrashed,
+    fault_plan_by_name,
+    resolve_fault_plan,
+)
+from repro.faults.wire import HEADER_BYTES, pack_frame, truncate_frame, unpack_frame
+from repro.msglib import RankFailure
+from repro.obs import Tracer
+from repro.parallel.runner import ParallelJetSolver, serial_reference
+
+STEPS = 6
+
+#: One plan per fault mechanism, each exercised alone so a regression in
+#: any single recovery path has an unambiguous test name.
+FAULT_KINDS = {
+    "drop": dict(drop=0.15, max_transmits=4),
+    "duplicate": dict(duplicate=0.25),
+    "reorder": dict(reorder=0.2),
+    "delay": dict(delay=0.4, max_delay=0.001),
+    "truncate": dict(truncate=0.12, max_transmits=4),
+    "mixed": dict(drop=0.08, duplicate=0.08, reorder=0.08, truncate=0.05,
+                  delay=0.15, max_delay=0.001, max_transmits=4),
+}
+
+
+def _case(viscous: bool):
+    sc = jet_scenario(nx=48, nr=16, viscous=viscous)
+    config = dataclasses.replace(sc.solver.config, dt_recompute_every=1)
+    ref = serial_reference(sc.state, config, steps=STEPS)
+    return sc, config, ref
+
+
+@pytest.fixture(scope="module")
+def ns_case():
+    return _case(viscous=True)
+
+
+@pytest.fixture(scope="module")
+def euler_case():
+    return _case(viscous=False)
+
+
+def _plan(kind: str, seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed, name=kind, recv_timeout=0.3, recv_retries=4,
+        **FAULT_KINDS[kind],
+    )
+
+
+class TestChaosMatrix:
+    """drop/dup/reorder/delay/truncate x Euler/NS x nprocs in {2, 4}."""
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_navier_stokes(self, ns_case, kind, nprocs, chaos_seed):
+        self._run(ns_case, kind, nprocs, chaos_seed)
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_euler(self, euler_case, kind, nprocs, chaos_seed):
+        self._run(euler_case, kind, nprocs, chaos_seed)
+
+    @staticmethod
+    def _run(case, kind, nprocs, seed):
+        sc, config, ref = case
+        plan = _plan(kind, seed)
+        solver = ParallelJetSolver(
+            sc.state, config, nranks=nprocs, timeout=30, faults=plan,
+            max_restarts=0,
+        )
+        try:
+            res = solver.run(STEPS)
+        except RankFailure as failure:
+            # The structured-failure arm: the exception names the ranks,
+            # steps and last good state — never a hang, never a bare error.
+            assert failure.ranks
+            assert all(0 <= r < nprocs for r in failure.ranks)
+            assert failure.last_good_step == 0
+            assert isinstance(
+                failure.__cause__, (MessageTimeout, RankCrashed, RuntimeError)
+            )
+            return
+        assert np.array_equal(res.state.q, ref.q), (
+            f"faulted run diverged from baseline (kind={kind}, "
+            f"nprocs={nprocs}, seed={seed})"
+        )
+        stats = [s for s in res.fault_stats if s is not None]
+        assert stats, "fault plan active but no fault stats collected"
+
+    def test_matrix_is_not_vacuous(self, ns_case, chaos_seed):
+        """At least one fault actually fires per mechanism at these rates."""
+        sc, config, ref = ns_case
+        for kind in FAULT_KINDS:
+            res = None
+            try:
+                res = ParallelJetSolver(
+                    sc.state, config, nranks=4, timeout=30,
+                    faults=_plan(kind, chaos_seed), max_restarts=0,
+                ).run(STEPS)
+            except RankFailure:
+                continue  # faults fired hard enough to kill the run
+            total = sum(
+                s.total_injected for s in res.fault_stats if s is not None
+            )
+            assert total > 0, f"plan {kind!r} injected nothing"
+
+
+class TestReproducibility:
+    def test_same_seed_same_faults(self, ns_case, chaos_seed):
+        """Two runs under one seed inject the identical fault schedule."""
+        sc, config, _ = ns_case
+
+        def injected():
+            res = ParallelJetSolver(
+                sc.state, config, nranks=4, timeout=30,
+                faults=_plan("mixed", chaos_seed), max_restarts=0,
+            ).run(STEPS)
+            return [
+                dict(s.injected) if s is not None else None
+                for s in res.fault_stats
+            ]
+
+        assert injected() == injected()
+
+    def test_different_seed_different_faults(self, ns_case):
+        sc, config, _ = ns_case
+
+        def counts(seed):
+            try:
+                res = ParallelJetSolver(
+                    sc.state, config, nranks=4, timeout=30,
+                    faults=_plan("mixed", seed), max_restarts=0,
+                ).run(STEPS)
+            except RankFailure as failure:
+                # A killed run is a legal outcome; its failure signature
+                # still distinguishes the schedule.
+                return [(r, s) for r, s, _ in failure.failures]
+            return [
+                dict(s.injected) if s is not None else None
+                for s in res.fault_stats
+            ]
+
+        assert counts(1) != counts(2)
+
+    def test_fate_is_pure(self):
+        plan = fault_plan_by_name("lossy-ethernet", seed=42)
+        a = [plan.fate(0, 1, "3:x:pred", s, 0) for s in range(50)]
+        b = [plan.fate(0, 1, "3:x:pred", s, 0) for s in range(50)]
+        assert a == b
+        assert any(f.drop or f.duplicate or f.reorder or f.delay_seconds
+                   for f in a)
+
+
+class TestCrashAndRestart:
+    def test_crash_without_checkpoint_is_structured(self, ns_case, chaos_seed):
+        sc, config, _ = ns_case
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 3),),
+                         recv_timeout=0.2, recv_retries=2)
+        with pytest.raises(RankFailure) as exc:
+            ParallelJetSolver(
+                sc.state, config, nranks=4, timeout=30, faults=plan,
+                max_restarts=0,
+            ).run(STEPS)
+        failure = exc.value
+        assert failure.rank == 1
+        assert failure.step == 3
+        assert failure.last_good_step == 0
+        assert "rank 1 failed" in str(failure)
+
+    def test_crash_recovers_via_checkpoint(self, ns_case, chaos_seed):
+        """An injected crash resumes from the checkpoint, bitwise-exact."""
+        sc, config, ref = ns_case
+        plan = FaultPlan(seed=chaos_seed, crashes=((2, 4),),
+                         recv_timeout=0.2, recv_retries=2)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=30, faults=plan,
+            checkpoint_every=2,
+        ).run(STEPS)
+        assert res.restarts == 1
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_lossy_crash_preset_recovers(self, ns_case, chaos_seed):
+        """The acceptance scenario: lossy wire + crash, retry + resume."""
+        sc, config, ref = ns_case
+        plan = fault_plan_by_name("lossy-crash", seed=chaos_seed)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=30, faults=plan,
+            checkpoint_every=2, max_restarts=3,
+        ).run(STEPS)
+        assert res.restarts >= 1
+        assert np.array_equal(res.state.q, ref.q)
+
+
+class TestFaultFree:
+    def test_inert_plan_is_bitwise_clean(self, ns_case):
+        """A plan with nothing enabled must not perturb the numerics."""
+        sc, config, ref = ns_case
+        res = ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=30, faults=FaultPlan(),
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+        assert res.restarts == 0
+
+    def test_transport_envelope_is_transparent(self, ns_case):
+        """always_wrap frames every message yet changes no results."""
+        sc, config, ref = ns_case
+        res = ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=30,
+            faults=FaultPlan(always_wrap=True),
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+
+class TestTracing:
+    def test_fault_events_recorded(self, ns_case, chaos_seed):
+        sc, config, _ = ns_case
+        tracer = Tracer(name="chaos")
+        try:
+            ParallelJetSolver(
+                sc.state, config, nranks=4, timeout=30,
+                faults=_plan("mixed", chaos_seed), max_restarts=0,
+            ).run(STEPS, tracer=tracer)
+        except RankFailure:
+            pass
+        events = tracer.trace.events_named("fault.")
+        assert events
+        assert all(e.cat == "fault" for e in events)
+        ranks_with_counts = [
+            r for r in range(4)
+            if tracer.trace.counter(r, "faults_injected") > 0
+        ]
+        assert ranks_with_counts
+
+    def test_restart_recorded(self, ns_case, chaos_seed):
+        sc, config, _ = ns_case
+        tracer = Tracer(name="restart")
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 3),),
+                         recv_timeout=0.2, recv_retries=2)
+        ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=30, faults=plan,
+            checkpoint_every=2,
+        ).run(STEPS, tracer=tracer)
+        restarts = tracer.trace.events_named("recovery.restart")
+        assert len(restarts) == 1
+        args = dict(restarts[0].args)
+        assert args["failed_rank"] == 1
+
+
+class TestSimulatedSubstrate:
+    def test_des_faults_deterministic_and_costly(self):
+        from repro.machines.platforms import platform_by_name
+        from repro.simulate.machine import SimulatedMachine
+        from repro.simulate.workload import NAVIER_STOKES
+
+        plat = platform_by_name("lace/560+ethernet")
+        clean = SimulatedMachine(plat, 8).run(NAVIER_STOKES, steps_window=8)
+        lossy = lambda: SimulatedMachine(
+            plat, 8, faults="lossy-ethernet"
+        ).run(NAVIER_STOKES, steps_window=8)
+        a, b = lossy(), lossy()
+        assert a.execution_time == b.execution_time
+        assert a.execution_time > clean.execution_time
+
+    def test_des_slow_ranks_map_to_node_factors(self):
+        from repro.machines.platforms import platform_by_name
+        from repro.simulate.machine import SimulatedMachine
+
+        plat = platform_by_name("lace/560+ethernet")
+        m = SimulatedMachine(plat, 4, faults="jittery-now")
+        assert m.node_speed_factors == [1.0, 1.0 / 2.5, 1.0, 1.0]
+
+    def test_des_fault_events_traced(self):
+        from repro.machines.platforms import platform_by_name
+        from repro.simulate.machine import SimulatedMachine
+        from repro.simulate.workload import NAVIER_STOKES
+
+        plat = platform_by_name("lace/560+ethernet")
+        tracer = Tracer(name="sim-chaos")
+        SimulatedMachine(plat, 4, faults="lossy-ethernet").run(
+            NAVIER_STOKES, steps_window=6, tracer=tracer
+        )
+        assert tracer.trace.events_named("fault.sim_delay")
+
+
+class TestWireFraming:
+    def test_round_trip(self, rng):
+        payload = rng.random((4, 3, 7))
+        seq, out = unpack_frame(pack_frame(9, payload))
+        assert seq == 9
+        assert np.array_equal(out, payload)
+        assert out.dtype == payload.dtype
+
+    def test_round_trip_preserves_shape_and_dtype(self, rng):
+        for arr in (
+            np.arange(5, dtype=np.int64),
+            rng.random((2, 2)).astype(np.float32),
+            np.array(3.5),
+        ):
+            seq, out = unpack_frame(pack_frame(0, arr))
+            assert out.shape == arr.shape and out.dtype == arr.dtype
+            assert np.array_equal(out, arr)
+
+    def test_truncated_frame_rejected(self, rng):
+        frame = pack_frame(1, rng.random(32))
+        assert unpack_frame(truncate_frame(frame, 0.25)) is None
+        assert unpack_frame(frame[: HEADER_BYTES - 1]) is None
+        assert unpack_frame(np.zeros(4, dtype=np.uint8)) is None
+
+
+class TestPlanApi:
+    def test_presets_resolve(self):
+        for name in PRESETS:
+            plan = resolve_fault_plan(name, seed=7)
+            assert plan.enabled and plan.seed == 7
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="lossy-ethernet"):
+            fault_plan_by_name("nope")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            resolve_fault_plan(3.14)
+
+    def test_api_run_rejects_serial_faults(self):
+        from repro.api import run
+
+        with pytest.raises(ValueError, match="nprocs > 1"):
+            run("jet", steps=1, nx=32, nr=12, faults="lossy-ethernet")
+
+    def test_describe_names_the_seed(self):
+        text = fault_plan_by_name("drop-storm", seed=99).describe()
+        assert "seed=99" in text and "drop" in text
+
+
+class TestFaultyCommPassthrough:
+    def test_disabled_plan_delegates(self, monkeypatch):
+        """With no plan the decorator adds a branch, not a transport."""
+
+        class Probe:
+            rank, size = 0, 2
+            stats = None
+
+            def send(self, dest, tag, array):
+                self.sent = (dest, tag, array)
+
+            def recv(self, source, tag, timeout=None):
+                return np.ones(3)
+
+        probe = Probe()
+        fc = FaultyComm(probe, None)
+        payload = np.arange(3.0)
+        fc.send(1, "t", payload)
+        assert probe.sent[2] is payload  # no framing, no copy
+        assert np.array_equal(fc.recv(1, "t"), np.ones(3))
+        assert fc.fault_stats.total_injected == 0

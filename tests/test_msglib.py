@@ -262,3 +262,98 @@ class TestNonBlocking:
         assert mb.try_get(1, "missing") is None
         assert mb.try_get(1, "a")[0] == 1.0
         assert mb.try_get(1, "b")[0] == 2.0
+
+
+class TestReceiveResilience:
+    """Per-call timeouts, fast tag-mismatch failure, and cluster aborts
+    (the ISSUE-3 hot-seam hardening)."""
+
+    def test_per_call_timeout_overrides_default(self):
+        import time
+
+        mb = Mailbox(owner=0, timeout=30.0)
+        t0 = time.perf_counter()
+        with pytest.raises(DeadlockError):
+            mb.get(1, "never", timeout=0.05)
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_timeout_error_names_the_seam(self):
+        """The failure message must carry receiver, sender and tag."""
+        mb = Mailbox(owner=3, timeout=0.05)
+        with pytest.raises(
+            DeadlockError, match=r"rank 3.*from 1.*'halo:left'"
+        ):
+            mb.get(1, "halo:left")
+
+    def test_mistagged_send_fails_fast_with_context(self):
+        """A tag typo must fail within the receive timeout, naming both
+        endpoints and the tag the receiver was blocked on — not hang for
+        the cluster-default timeout."""
+        import time
+
+        cluster = VirtualCluster(2, timeout=60.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "halo:rigth", np.ones(3))  # the typo
+                return None
+            return comm.recv(0, "halo:right", timeout=0.1)
+
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="rank 1 failed") as exc:
+            cluster.run(prog)
+        assert time.perf_counter() - t0 < 10.0
+        cause = exc.value.__cause__
+        assert isinstance(cause, DeadlockError)
+        assert "rank 1" in str(cause)
+        assert "from 0" in str(cause)
+        assert "'halo:right'" in str(cause)
+
+    def test_comm_recv_forwards_timeout(self):
+        cluster = VirtualCluster(2, timeout=60.0)
+
+        def prog(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(0, "nothing", timeout=0.05)
+                except DeadlockError:
+                    return "timed-out"
+            return "sender"
+
+        assert cluster.run(prog)[1] == "timed-out"
+
+    def test_crashed_rank_aborts_blocked_peers(self):
+        """A dying rank must wake receivers immediately (no hang): the
+        survivors see ClusterAborted, the failure is structured."""
+        import time
+
+        from repro.msglib import RankFailure
+        from repro.msglib.vchannel import ClusterAborted
+
+        cluster = VirtualCluster(4, timeout=60.0)
+
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("injected death")
+            # Everyone else blocks on a message rank 2 will never send.
+            return comm.recv(2, "never")
+
+        t0 = time.perf_counter()
+        with pytest.raises(RankFailure) as exc:
+            cluster.run(prog)
+        assert time.perf_counter() - t0 < 10.0
+        failure = exc.value
+        assert failure.rank == 2
+        assert isinstance(failure.__cause__, ValueError)
+        assert set(failure.ranks) == {0, 1, 2, 3}
+        secondary = [e for _, _, e in failure.failures if
+                     isinstance(e, ClusterAborted)]
+        assert len(secondary) == 3
+
+    def test_abort_reason_propagates(self):
+        from repro.msglib.vchannel import ClusterAborted
+
+        mb = Mailbox(owner=0, timeout=5.0)
+        mb.abort("rank 7 died")
+        with pytest.raises(ClusterAborted, match="rank 7 died"):
+            mb.get(1, "anything")

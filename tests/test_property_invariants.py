@@ -1,0 +1,194 @@
+"""Hypothesis property tests: conservation, filter bounds, halo round-trips.
+
+The property-based half of the ISSUE-3 harness (the chaos half lives in
+``tests/test_faults.py`` and needs no hypothesis).  Three families:
+
+* **mass conservation** on periodic interiors — the conservative-form
+  solver and filter must preserve the discrete totals to rounding, under
+  both kernel backends;
+* **filter contraction** — one more pass of the fourth-difference filter
+  never moves the state further than the last pass did
+  (``||F(F(q)) - F(q)|| <= ||F(q) - q||``, valid on periodic interiors
+  because every eigenvalue of ``I - eps D4`` lies in ``[1 - 16 eps, 1]``);
+* **halo pack/unpack round-trips** — for any block widths at or above the
+  stencil radius, the ghost lines a rank receives are bitwise the
+  neighbour's true edge lines, through the plain wire and through the
+  fault layer's sequence-numbered transport alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EulerSolver, SolverConfig
+from repro.faults import FaultPlan, FaultyComm
+from repro.grid import Grid
+from repro.msglib.virtual import VirtualCluster
+from repro.parallel.halo import (
+    ExchangePolicy,
+    exchange_flux_high,
+    exchange_flux_low,
+    exchange_state_halo_high,
+    exchange_state_halo_low,
+)
+from repro.physics.state import FlowState
+
+from test_solver_properties import _planar_config, _smooth_periodic_state
+
+#: The widest one-sided stencil the exchanges feed (two lines each way).
+STENCIL_RADIUS = 2
+
+BACKENDS = ["baseline", "fused"]
+
+
+# ---------------------------------------------------------------------------
+# mass conservation on periodic interiors, both backends
+# ---------------------------------------------------------------------------
+class TestConservation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(seed=st.integers(0, 10_000), amplitude=st.floats(1e-5, 0.04))
+    @settings(max_examples=15, deadline=None)
+    def test_mass_conserved_periodic(self, backend, seed, amplitude):
+        grid = Grid(nx=12, nr=10, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, amplitude)
+        solver = EulerSolver(state, _planar_config(backend=backend))
+        t0 = state.conserved_totals(radial_weight=False)
+        solver.run(6)
+        t1 = state.conserved_totals(radial_weight=False)
+        assert np.allclose(
+            t1, t0, rtol=0, atol=1e-11 * max(np.abs(t0).max(), 1.0)
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_backends_bitwise_identical(self, seed):
+        grid = Grid(nx=12, nr=10, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.02)
+
+        def evolve(backend):
+            s = FlowState(grid, state.q.copy())
+            EulerSolver(s, _planar_config(backend=backend)).run(4)
+            return s.q
+
+        assert np.array_equal(evolve("baseline"), evolve("fused"))
+
+    @given(seed=st.integers(0, 10_000), eps=st.floats(0.001, 0.1))
+    @settings(max_examples=15, deadline=None)
+    def test_filter_alone_conserves_mass(self, seed, eps):
+        """The conservative-form filter must not create or destroy mass."""
+        grid = Grid(nx=12, nr=10, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.05)
+        solver = EulerSolver(state, _planar_config(dissipation=eps))
+        filtered = solver.apply_filter(state.q.copy())
+        assert np.allclose(
+            filtered.sum(axis=(1, 2)),
+            state.q.sum(axis=(1, 2)),
+            rtol=0,
+            atol=1e-12,
+        )
+
+
+# ---------------------------------------------------------------------------
+# filter contraction
+# ---------------------------------------------------------------------------
+class TestFilterContraction:
+    @given(seed=st.integers(0, 10_000), eps=st.floats(0.001, 0.1))
+    @settings(max_examples=20, deadline=None)
+    def test_second_pass_moves_less(self, seed, eps):
+        grid = Grid(nx=14, nr=12, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.05)
+        solver = EulerSolver(state, _planar_config(dissipation=eps))
+        q0 = state.q.copy()
+        q1 = solver.apply_filter(q0.copy())
+        q2 = solver.apply_filter(q1.copy())
+        step1 = np.linalg.norm(q1 - q0)
+        step2 = np.linalg.norm(q2 - q1)
+        assert step2 <= step1 + 1e-14
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_filter_fixed_points_are_smooth(self, seed):
+        """Constant states are exact fixed points of the filter."""
+        grid = Grid(nx=10, nr=10, length_x=1.0, length_r=1.0)
+        rng = np.random.default_rng(seed)
+        q = np.tile(
+            rng.uniform(0.5, 2.0, size=4)[:, None, None], (1,) + grid.shape
+        )
+        state = FlowState(grid, q.copy())
+        solver = EulerSolver(state, _planar_config(dissipation=0.05))
+        assert np.array_equal(solver.apply_filter(q.copy()), q)
+
+
+# ---------------------------------------------------------------------------
+# halo pack/unpack round-trips over a real 2-rank cluster
+# ---------------------------------------------------------------------------
+def _halo_roundtrip(widths: tuple[int, int], nr: int, wrap_in_faults: bool):
+    """Run a 2-rank exchange and return each rank's (ghosts, q_local)."""
+    rng = np.random.default_rng(hash(widths) % 2**31)
+    blocks = [rng.random((4, w, nr)) for w in widths]
+    policy = ExchangePolicy(split_flux_columns=False)
+
+    def program(comm):
+        if wrap_in_faults:
+            comm = FaultyComm(comm, FaultPlan(always_wrap=True))
+        rank = comm.rank
+        left = rank - 1 if rank > 0 else None
+        right = rank + 1 if rank < comm.size - 1 else None
+        q = blocks[rank]
+        lo = exchange_state_halo_low(comm, "0:filter", q, left, right)
+        hi = exchange_state_halo_high(comm, "0:filter", q, left, right)
+        fh = exchange_flux_high(comm, "0:x:p", q, left, right, policy)
+        fl = exchange_flux_low(comm, "0:x:p", q, left, right, policy)
+        return lo, hi, fh, fl
+
+    return VirtualCluster(2, timeout=30).run(program)
+
+
+@st.composite
+def block_widths(draw):
+    return (
+        draw(st.integers(STENCIL_RADIUS, 9)),
+        draw(st.integers(STENCIL_RADIUS, 9)),
+    )
+
+
+class TestHaloRoundTrip:
+    @pytest.mark.parametrize("wrapped", [False, True],
+                             ids=["plain", "fault-transport"])
+    @given(widths=block_widths(), nr=st.integers(3, 8))
+    @settings(max_examples=12, deadline=None)
+    def test_ghosts_are_neighbour_edges(self, wrapped, widths, nr):
+        rng = np.random.default_rng(hash(widths) % 2**31)
+        blocks = [rng.random((4, w, nr)) for w in widths]
+        (lo0, hi0, fh0, fl0), (lo1, hi1, fh1, fl1) = _halo_roundtrip(
+            widths, nr, wrapped
+        )
+        # rank 0 is the low edge: no low/left ghosts, its high ghosts are
+        # rank 1's first lines (ordered outward).
+        assert lo0 is None and fl0 is None
+        assert np.array_equal(hi0[0], blocks[1][:, 0, :])
+        assert np.array_equal(hi0[1], blocks[1][:, 1, :])
+        assert np.array_equal(fh0[0], blocks[1][:, 0, :])
+        assert np.array_equal(fh0[1], blocks[1][:, 1, :])
+        # rank 1 is the high edge: its low ghosts are rank 0's last lines.
+        assert hi1 is None and fh1 is None
+        assert np.array_equal(lo1[0], blocks[0][:, -1, :])
+        assert np.array_equal(lo1[1], blocks[0][:, -2, :])
+        assert np.array_equal(fl1[0], blocks[0][:, -1, :])
+        assert np.array_equal(fl1[1], blocks[0][:, -2, :])
+
+    @given(widths=block_widths(), nr=st.integers(3, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_fault_transport_is_bitwise_transparent(self, widths, nr):
+        """Framing + sequence numbering changes no ghost bit."""
+        plain = _halo_roundtrip(widths, nr, wrap_in_faults=False)
+        framed = _halo_roundtrip(widths, nr, wrap_in_faults=True)
+        for (pl, fr) in zip(plain, framed):
+            for a, b in zip(pl, fr):
+                if a is None:
+                    assert b is None
+                else:
+                    assert np.array_equal(a, b)
