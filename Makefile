@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-all trace-smoke
+.PHONY: check test test-all trace-smoke bench perf-gate bless-baseline
 
 ## check: fast test suite + trace-determinism smoke (the pre-commit gate)
 check: trace-smoke
@@ -17,3 +17,16 @@ test-all: test
 ## trace-smoke: two identical simulated runs must export identical bytes
 trace-smoke:
 	$(PY) scripts/trace_report.py --selftest
+
+## bench: run the pinned core benchmark matrix (writes BENCH_core.json
+## and appends PerfReport lines to benchmarks/output/BENCH_runs.jsonl)
+bench:
+	$(PY) benchmarks/bench_core.py
+
+## perf-gate: compare fresh bench results against the committed baseline
+perf-gate:
+	$(PY) scripts/perf_gate.py
+
+## bless-baseline: accept the current bench results as the new baseline
+bless-baseline:
+	$(PY) scripts/perf_gate.py --update-baseline

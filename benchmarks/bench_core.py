@@ -1,0 +1,203 @@
+"""Pinned core benchmark matrix feeding the performance-regression gate.
+
+Not a pytest benchmark: this is a plain script (``make bench``) that runs a
+small fixed matrix of solver configurations through the
+:func:`repro.api.run` facade with metrics enabled, records the best-of-N
+step time per case alongside a machine *calibration* measurement (a fixed
+numpy workload, so baselines transfer across machines), and writes
+
+* ``benchmarks/output/BENCH_core.json`` — the matrix results
+  ``scripts/perf_gate.py`` compares against the committed baseline in
+  ``benchmarks/baseline/BENCH_core.json``;
+* one :class:`~repro.obs.PerfReport` ledger line per case appended to
+  ``benchmarks/output/BENCH_runs.jsonl``.
+
+The matrix is deliberately tiny (seconds, not minutes): small grids, few
+steps, serial + fused + a 4-rank virtual-cluster case for both Euler and
+Navier-Stokes, so the gate exercises every hot seam the metrics layer
+instruments without making CI slow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+SCHEMA = "repro.bench-core/1"
+
+#: The pinned matrix.  ``tolerance`` is the per-case relative step-time
+#: regression the gate allows (parallel cases breathe more: thread
+#: scheduling noise).  Do not edit casually — baselines key off ``id``.
+MATRIX = (
+    {
+        "id": "ns-serial-baseline",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 1,
+        "backend": "baseline",
+        "tolerance": 0.15,
+    },
+    {
+        "id": "ns-serial-fused",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 1,
+        "backend": "fused",
+        "tolerance": 0.15,
+    },
+    {
+        "id": "euler-serial-fused",
+        "scenario": "jet-euler",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 1,
+        "backend": "fused",
+        "tolerance": 0.15,
+    },
+    {
+        "id": "ns-p4-fused",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 4,
+        "backend": "fused",
+        "tolerance": 0.25,
+    },
+    {
+        "id": "euler-p4-fused",
+        "scenario": "jet-euler",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 4,
+        "backend": "fused",
+        "tolerance": 0.25,
+    },
+)
+
+
+def calibration_ms(repeats: int = 5) -> float:
+    """Best-of-N milliseconds for a fixed numpy workload.
+
+    Stored with every BENCH_core.json so the gate can normalize a baseline
+    recorded on one machine against results from another: the ratio of
+    calibrations approximates the ratio of solver step times.
+    """
+    import numpy as np
+
+    best = float("inf")
+    a = np.linspace(0.0, 1.0, 200_000)
+    m = np.linspace(0.0, 1.0, 160_000).reshape(400, 400)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(5):
+            b = np.sqrt(a * a + 1.0)
+            c = np.cumsum(b)
+            d = m @ m
+            float(c[-1] + d[0, 0])
+        best = min(best, time.perf_counter() - t0)
+    return 1e3 * best
+
+
+def run_case(case: dict, repeats: int, ledger_path: str | None):
+    """Best-of-``repeats`` metrics run of one matrix case."""
+    from repro.api import run
+
+    best = None
+    for _ in range(repeats):
+        res = run(
+            case["scenario"],
+            steps=case["steps"],
+            nprocs=case["nprocs"],
+            backend=case["backend"],
+            metrics=True,
+            **case["kw"],
+        )
+        if best is None or res.perf.ms_per_step < best.perf.ms_per_step:
+            best = res
+    if ledger_path:
+        from repro.obs import append_ledger
+
+        append_ledger(best.perf, ledger_path)
+    return best.perf
+
+
+def run_matrix(
+    repeats: int = 3, ledger_path: str | None = None, quick: bool = False
+) -> dict:
+    cases = {}
+    for case in MATRIX:
+        spec = dict(case)
+        if quick:
+            spec["steps"] = max(spec["steps"] // 4, 2)
+        perf = run_case(spec, repeats, ledger_path)
+        cases[case["id"]] = {
+            "ms_per_step": perf.ms_per_step,
+            "mflops": perf.mflops_total,
+            "comp_comm_ratio": perf.comp_comm_ratio,
+            "fingerprint": perf.fingerprint,
+            "tolerance": case["tolerance"],
+            "config": {
+                "scenario": case["scenario"],
+                "steps": spec["steps"],
+                "nprocs": case["nprocs"],
+                "backend": case["backend"],
+                **case["kw"],
+            },
+        }
+        print(
+            f"  {case['id']:22s} {perf.ms_per_step:8.2f} ms/step  "
+            f"MFLOPS={perf.mflops_total:7.1f}",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "calibration_ms": calibration_ms(),
+        "repeats": repeats,
+        "cases": cases,
+    }
+
+
+def main(argv=None) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--output",
+        default=os.path.join(here, "output", "BENCH_core.json"),
+        help="where to write the matrix results JSON",
+    )
+    ap.add_argument(
+        "--ledger",
+        default=os.path.join(here, "output", "BENCH_runs.jsonl"),
+        help="PerfReport ledger to append to ('' disables)",
+    )
+    ap.add_argument("--repeats", type=int, default=3, help="best-of-N runs")
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="quarter-length steps (smoke-testing the harness itself)",
+    )
+    args = ap.parse_args(argv)
+    print(f"core benchmark matrix ({len(MATRIX)} cases, best of {args.repeats}):")
+    doc = run_matrix(
+        repeats=args.repeats,
+        ledger_path=args.ledger or None,
+        quick=args.quick,
+    )
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {doc['calibration_ms']:.2f} ms")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+    raise SystemExit(main())

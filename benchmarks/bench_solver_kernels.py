@@ -130,6 +130,100 @@ def test_nulltracer_overhead():
     )
 
 
+def test_nullmetrics_overhead():
+    """The disabled (default) metrics registry must cost < 1% of a step.
+
+    Same direct-measurement strategy as ``test_nulltracer_overhead``: count
+    the metric recordings one instrumented step performs (via the real
+    registry's update counter), time that many no-op recordings on the
+    null registry, and bound the ratio.  The off bound is tighter than the
+    tracer's (1% vs 3%) because the null path is a plain method call plus
+    an ``.enabled`` test — no context manager.
+    """
+    import time
+
+    from repro.obs import MetricsRegistry, NullMetrics, get_metrics, use_metrics
+
+    sc = jet_scenario(nx=64, nr=32, viscous=True)
+    sc.solver.run(2)
+
+    reg = MetricsRegistry()
+    with use_metrics(reg):
+        sc.solver.step()
+    ops_per_step = reg.total_updates
+
+    assert isinstance(get_metrics(), NullMetrics)
+    samples = []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        sc.solver.step()
+        samples.append(time.perf_counter() - t0)
+    step_seconds = sorted(samples)[len(samples) // 2]
+
+    null = NullMetrics()
+    reps = 500 * max(ops_per_step, 1)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        if null.enabled:  # the hot-seam pattern: branch, then (skipped) record
+            null.observe("x", 1.0)
+    per_op = (time.perf_counter() - t0) / reps
+
+    overhead = ops_per_step * per_op
+    assert overhead < 0.01 * step_seconds, (
+        f"null-metrics overhead {1e6 * overhead:.1f}us/step "
+        f"({ops_per_step} ops) exceeds 1% of the "
+        f"{1e3 * step_seconds:.2f}ms step"
+    )
+
+
+def test_metrics_on_overhead():
+    """An *enabled* registry must cost < 3% of a step (``metrics=True``
+    is meant to stay on for whole production runs).
+
+    Times the real recording mix one step performs — histogram observes
+    and counter incs in their measured proportion — against the median
+    uninstrumented step time.
+    """
+    import time
+
+    from repro.obs import Counter, Histogram, MetricsRegistry, use_metrics
+
+    sc = jet_scenario(nx=64, nr=32, viscous=True)
+    sc.solver.run(2)
+
+    reg = MetricsRegistry()
+    with use_metrics(reg):
+        sc.solver.step()
+    observes = sum(
+        m.updates for _, m in reg.items() if isinstance(m, Histogram)
+    )
+    counts = sum(m.updates for _, m in reg.items() if isinstance(m, Counter))
+
+    samples = []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        sc.solver.step()
+        samples.append(time.perf_counter() - t0)
+    step_seconds = sorted(samples)[len(samples) // 2]
+
+    live = MetricsRegistry()
+    live.bind_rank(0)
+    reps = 300
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for _ in range(observes):
+            live.observe("h", 0.001)
+        for _ in range(counts):
+            live.count("c", 1.0)
+    per_step_cost = (time.perf_counter() - t0) / reps
+
+    assert per_step_cost < 0.03 * step_seconds, (
+        f"metrics-on overhead {1e6 * per_step_cost:.1f}us/step "
+        f"({observes} observes + {counts} counts) exceeds 3% of the "
+        f"{1e3 * step_seconds:.2f}ms step"
+    )
+
+
 def test_faultycomm_passthrough_overhead():
     """A FaultyComm with injection disabled must cost < 3% of a step.
 

@@ -1,0 +1,223 @@
+"""Benchmark-regression gate over the core matrix.
+
+Compares a fresh ``benchmarks/output/BENCH_core.json`` (written by
+``benchmarks/bench_core.py``) against the committed baseline in
+``benchmarks/baseline/BENCH_core.json`` and exits non-zero when any
+case's step time regressed beyond its tolerance (default 15%).
+
+Cross-machine noise is handled two ways:
+
+* each results file carries ``calibration_ms`` — a fixed numpy workload
+  timed at generation — and the gate scales the baseline's step times by
+  the calibration ratio before comparing, so a baseline recorded on a
+  faster machine doesn't fail every run on a slower one;
+* each case carries its own relative tolerance (parallel cases allow
+  more: rank threads are at the scheduler's mercy).
+
+Usage::
+
+    python scripts/perf_gate.py                      # compare, exit 0/1
+    python scripts/perf_gate.py --update-baseline    # bless current results
+    python scripts/perf_gate.py --summary gate.md    # also write a markdown table
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = missing/invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CURRENT = os.path.join(REPO, "benchmarks", "output", "BENCH_core.json")
+BASELINE = os.path.join(REPO, "benchmarks", "baseline", "BENCH_core.json")
+SCHEMA = "repro.bench-core/1"
+
+#: Relative step-time regression allowed when a case doesn't pin its own.
+DEFAULT_TOLERANCE = 0.15
+
+#: MFLOPS may drop this much (normalized) before the gate *warns*; MFLOPS
+#: never fails the gate on its own — it is derived from the same clock as
+#: the step time, so a real regression always shows up there first.
+MFLOPS_WARN_DROP = 0.20
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != expected {SCHEMA!r}"
+        )
+    return doc
+
+
+def compare(current: dict, baseline: dict) -> tuple[list[dict], list[str]]:
+    """Per-case comparison rows + hard-failure messages.
+
+    The baseline's step times are scaled by the machines' calibration
+    ratio before the tolerance test.
+    """
+    cal_cur = float(current.get("calibration_ms") or 0.0)
+    cal_base = float(baseline.get("calibration_ms") or 0.0)
+    scale = (cal_cur / cal_base) if cal_cur > 0.0 and cal_base > 0.0 else 1.0
+    rows: list[dict] = []
+    failures: list[str] = []
+    for case_id, base in sorted(baseline["cases"].items()):
+        cur = current["cases"].get(case_id)
+        if cur is None:
+            failures.append(f"{case_id}: missing from current results")
+            continue
+        if cur.get("fingerprint") != base.get("fingerprint"):
+            failures.append(
+                f"{case_id}: config fingerprint changed "
+                f"({base.get('fingerprint')} -> {cur.get('fingerprint')}); "
+                "re-bless the baseline with --update-baseline"
+            )
+            continue
+        tol = float(base.get("tolerance", DEFAULT_TOLERANCE))
+        expected = float(base["ms_per_step"]) * scale
+        measured = float(cur["ms_per_step"])
+        ratio = measured / expected if expected > 0.0 else float("inf")
+        ok = ratio <= 1.0 + tol
+        warn = ""
+        b_mf, c_mf = base.get("mflops"), cur.get("mflops")
+        if b_mf and c_mf and c_mf < b_mf / scale * (1.0 - MFLOPS_WARN_DROP):
+            warn = f"MFLOPS dropped {b_mf / scale:.1f} -> {c_mf:.1f}"
+        rows.append(
+            {
+                "id": case_id,
+                "expected_ms": expected,
+                "measured_ms": measured,
+                "ratio": ratio,
+                "tolerance": tol,
+                "mflops": c_mf,
+                "ok": ok,
+                "warn": warn,
+            }
+        )
+        if not ok:
+            failures.append(
+                f"{case_id}: {measured:.2f} ms/step vs expected "
+                f"{expected:.2f} (x{ratio:.2f}, tolerance +{tol:.0%})"
+            )
+    for case_id in sorted(set(current["cases"]) - set(baseline["cases"])):
+        rows.append(
+            {
+                "id": case_id,
+                "expected_ms": None,
+                "measured_ms": float(current["cases"][case_id]["ms_per_step"]),
+                "ratio": None,
+                "tolerance": None,
+                "mflops": current["cases"][case_id].get("mflops"),
+                "ok": True,
+                "warn": "new case (not in baseline)",
+            }
+        )
+    return rows, failures
+
+
+def render_text(rows: list[dict], scale_note: str) -> str:
+    lines = [f"perf gate ({scale_note})"]
+    for r in rows:
+        status = "ok  " if r["ok"] else "FAIL"
+        exp = f"{r['expected_ms']:.2f}" if r["expected_ms"] is not None else "-"
+        ratio = f"x{r['ratio']:.2f}" if r["ratio"] is not None else "-"
+        mflops = f"{r['mflops']:.1f}" if r["mflops"] else "-"
+        line = (
+            f"  [{status}] {r['id']:22s} {r['measured_ms']:8.2f} ms/step "
+            f"(expected {exp:>8s}, {ratio:>6s})  MFLOPS={mflops:>8s}"
+        )
+        if r["warn"]:
+            line += f"  ! {r['warn']}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_markdown(rows: list[dict], scale_note: str) -> str:
+    lines = [
+        f"### Core benchmark gate ({scale_note})",
+        "",
+        "| case | measured ms/step | expected | ratio | MFLOPS | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        exp = f"{r['expected_ms']:.2f}" if r["expected_ms"] is not None else "-"
+        ratio = f"{r['ratio']:.2f}" if r["ratio"] is not None else "-"
+        mflops = f"{r['mflops']:.1f}" if r["mflops"] else "-"
+        status = "✅" if r["ok"] else "❌"
+        if r["warn"]:
+            status += f" ({r['warn']})"
+        lines.append(
+            f"| {r['id']} | {r['measured_ms']:.2f} | {exp} | {ratio} "
+            f"| {mflops} | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default=CURRENT)
+    ap.add_argument("--baseline", default=BASELINE)
+    ap.add_argument(
+        "--update-baseline", action="store_true",
+        help="copy the current results over the committed baseline",
+    )
+    ap.add_argument(
+        "--summary", default=None,
+        help="also write a markdown summary table to this path",
+    )
+    args = ap.parse_args(argv)
+    if not os.path.exists(args.current):
+        print(
+            f"perf_gate: no current results at {args.current}; run "
+            "benchmarks/bench_core.py (make bench) first", file=sys.stderr,
+        )
+        return 2
+    try:
+        current = load(args.current)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"perf_gate: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(
+            f"perf_gate: no baseline at {args.baseline}; bless one with "
+            "--update-baseline", file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load(args.baseline)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"perf_gate: {exc}", file=sys.stderr)
+        return 2
+    rows, failures = compare(current, baseline)
+    cal_cur = current.get("calibration_ms") or 0.0
+    cal_base = baseline.get("calibration_ms") or 0.0
+    scale_note = (
+        f"calibration {cal_cur:.2f} ms vs baseline {cal_base:.2f} ms"
+        if cal_cur and cal_base
+        else "no calibration normalization"
+    )
+    print(render_text(rows, scale_note))
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            fh.write(render_markdown(rows, scale_note))
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,39 +3,57 @@
 
 The paper's Section 6 is a profiling-driven optimization story (stride-1
 access, division removal); this script applies the same discipline to the
-reproduction itself: cProfile over a short paper-resolution run, printed by
-cumulative time.
+reproduction itself, through the measurement facade: a short
+paper-resolution run under ``repro.api.run(..., profile=True)`` — which
+turns on the metrics registry, runs cProfile, and derives the
+per-stage/per-rank performance report this prints.
 
 Usage::
 
-    python scripts/profile_solver.py [steps]
+    python scripts/profile_solver.py [steps] [--backend fused] [--nprocs N]
 """
 
-import cProfile
-import pstats
+import argparse
+import os
 import sys
 
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-def main() -> None:
-    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 30
-    from repro import jet_scenario
 
-    sc = jet_scenario(nx=250, nr=100, viscous=True)
-    sc.solver.run(2)  # warm up allocations and the dt cache
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("steps", nargs="?", type=int, default=30)
+    ap.add_argument("--nx", type=int, default=250)
+    ap.add_argument("--nr", type=int, default=100)
+    ap.add_argument("--backend", default=None, help="baseline or fused")
+    ap.add_argument(
+        "--nprocs", type=int, default=1,
+        help="virtual-cluster ranks (cProfile sees only the calling "
+        "thread, so per-function rows cover the serial route fully; "
+        "stage metrics cover every rank either way)",
+    )
+    args = ap.parse_args(argv)
 
-    prof = cProfile.Profile()
-    prof.enable()
-    sc.solver.run(steps)
-    prof.disable()
+    from repro.api import run
+    from repro.obs import render_report
 
-    stats = pstats.Stats(prof)
-    stats.sort_stats("cumulative")
-    print(f"=== top functions over {steps} steps at 250x100 ===")
-    stats.print_stats(18)
-    ms = 1e3 * sc.solver.wall_time / sc.solver.nstep
-    print(f"mean wall time per step: {ms:.1f} ms "
+    res = run(
+        "jet",
+        steps=args.steps,
+        nx=args.nx,
+        nr=args.nr,
+        nprocs=args.nprocs,
+        backend=args.backend,
+        profile=18,
+    )
+    print(render_report(res.perf))
+    ms = res.perf.ms_per_step
+    print(f"\nmean wall time per step: {ms:.1f} ms "
           f"(full 5000-step run ~ {ms * 5:.0f} s)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ Commands
     a Chrome/Perfetto trace.
 ``jet [--nx N --nr N --steps S --euler]``
     Run the real solver and print diagnostics plus a momentum contour.
+``report [paths ...] [--last N]``
+    Render performance ledgers (``BENCH_runs.jsonl`` lines from
+    ``run(..., metrics=True)``) or recorded trace files — autodetected
+    per path.  Defaults to the standard ledger under
+    ``benchmarks/output/``.
 """
 
 from __future__ import annotations
@@ -119,6 +124,8 @@ def _cmd_run(args) -> int:
             faults=args.faults,
             fault_seed=args.fault_seed,
             checkpoint_every=args.checkpoint_every,
+            metrics=args.metrics,
+            ledger=args.ledger or args.metrics,
             **kw,
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -144,7 +151,75 @@ def _cmd_run(args) -> int:
     if res.trace_path:
         print(f"chrome trace written to {res.trace_path} "
               "(open at https://ui.perfetto.dev)")
+    if res.perf is not None:
+        from .obs import render_report
+
+        print()
+        print(render_report(res.perf))
     return 0
+
+
+def _looks_like_ledger(path: str) -> bool:
+    """A perf ledger starts with a JSON object carrying our schema tag;
+    trace files are either Chrome JSON or typed JSON-lines."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    return json.loads(line).get("schema", "").startswith(
+                        "repro.perf/"
+                    )
+    except (OSError, ValueError):
+        pass
+    return False
+
+
+def _cmd_report(args) -> int:
+    from .obs import read_ledger, render_ledger, render_report
+
+    paths = args.paths or ["benchmarks/output/BENCH_runs.jsonl"]
+    status = 0
+    for path in paths:
+        if _looks_like_ledger(path):
+            try:
+                reports = read_ledger(path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 2
+                continue
+            print(render_ledger(reports, title=path))
+            for rp in reports[-args.last:] if args.last else []:
+                print()
+                print(render_report(rp))
+        else:
+            # Fall back to the trace component-split report.
+            try:
+                from .analysis.metrics import component_breakdown
+                from .analysis.report import format_table
+                from .obs import load_trace
+
+                trace = load_trace(path)
+                bd = component_breakdown(trace)
+            except (OSError, ValueError) as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                status = 2
+                continue
+            rows = [
+                [r, f"{c.computation:.4f}", f"{c.startup:.4f}",
+                 f"{c.transfer:.4f}", f"{c.total:.4f}"]
+                for r, c in bd.per_rank
+            ]
+            print(format_table(
+                ["rank", "computation s", "startup s", "transfer s",
+                 "total s"],
+                rows,
+                title=f"{path}: {bd.source} components",
+            ))
+        print()
+    return status
 
 
 def _cmd_jet(args) -> int:
@@ -226,7 +301,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                    help="gather a restart snapshot every N steps "
                         "(distributed runs; lets injected crashes recover)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect per-stage/per-rank metrics, print the "
+                        "performance report, and append it to the run "
+                        "ledger")
+    p.add_argument("--ledger", metavar="PATH", default=None,
+                   help="append the performance report to this JSON-lines "
+                        "ledger (implies --metrics semantics for output "
+                        "location; default with --metrics: "
+                        "benchmarks/output/BENCH_runs.jsonl)")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "report", help="render performance ledgers / trace breakdowns"
+    )
+    p.add_argument("paths", nargs="*",
+                   help="ledger (.jsonl) or trace files; default: "
+                        "benchmarks/output/BENCH_runs.jsonl")
+    p.add_argument("--last", type=int, default=1, metavar="N",
+                   help="also print the full per-stage report of the last "
+                        "N ledger entries (0 disables)")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("jet", help="run the real solver")
     p.add_argument("--nx", type=int, default=96)

@@ -129,10 +129,93 @@ class ComponentBreakdown:
 _COMM_CAT = "comm"
 
 
-def component_breakdown(trace) -> ComponentBreakdown:
-    """Recompute the paper's component split from a trace.
+class MissingMeasurementError(ValueError):
+    """A breakdown was requested from inputs that don't carry one.
 
-    Works on both kinds of traces this package produces:
+    Names exactly which input is missing or empty (``missing``) and how to
+    record it (``hint``) — the structured replacement for the bare
+    ``KeyError``/``ValueError`` a caller used to have to decipher.
+    """
+
+    def __init__(self, missing: str, hint: str) -> None:
+        self.missing = missing
+        self.hint = hint
+        super().__init__(f"{missing}; {hint}")
+
+
+def _snapshot_of(metrics) -> dict:
+    """Accept a live :class:`~repro.obs.MetricsRegistry` or the JSON-able
+    snapshot dict the run ledger stores."""
+    if isinstance(metrics, dict):
+        return metrics
+    snap = getattr(metrics, "snapshot", None)
+    if callable(snap):
+        return snap()
+    raise TypeError(
+        "metrics must be a MetricsRegistry or its snapshot() dict, "
+        f"got {type(metrics).__name__}"
+    )
+
+
+def _breakdown_from_metrics(metrics) -> ComponentBreakdown:
+    """The component split from a metrics snapshot (no trace needed)."""
+    snap = _snapshot_of(metrics)
+    counters = snap.get("counters", {})
+    hists = snap.get("histograms", {})
+
+    def per_rank_values(group: dict, name: str) -> dict[int, float]:
+        cells = group.get(name, {})
+        key = "sum" if group is hists else "value"
+        return {int(r): float(d[key]) for r, d in cells.items()}
+
+    if "sim.compute_seconds" in counters:
+        comp = per_rank_values(counters, "sim.compute_seconds")
+        lib = per_rank_values(counters, "sim.library_seconds")
+        wait = per_rank_values(counters, "sim.wait_seconds")
+        per_rank = tuple(
+            (
+                r,
+                RankComponents(
+                    computation=comp.get(r, 0.0),
+                    startup=lib.get(r, 0.0),
+                    transfer=wait.get(r, 0.0),
+                ),
+            )
+            for r in sorted(comp)
+        )
+        return ComponentBreakdown(per_rank=per_rank, source="simulated")
+    step = per_rank_values(hists, "solver.step_seconds")
+    if not step:
+        raise MissingMeasurementError(
+            "metrics snapshot holds neither sim.* counters nor a "
+            "solver.step_seconds histogram",
+            "record one with repro.api.run(..., metrics=True)",
+        )
+    send = per_rank_values(counters, "comm.send_seconds")
+    recv = per_rank_values(counters, "comm.recv_seconds")
+    per_rank = tuple(
+        (
+            r,
+            RankComponents(
+                computation=max(
+                    step[r] - send.get(r, 0.0) - recv.get(r, 0.0), 0.0
+                ),
+                startup=send.get(r, 0.0),
+                transfer=recv.get(r, 0.0),
+            ),
+        )
+        for r in sorted(step)
+    )
+    return ComponentBreakdown(per_rank=per_rank, source="measured")
+
+
+def component_breakdown(trace=None, *, metrics=None) -> ComponentBreakdown:
+    """Recompute the paper's component split from a trace or, when no
+    trace was recorded, from a metrics snapshot
+    (``run(..., metrics=True)`` — either the live registry or the
+    ``metrics`` dict stored in a run-ledger line).
+
+    For traces, works on both kinds this package produces:
 
     * **simulated-platform traces** (``sim.compute`` / ``sim.library`` /
       ``sim.wait`` spans on the DES clock): the components are read off
@@ -146,8 +229,17 @@ def component_breakdown(trace) -> ComponentBreakdown:
       to arrive, including the sends/receives inside collectives).
 
     Accepts a :class:`repro.obs.Trace` (or anything ``load_trace``
-    returns).  Raises ``ValueError`` for traces with no usable spans.
+    returns).  Raises :class:`MissingMeasurementError` (a ``ValueError``)
+    when neither input carries a usable measurement.
     """
+    if trace is None:
+        if metrics is None:
+            raise MissingMeasurementError(
+                "neither a trace nor a metrics snapshot was provided",
+                "record one with repro.api.run(..., trace=True) or "
+                "run(..., metrics=True)",
+            )
+        return _breakdown_from_metrics(metrics)
     is_sim = any(s.name.startswith("sim.") for s in trace.spans)
     per_rank: list[tuple[int, RankComponents]] = []
     if is_sim:
@@ -186,9 +278,11 @@ def component_breakdown(trace) -> ComponentBreakdown:
                 )
             )
     if not per_rank:
-        raise ValueError(
-            "trace holds no sim.* or solver.step spans; record one with "
-            "repro.api.run(..., trace=True)"
+        if metrics is not None:
+            return _breakdown_from_metrics(metrics)
+        raise MissingMeasurementError(
+            "trace holds no sim.* or solver.step spans",
+            "record one with repro.api.run(..., trace=True)",
         )
     return ComponentBreakdown(
         per_rank=tuple(per_rank), source="simulated" if is_sim else "measured"

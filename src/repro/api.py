@@ -38,11 +38,24 @@ import time as _time
 from dataclasses import dataclass, replace as _dc_replace
 
 from .msglib.api import CommStats
-from .obs import Trace, Tracer, use_tracer, write_chrome_trace
+from .obs import (
+    MetricsRegistry,
+    PerfReport,
+    Trace,
+    Tracer,
+    append_ledger,
+    build_perf_report,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+)
 from .physics.state import FlowState
 from .scenarios import Scenario, scenario_by_name
 
-__all__ = ["run", "RunResult", "RunTimings"]
+__all__ = ["run", "RunResult", "RunTimings", "DEFAULT_LEDGER"]
+
+#: Where ``run(..., ledger=True)`` appends its PerfReport JSON lines.
+DEFAULT_LEDGER = "benchmarks/output/BENCH_runs.jsonl"
 
 
 @dataclass(frozen=True)
@@ -89,6 +102,10 @@ class RunResult:
     fault_stats: list | None = None
     """Per-rank :class:`~repro.faults.FaultStats` when faults were active
     on the distributed route, else ``None``."""
+    perf: PerfReport | None = None
+    """Performance report (``run(..., metrics=True)``), else ``None``."""
+    metrics: MetricsRegistry | None = None
+    """The populated registry behind ``perf`` for programmatic access."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -138,6 +155,33 @@ def _coerce_tracer(trace) -> tuple[Tracer | None, str | None]:
     return Tracer(), os.fspath(trace)
 
 
+def _coerce_metrics(metrics, profile) -> MetricsRegistry | None:
+    """``metrics`` may be falsy, True, or a registry; profiling and the
+    ledger imply metrics (the report needs the registry to exist)."""
+    if isinstance(metrics, MetricsRegistry):
+        return metrics
+    if metrics or profile:
+        return MetricsRegistry()
+    return None
+
+
+def _profile_top(stats: dict, n: int) -> list[dict]:
+    """Top-``n`` functions by cumulative time from ``cProfile`` raw stats."""
+    rows = []
+    ranked = sorted(stats.items(), key=lambda kv: kv[1][3], reverse=True)
+    for func, (cc, nc, tt, ct, _callers) in ranked[:n]:
+        filename, lineno, name = func
+        rows.append(
+            {
+                "func": f"{os.path.basename(filename)}:{lineno}({name})",
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    return rows
+
+
 def _resolve(scenario, **scenario_kw) -> Scenario:
     if isinstance(scenario, Scenario):
         if scenario_kw:
@@ -168,6 +212,9 @@ def run(
     fault_seed: int | None = None,
     checkpoint_every: int = 0,
     max_restarts: int = 2,
+    metrics=None,
+    profile: bool | int = False,
+    ledger=None,
     **scenario_kw,
 ) -> RunResult:
     """Run ``scenario`` on the selected substrate and return a
@@ -229,33 +276,96 @@ def run(
     max_restarts:
         Distributed route: checkpoint restarts allowed before the
         structured :class:`~repro.msglib.RankFailure` propagates.
+    metrics:
+        ``True`` (or a :class:`~repro.obs.MetricsRegistry` to record into)
+        enables continuous measurement: stage timings, communication and
+        fault counters, and a derived :class:`~repro.obs.PerfReport` in
+        ``RunResult.perf`` (per-stage MFLOPS, comp:comm ratio, per-rank
+        split).  Works on all three substrates.
+    profile:
+        ``True`` additionally runs the calling thread under ``cProfile``
+        and exposes the top functions by cumulative time in
+        ``perf.profile_top`` (an integer selects how many; default 15).
+        Implies ``metrics``.  Note cProfile observes only the calling
+        thread — full coverage on the serial route; rank threads of the
+        virtual cluster are outside it.
+    ledger:
+        A path (or ``True`` for ``benchmarks/output/BENCH_runs.jsonl``) to
+        append the :class:`~repro.obs.PerfReport` to as one JSON line.
+        Implies ``metrics``.
     """
+    from contextlib import nullcontext
+
     sc = _resolve(scenario, **scenario_kw)
     tracer, trace_path = _coerce_tracer(trace)
+    reg = _coerce_metrics(metrics, profile or ledger)
     from .faults import resolve_fault_plan
 
     plan = resolve_fault_plan(faults, seed=fault_seed)
-    if platform is not None:
-        result = _run_simulated(
-            sc, platform, nprocs, version, steps, steps_window, tracer,
-            faults=plan,
-        )
-    elif nprocs == 1:
-        if plan is not None:
-            raise ValueError(
-                "faults= requires a network to break: use nprocs > 1 "
-                "(virtual cluster) or platform=... (simulated machine)"
-            )
-        result = _run_serial(sc, steps, tracer, backend)
-    else:
-        result = _run_parallel(
-            sc, steps, nprocs, version, decomposition, px, pr, timeout, tracer,
-            backend, faults=plan, checkpoint_every=checkpoint_every,
-            max_restarts=max_restarts,
-        )
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    with use_metrics(reg) if reg is not None else nullcontext():
+        if profiler is not None:
+            profiler.enable()
+        try:
+            if platform is not None:
+                result = _run_simulated(
+                    sc, platform, nprocs, version, steps, steps_window,
+                    tracer, faults=plan,
+                )
+            elif nprocs == 1:
+                if plan is not None:
+                    raise ValueError(
+                        "faults= requires a network to break: use nprocs > 1 "
+                        "(virtual cluster) or platform=... (simulated machine)"
+                    )
+                result = _run_serial(sc, steps, tracer, backend)
+            else:
+                result = _run_parallel(
+                    sc, steps, nprocs, version, decomposition, px, pr,
+                    timeout, tracer, backend, faults=plan,
+                    checkpoint_every=checkpoint_every,
+                    max_restarts=max_restarts,
+                )
+        finally:
+            if profiler is not None:
+                profiler.disable()
     if tracer is not None and trace_path is not None:
         write_chrome_trace(tracer.trace, trace_path)
         result.trace_path = trace_path
+    if reg is not None:
+        # Exact post-run totals from the communicators' own accounting
+        # (live metrics only sample per-call distributions; see
+        # CommStats.ingest_into).
+        for r, st in enumerate(result.per_rank_stats or []):
+            st.ingest_into(reg, r)
+        top = None
+        if profiler is not None:
+            profiler.create_stats()
+            n = profile if profile is not True else 15
+            top = _profile_top(profiler.stats, int(n))
+        backend_name = None
+        if result.mode != "simulated":
+            from .numerics.kernels import resolve_backend
+
+            backend_name = resolve_backend(
+                backend or sc.solver.config.backend
+            ).name
+        result.metrics = reg
+        result.perf = build_perf_report(
+            result,
+            reg,
+            backend=backend_name,
+            grid=(sc.grid.nx, sc.grid.nr),
+            viscous=sc.solver.config.viscous,
+            profile_top=top,
+        )
+        if ledger:
+            path = DEFAULT_LEDGER if ledger is True else os.fspath(ledger)
+            append_ledger(result.perf, path)
     return result
 
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..msglib.api import Communicator
 from ..msglib.vchannel import DeadlockError
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from .plan import FaultPlan
 from .wire import pack_frame, truncate_frame, unpack_frame
 
@@ -156,6 +156,17 @@ class FaultyComm(Communicator):
                 step=self._step, **args,
             )
             tr.count("faults_injected", 1, rank=self.rank)
+        mx = get_metrics()
+        if mx.enabled:
+            mx.count(f"fault.{kind}", 1.0, rank=self.rank)
+
+    def _recover(self, kind: str) -> None:
+        """Count one recovery action in the metrics registry (the tracer
+        instants/counters for these are emitted at the call sites, which
+        carry the peer/tag context)."""
+        mx = get_metrics()
+        if mx.enabled:
+            mx.count(f"fault.{kind}", 1.0, rank=self.rank)
 
     def _enter_op(self, tag: str) -> None:
         """Per-call prologue: track the step, slow down, maybe crash, and
@@ -203,6 +214,7 @@ class FaultyComm(Communicator):
             fate = plan.fate(self.rank, dest, tag, seq, attempt, self.salt)
             if attempt > 0:
                 self.fault_stats.retransmissions += 1
+                self._recover("retransmission")
                 tr = get_tracer()
                 if tr.enabled:
                     tr.count("retransmissions", 1, rank=self.rank)
@@ -263,6 +275,7 @@ class FaultyComm(Communicator):
                 waited += poll
                 if retries_left <= 0:
                     self.fault_stats.recv_retries += 1
+                    self._recover("recv_retry")
                     raise MessageTimeout(
                         self.rank, source, tag, waited,
                         plan.recv_retries, step=self._step,
@@ -270,6 +283,7 @@ class FaultyComm(Communicator):
                 retries_left -= 1
                 poll *= plan.backoff
                 self.fault_stats.recv_retries += 1
+                self._recover("recv_retry")
                 if tr.enabled:
                     tr.instant(
                         "fault.recv_retry", cat="fault", rank=self.rank,
@@ -280,6 +294,7 @@ class FaultyComm(Communicator):
             unpacked = unpack_frame(raw)
             if unpacked is None:
                 self.fault_stats.corrupt_discarded += 1
+                self._recover("corrupt_rx")
                 if tr.enabled:
                     tr.instant(
                         "fault.corrupt_rx", cat="fault", rank=self.rank,
@@ -290,6 +305,7 @@ class FaultyComm(Communicator):
             seq, payload = unpacked
             if seq < expected:
                 self.fault_stats.dups_discarded += 1
+                self._recover("duplicate_rx")
                 if tr.enabled:
                     tr.instant(
                         "fault.duplicate_rx", cat="fault", rank=self.rank,

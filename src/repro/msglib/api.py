@@ -54,6 +54,9 @@ class CommStats:
     bytes_received: int = 0
     send_seconds: float = 0.0
     recv_seconds: float = 0.0
+    max_message_bytes: int = 0
+    """Largest single message this rank sent (grouping diagnostics: V5's
+    grouped flux pairs double this relative to V7's split columns)."""
     trace: list[MessageRecord] | None = None
 
     @property
@@ -76,6 +79,8 @@ class CommStats:
         self.sends += 1
         self.bytes_sent += nbytes
         self.send_seconds += seconds
+        if nbytes > self.max_message_bytes:
+            self.max_message_bytes = nbytes
         if self.trace is not None:
             self.trace.append(MessageRecord("send", peer, tag, nbytes, seconds))
 
@@ -96,6 +101,29 @@ class CommStats:
             bytes_received=self.bytes_received + other.bytes_received,
             send_seconds=self.send_seconds + other.send_seconds,
             recv_seconds=self.recv_seconds + other.recv_seconds,
+            max_message_bytes=max(
+                self.max_message_bytes, other.max_message_bytes
+            ),
+        )
+
+    def ingest_into(self, metrics, rank: int) -> None:
+        """Record this rank's totals as ``comm.*`` counters in a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the deterministic
+        post-run source the performance report uses.  (Per-*call* time
+        distributions are recorded live during the run under
+        ``comm.send_call_seconds`` / ``comm.recv_call_seconds``; the
+        totals here come from :class:`CommStats` so they are exact even
+        when no registry was installed while the run executed.)"""
+        metrics.count("comm.sends", float(self.sends), rank=rank)
+        metrics.count("comm.recvs", float(self.recvs), rank=rank)
+        metrics.count("comm.bytes_sent", float(self.bytes_sent), rank=rank)
+        metrics.count(
+            "comm.bytes_received", float(self.bytes_received), rank=rank
+        )
+        metrics.count("comm.send_seconds", self.send_seconds, rank=rank)
+        metrics.count("comm.recv_seconds", self.recv_seconds, rank=rank)
+        metrics.gauge(
+            "comm.max_message_bytes", float(self.max_message_bytes), rank=rank
         )
 
 

@@ -30,7 +30,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from .api import Communicator, CommStats, Request
 from .vchannel import ClusterAborted, Mailbox
 
@@ -99,6 +99,9 @@ class VirtualComm(Communicator):
         if tr.enabled:
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_sent", payload.nbytes, rank=self.rank)
+        mx = get_metrics()
+        if mx.enabled:
+            mx.observe("comm.send_call_seconds", seconds, rank=self.rank)
 
     def recv(
         self, source: int, tag: str, timeout: float | None = None
@@ -117,6 +120,9 @@ class VirtualComm(Communicator):
         if tr.enabled:
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_received", payload.nbytes, rank=self.rank)
+        mx = get_metrics()
+        if mx.enabled:
+            mx.observe("comm.recv_call_seconds", seconds, rank=self.rank)
         return payload
 
     def irecv(self, source: int, tag: str) -> Request:
@@ -189,9 +195,11 @@ class VirtualCluster:
 
         def worker(rank: int) -> None:
             extra = per_rank_args[rank] if per_rank_args is not None else ()
-            # Default-rank binding: spans opened below here (solver stages,
-            # MacCormack phases) are attributed to this rank's thread.
+            # Default-rank binding: spans and metrics recorded below here
+            # (solver stages, MacCormack phases) are attributed to this
+            # rank's thread.
             get_tracer().bind_rank(rank)
+            get_metrics().bind_rank(rank)
             try:
                 results[rank] = fn(self.comms[rank], *args, *extra)
             except BaseException as exc:  # noqa: BLE001 - reported to caller

@@ -29,7 +29,7 @@ import numpy as np
 
 from .. import constants
 from ..grid import Grid
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from ..physics import eos
 from ..physics.fluxes import axisymmetric_source, inviscid_fluxes
 from ..physics.state import FlowState
@@ -533,12 +533,19 @@ class CompressibleSolver:
         no fresh heap memory beyond small boundary lines.
         """
         tr = get_tracer()
+        mx = get_metrics()
+        mon = mx.enabled
         rank = self._trace_rank
         ws = self._ws
         t0 = _time.perf_counter()
+        s1 = t0
         with tr.span("solver.step", rank=rank, step=self.nstep):
             with tr.span("solver.dt", rank=rank):
                 dt = self.current_dt()
+            if mon:
+                s2 = _time.perf_counter()
+                mx.observe("stage.dt", s2 - s1, rank=rank)
+                s1 = s2
             variant = 1 if self.nstep % 2 == 0 else 2
             Lx, Lr = self._cached_operators(variant)
             q_tail = self._boundary_snapshot()
@@ -550,21 +557,54 @@ class CompressibleSolver:
             if variant == 1:
                 with tr.span("solver.sweep_r", rank=rank):
                     q = Lr.apply(q_in, dt, out=out1)
+                if mon:
+                    s2 = _time.perf_counter()
+                    mx.observe("stage.sweep_r", s2 - s1, rank=rank)
+                    s1 = s2
                 with tr.span("solver.sweep_x", rank=rank):
                     q = Lx.apply(q, dt, out=out2)
+                if mon:
+                    s2 = _time.perf_counter()
+                    mx.observe("stage.sweep_x", s2 - s1, rank=rank)
+                    s1 = s2
             else:
                 with tr.span("solver.sweep_x", rank=rank):
                     q = Lx.apply(q_in, dt, out=out1)
+                if mon:
+                    s2 = _time.perf_counter()
+                    mx.observe("stage.sweep_x", s2 - s1, rank=rank)
+                    s1 = s2
                 with tr.span("solver.sweep_r", rank=rank):
                     q = Lr.apply(q, dt, out=out2)
+                if mon:
+                    s2 = _time.perf_counter()
+                    mx.observe("stage.sweep_r", s2 - s1, rank=rank)
+                    s1 = s2
             with tr.span("solver.filter", rank=rank):
                 q = self.apply_filter(q, ws=ws)
+            if mon:
+                s2 = _time.perf_counter()
+                mx.observe("stage.filter", s2 - s1, rank=rank)
+                s1 = s2
             self.state.q = q
             self.t += dt
             self.nstep += 1
             with tr.span("solver.boundaries", rank=rank):
                 self._apply_boundaries(q_tail, dt, variant)
-        self.wall_time += _time.perf_counter() - t0
+            if mon:
+                mx.observe(
+                    "stage.boundaries", _time.perf_counter() - s1, rank=rank
+                )
+        wall = _time.perf_counter() - t0
+        self.wall_time += wall
+        if mon:
+            mx.observe("solver.step_seconds", wall, rank=rank)
+            mx.count("solver.steps", 1.0, rank=rank)
+            mx.count(
+                "solver.cell_steps",
+                float(q.shape[1] * q.shape[2]),
+                rank=rank,
+            )
 
     def restore(self, nstep: int, t: float) -> None:
         """Resume the step/time counters after reloading checkpointed state.

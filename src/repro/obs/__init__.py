@@ -46,12 +46,33 @@ from .tracer import (
     use_tracer,
 )
 from .export import (
+    chrome_counter_events,
     chrome_trace_events,
     chrome_trace_json,
     load_trace,
     to_jsonl,
     trace_from_timelines,
     write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    STEP_TIME_BUCKETS,
+    get_metrics,
+    merge,
+    set_metrics,
+    use_metrics,
+)
+from .report import (
+    PerfReport,
+    append_ledger,
+    build_perf_report,
+    read_ledger,
+    render_ledger,
+    render_report,
 )
 
 __all__ = [
@@ -63,10 +84,27 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "chrome_counter_events",
     "chrome_trace_events",
     "chrome_trace_json",
     "load_trace",
     "to_jsonl",
     "trace_from_timelines",
     "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "STEP_TIME_BUCKETS",
+    "get_metrics",
+    "merge",
+    "set_metrics",
+    "use_metrics",
+    "PerfReport",
+    "append_ledger",
+    "build_perf_report",
+    "read_ledger",
+    "render_ledger",
+    "render_report",
 ]

@@ -178,14 +178,72 @@ def chrome_trace_events(trace: Trace) -> list[dict]:
     return events
 
 
+def chrome_counter_events(trace: Trace) -> list[dict]:
+    """Perfetto counter ('C') tracks synthesized from the trace.
+
+    Two cumulative time series per rank, rendered by Perfetto as counter
+    tracks alongside the slice rows:
+
+    * ``rank{r}.faults`` — running count of ``cat="fault"`` instants
+      (injections and recovery actions), stepping at each event;
+    * ``rank{r}.comm_calls`` — running count of ``cat="comm"`` leaf spans
+      (send/recv library calls), stepping at each span end.
+
+    These must be appended *after* every X/i record (see
+    :func:`chrome_trace_json`): :func:`load_trace` numbers records by
+    position, so trailing counter samples leave the span/event sequence
+    numbering of a round-tripped trace unchanged.
+    """
+    events: list[dict] = []
+    fault_counts: dict[int, int] = {}
+    for e in trace.ordered_events():
+        if e.cat != "fault":
+            continue
+        c = fault_counts.get(e.rank, 0) + 1
+        fault_counts[e.rank] = c
+        events.append(
+            {
+                "ph": "C",
+                "name": f"rank{e.rank}.faults",
+                "pid": 0,
+                "tid": e.rank,
+                "ts": e.t * 1e6,
+                "args": {"faults": c},
+            }
+        )
+    comm_counts: dict[int, int] = {}
+    for s in trace.ordered_spans():
+        if s.cat != "comm":
+            continue
+        c = comm_counts.get(s.rank, 0) + 1
+        comm_counts[s.rank] = c
+        events.append(
+            {
+                "ph": "C",
+                "name": f"rank{s.rank}.comm_calls",
+                "pid": 0,
+                "tid": s.rank,
+                "ts": s.t1 * 1e6,
+                "args": {"calls": c},
+            }
+        )
+    return events
+
+
 def chrome_trace_json(trace: Trace) -> str:
-    """Deterministic Chrome-trace JSON document for a whole trace."""
+    """Deterministic Chrome-trace JSON document for a whole trace.
+
+    Counter tracks come last in ``traceEvents`` — Perfetto doesn't care
+    about record order, but :func:`load_trace` does (positional sequence
+    numbers), so the X/i prefix must stay byte-for-byte what it was
+    before counter tracks existed.
+    """
     counters = {
         f"rank{rank}.{name}": trace.counters[(rank, name)]
         for (rank, name) in sorted(trace.counters)
     }
     doc = {
-        "traceEvents": chrome_trace_events(trace),
+        "traceEvents": chrome_trace_events(trace) + chrome_counter_events(trace),
         "displayTimeUnit": "ms",
         "otherData": {**{str(k): v for k, v in trace.meta.items()}, **counters},
     }

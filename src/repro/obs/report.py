@@ -1,0 +1,547 @@
+"""Per-run performance reports and the append-only run ledger.
+
+This module closes the measurement loop the paper's Section 6 runs by
+hand: every :func:`repro.api.run` invoked with ``metrics=True`` produces a
+:class:`PerfReport` — config fingerprint, wall/step statistics, the
+per-stage breakdown with derived MFLOPS (flop counts from
+:mod:`repro.numerics.opcount`, seconds from the metrics registry), the
+per-rank computation-to-communication split, fault/recovery counters and
+the full metrics snapshot — and can append it as one JSON line to the run
+ledger (``benchmarks/output/BENCH_runs.jsonl`` by convention).
+
+The ledger is what ``scripts/perf_gate.py`` compares against its committed
+baseline and what ``repro report`` renders as the paper's Figure-5-style
+component tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullMetrics
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "PerfReport",
+    "append_ledger",
+    "build_perf_report",
+    "read_ledger",
+    "render_ledger",
+    "render_report",
+]
+
+#: Ledger line format tag; bump on incompatible shape changes.
+LEDGER_SCHEMA = "repro.perf/1"
+
+
+@dataclass
+class PerfReport:
+    """One run's performance manifest (JSON-able, one ledger line)."""
+
+    scenario: str
+    mode: str
+    """``"serial"``, ``"parallel"`` or ``"simulated"``."""
+    nprocs: int
+    steps: int
+    wall_seconds: float
+    ms_per_step: float
+    schema: str = LEDGER_SCHEMA
+    backend: str | None = None
+    platform: str | None = None
+    version: int | None = None
+    grid: tuple[int, int] | None = None
+    viscous: bool | None = None
+    fingerprint: str = ""
+    """Short hash of the run configuration — ledger lines with equal
+    fingerprints measured the same workload and are comparable."""
+    mflops_total: float | None = None
+    comp_comm_ratio: float | None = None
+    stages: list[dict] = field(default_factory=list)
+    """Per-stage rows: ``{name, seconds, share, mflops}`` (seconds are the
+    mean over ranks — the concurrent-elapsed estimate)."""
+    per_rank: list[dict] = field(default_factory=list)
+    faults: dict = field(default_factory=dict)
+    restarts: int = 0
+    trace_summary: dict | None = None
+    profile_top: list[dict] | None = None
+    metrics: dict = field(default_factory=dict)
+    """Full registry snapshot (:meth:`MetricsRegistry.snapshot`)."""
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "backend": self.backend,
+            "platform": self.platform,
+            "nprocs": self.nprocs,
+            "version": self.version,
+            "steps": self.steps,
+            "grid": list(self.grid) if self.grid is not None else None,
+            "viscous": self.viscous,
+            "fingerprint": self.fingerprint,
+            "wall_seconds": self.wall_seconds,
+            "ms_per_step": self.ms_per_step,
+            "mflops_total": self.mflops_total,
+            "comp_comm_ratio": self.comp_comm_ratio,
+            "stages": self.stages,
+            "per_rank": self.per_rank,
+            "faults": self.faults,
+            "restarts": self.restarts,
+            "trace_summary": self.trace_summary,
+            "profile_top": self.profile_top,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfReport":
+        grid = d.get("grid")
+        return cls(
+            schema=d.get("schema", LEDGER_SCHEMA),
+            scenario=d["scenario"],
+            mode=d["mode"],
+            backend=d.get("backend"),
+            platform=d.get("platform"),
+            nprocs=int(d["nprocs"]),
+            version=d.get("version"),
+            steps=int(d["steps"]),
+            grid=tuple(grid) if grid is not None else None,
+            viscous=d.get("viscous"),
+            fingerprint=d.get("fingerprint", ""),
+            wall_seconds=float(d["wall_seconds"]),
+            ms_per_step=float(d["ms_per_step"]),
+            mflops_total=d.get("mflops_total"),
+            comp_comm_ratio=d.get("comp_comm_ratio"),
+            stages=d.get("stages", []),
+            per_rank=d.get("per_rank", []),
+            faults=d.get("faults", {}),
+            restarts=int(d.get("restarts", 0)),
+            trace_summary=d.get("trace_summary"),
+            profile_top=d.get("profile_top"),
+            metrics=d.get("metrics", {}),
+        )
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+def config_fingerprint(**config) -> str:
+    """Short stable hash of a run configuration (sorted canonical JSON)."""
+    blob = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+# -- registry readers ---------------------------------------------------------
+
+def _collect(metrics: MetricsRegistry):
+    """Split a registry into ``{name: {rank: ...}}`` maps by metric kind."""
+    hists: dict[str, dict[int, Histogram]] = {}
+    counters: dict[str, dict[int, float]] = {}
+    for (name, rank), m in metrics.items():
+        if isinstance(m, Histogram):
+            hists.setdefault(name, {})[rank] = m
+        elif isinstance(m, Counter):
+            counters.setdefault(name, {})[rank] = m.value
+        elif isinstance(m, Gauge):
+            pass  # gauges ride along only in the snapshot
+    return hists, counters
+
+
+def _mean_seconds(per_rank: dict[int, Histogram] | None) -> float | None:
+    """Mean per-rank total seconds — the concurrent-elapsed estimate."""
+    if not per_rank:
+        return None
+    return math.fsum(h.sum for h in per_rank.values()) / len(per_rank)
+
+
+def _mflops(flops: float | None, seconds: float | None) -> float | None:
+    if flops is None or seconds is None or seconds <= 0.0:
+        return None
+    return flops / seconds / 1e6
+
+
+def _solver_stages(hists, counters, ops) -> tuple[list[dict], float]:
+    """Stage rows for real (serial/parallel) runs.
+
+    MFLOPS attribution follows :mod:`repro.numerics.opcount`: the sweep and
+    filter stages have their own per-cell counts; ``dt`` + ``boundaries``
+    together correspond to the amortized ``misc`` count.
+    """
+    cell_steps = math.fsum(counters.get("solver.cell_steps", {}).values())
+    rows: list[dict] = []
+
+    def add(name: str, seconds: float | None, per_cell: float | None) -> None:
+        if seconds is None:
+            return
+        flops = per_cell * cell_steps if per_cell is not None else None
+        rows.append(
+            {
+                "name": name,
+                "seconds": seconds,
+                "share": 0.0,
+                "mflops": _mflops(flops, seconds),
+            }
+        )
+
+    add("sweep_x", _mean_seconds(hists.get("stage.sweep_x")),
+        ops.x_sweep if ops else None)
+    add("sweep_r", _mean_seconds(hists.get("stage.sweep_r")),
+        ops.r_sweep if ops else None)
+    add("filter", _mean_seconds(hists.get("stage.filter")),
+        ops.filter if ops else None)
+    dt = _mean_seconds(hists.get("stage.dt")) or 0.0
+    bnd = _mean_seconds(hists.get("stage.boundaries")) or 0.0
+    if dt + bnd > 0.0:
+        add("misc (dt+boundaries)", dt + bnd, ops.misc if ops else None)
+    total = math.fsum(r["seconds"] for r in rows)
+    for r in rows:
+        r["share"] = r["seconds"] / total if total > 0.0 else 0.0
+    return rows, cell_steps
+
+
+def _real_per_rank(hists, counters) -> list[dict]:
+    """Per-rank step/communication split for serial and parallel runs."""
+    step = hists.get("solver.step_seconds", {})
+    send = counters.get("comm.send_seconds", {})
+    recv = counters.get("comm.recv_seconds", {})
+    ranks = sorted(set(step) | set(send) | set(recv))
+    rows = []
+    for r in ranks:
+        step_s = step[r].sum if r in step else 0.0
+        comm_s = send.get(r, 0.0) + recv.get(r, 0.0)
+        comp_s = max(step_s - comm_s, 0.0)
+        rows.append(
+            {
+                "rank": r,
+                "step_seconds": step_s,
+                "comm_seconds": comm_s,
+                "comp_seconds": comp_s,
+                "comp_comm": (comp_s / comm_s) if comm_s > 0.0 else None,
+                "bytes_sent": counters.get("comm.bytes_sent", {}).get(r, 0.0),
+                "halo_bytes": counters.get("halo.bytes", {}).get(r, 0.0),
+                "halo_seconds": counters.get("halo.seconds", {}).get(r, 0.0),
+            }
+        )
+    return rows
+
+
+def _sim_per_rank(counters) -> list[dict]:
+    """Per-rank timeline split for simulated (DES) runs."""
+    comp = counters.get("sim.compute_seconds", {})
+    lib = counters.get("sim.library_seconds", {})
+    wait = counters.get("sim.wait_seconds", {})
+    rows = []
+    for r in sorted(set(comp) | set(lib) | set(wait)):
+        comp_s = comp.get(r, 0.0)
+        comm_s = lib.get(r, 0.0) + wait.get(r, 0.0)
+        rows.append(
+            {
+                "rank": r,
+                "comp_seconds": comp_s,
+                "comm_seconds": comm_s,
+                "comp_comm": (comp_s / comm_s) if comm_s > 0.0 else None,
+                "flops": counters.get("sim.flops", {}).get(r, 0.0),
+            }
+        )
+    return rows
+
+
+def _sim_stages(counters) -> list[dict]:
+    """Compute/library/wait rows (the paper's two-component split, with
+    the busy side further divided) for simulated runs."""
+    rows = []
+    total = 0.0
+    for label, name in (
+        ("compute", "sim.compute_seconds"),
+        ("library", "sim.library_seconds"),
+        ("comm wait", "sim.wait_seconds"),
+    ):
+        per = counters.get(name, {})
+        if not per:
+            continue
+        seconds = math.fsum(per.values()) / len(per)
+        flops = None
+        if label == "compute":
+            flops = math.fsum(counters.get("sim.flops", {}).values())
+        rows.append(
+            {
+                "name": label,
+                "seconds": seconds,
+                "share": 0.0,
+                "mflops": _mflops(flops, seconds),
+            }
+        )
+        total += seconds
+    for r in rows:
+        r["share"] = r["seconds"] / total if total > 0.0 else 0.0
+    return rows
+
+
+def _fault_summary(counters, fault_stats) -> dict:
+    """``fault.*`` counters summed over ranks, falling back to (and merged
+    with) the per-rank :class:`~repro.faults.FaultStats` when present."""
+    out: dict[str, float] = {}
+    for name, per in counters.items():
+        if name.startswith("fault."):
+            out[name[len("fault."):]] = math.fsum(per.values())
+    if fault_stats:
+        merged = None
+        for fs in fault_stats:
+            merged = fs if merged is None else merged.merged_with(fs)
+        if merged is not None:
+            for k, v in merged.injected.items():
+                out.setdefault(k, float(v))
+            out.setdefault("retransmission", float(merged.retransmissions))
+            out.setdefault("recv_retry", float(merged.recv_retries))
+            out.setdefault("duplicate_rx", float(merged.dups_discarded))
+            out.setdefault("corrupt_rx", float(merged.corrupt_discarded))
+            out.setdefault("lost", float(merged.lost_messages))
+    return {k: v for k, v in sorted(out.items()) if v}
+
+
+def _aggregate_ratio(per_rank: list[dict]) -> float | None:
+    comp = math.fsum(r.get("comp_seconds", 0.0) for r in per_rank)
+    comm = math.fsum(r.get("comm_seconds", 0.0) for r in per_rank)
+    return (comp / comm) if comm > 0.0 else None
+
+
+# -- building -----------------------------------------------------------------
+
+def build_perf_report(
+    result,
+    metrics: MetricsRegistry | NullMetrics,
+    *,
+    backend: str | None = None,
+    grid: tuple[int, int] | None = None,
+    viscous: bool | None = None,
+    profile_top: list[dict] | None = None,
+) -> PerfReport:
+    """Derive a :class:`PerfReport` from a run outcome + metrics registry.
+
+    ``result`` is a :class:`repro.api.RunResult`; communication totals
+    must already be ingested (``CommStats.ingest_into``) — the facade does
+    this before calling here.  Works for all three substrates: real runs
+    get opcount-derived per-stage MFLOPS, simulated runs get the DES
+    timeline split and the modelled flop count.
+    """
+    if isinstance(metrics, NullMetrics):
+        metrics = MetricsRegistry()
+    hists, counters = _collect(metrics)
+    platform = result.sim.platform if result.sim is not None else None
+    fingerprint = config_fingerprint(
+        scenario=result.scenario,
+        mode=result.mode,
+        backend=backend,
+        platform=platform,
+        nprocs=result.nprocs,
+        version=result.version,
+        steps=result.steps,
+        grid=list(grid) if grid is not None else None,
+        viscous=viscous,
+    )
+    wall = result.timings.wall_seconds
+    ms_per_step = result.timings.ms_per_step
+    if result.mode == "simulated":
+        stages = _sim_stages(counters)
+        per_rank = _sim_per_rank(counters)
+        exec_s = result.sim.execution_time
+        ms_per_step = 1e3 * exec_s / max(result.steps, 1)
+        mflops_total = _mflops(
+            math.fsum(counters.get("sim.flops", {}).values()), exec_s
+        )
+    else:
+        ops = None
+        if viscous is not None:
+            from ..numerics.opcount import euler_ops, navier_stokes_ops
+
+            ops = navier_stokes_ops() if viscous else euler_ops()
+        stages, cell_steps = _solver_stages(hists, counters, ops)
+        per_rank = _real_per_rank(hists, counters)
+        mflops_total = (
+            _mflops(ops.per_cell_step * cell_steps, wall)
+            if ops is not None and cell_steps > 0.0
+            else None
+        )
+    trace_summary = None
+    if result.trace is not None:
+        tr = result.trace
+        cats: dict[str, int] = {}
+        for s in tr.spans:
+            cats[s.cat] = cats.get(s.cat, 0) + 1
+        trace_summary = {
+            "spans": len(tr.spans),
+            "events": len(tr.events),
+            "counters": len(tr.counters),
+            "span_cats": dict(sorted(cats.items())),
+        }
+    return PerfReport(
+        scenario=result.scenario,
+        mode=result.mode,
+        backend=backend,
+        platform=platform,
+        nprocs=result.nprocs,
+        version=result.version,
+        steps=result.steps,
+        grid=grid,
+        viscous=viscous,
+        fingerprint=fingerprint,
+        wall_seconds=wall,
+        ms_per_step=ms_per_step,
+        mflops_total=mflops_total,
+        comp_comm_ratio=_aggregate_ratio(per_rank),
+        stages=stages,
+        per_rank=per_rank,
+        faults=_fault_summary(counters, result.fault_stats),
+        restarts=result.restarts,
+        trace_summary=trace_summary,
+        profile_top=profile_top,
+        metrics=metrics.snapshot(),
+    )
+
+
+# -- ledger -------------------------------------------------------------------
+
+def append_ledger(report: PerfReport, path: str | os.PathLike) -> str:
+    """Append ``report`` as one JSON line; returns the path written."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(report.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_ledger(path: str | os.PathLike) -> list[PerfReport]:
+    """Parse every ledger line; unknown schemas raise ``ValueError``."""
+    reports = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if d.get("schema") != LEDGER_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown ledger schema "
+                    f"{d.get('schema')!r} (expected {LEDGER_SCHEMA!r})"
+                )
+            reports.append(PerfReport.from_dict(d))
+    return reports
+
+
+# -- rendering ----------------------------------------------------------------
+
+def _fmt(x, pattern: str = "{:.2f}", none: str = "-") -> str:
+    return none if x is None else pattern.format(x)
+
+
+def _table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_ledger(reports: list[PerfReport], title: str = "run ledger") -> str:
+    """One-line-per-run summary table of ledger entries."""
+    rows = []
+    for rp in reports:
+        rows.append(
+            [
+                rp.scenario,
+                rp.mode,
+                rp.backend or (rp.platform or "-"),
+                str(rp.nprocs),
+                str(rp.steps),
+                _fmt(rp.ms_per_step, "{:.2f}"),
+                _fmt(rp.mflops_total, "{:.1f}"),
+                _fmt(rp.comp_comm_ratio, "{:.1f}"),
+                rp.fingerprint,
+            ]
+        )
+    return _table(
+        ["scenario", "mode", "backend", "p", "steps", "ms/step",
+         "MFLOPS", "comp:comm", "fingerprint"],
+        rows,
+        title=title,
+    )
+
+
+def render_report(report: PerfReport) -> str:
+    """Full Figure-5-style breakdown of one run."""
+    head = (
+        f"{report.scenario} [{report.mode}]"
+        f" backend={report.backend or report.platform or '-'}"
+        f" p={report.nprocs} steps={report.steps}"
+    )
+    if report.grid:
+        head += f" grid={report.grid[0]}x{report.grid[1]}"
+    lines = [
+        head,
+        f"fingerprint={report.fingerprint}"
+        f"  wall={report.wall_seconds:.3f}s"
+        f"  {report.ms_per_step:.2f} ms/step"
+        f"  MFLOPS={_fmt(report.mflops_total, '{:.1f}')}"
+        f"  comp:comm={_fmt(report.comp_comm_ratio, '{:.1f}')}",
+    ]
+    if report.stages:
+        rows = [
+            [
+                s["name"],
+                _fmt(s["seconds"], "{:.4f}"),
+                _fmt(100.0 * s["share"], "{:.1f}%"),
+                _fmt(s.get("mflops"), "{:.1f}"),
+            ]
+            for s in report.stages
+        ]
+        lines.append("")
+        lines.append(
+            _table(["stage", "seconds", "share", "MFLOPS"], rows,
+                   title="per-stage breakdown (mean over ranks)")
+        )
+    if report.per_rank:
+        rows = [
+            [
+                str(r["rank"]),
+                _fmt(r.get("comp_seconds"), "{:.4f}"),
+                _fmt(r.get("comm_seconds"), "{:.4f}"),
+                _fmt(r.get("comp_comm"), "{:.1f}"),
+                _fmt(r.get("bytes_sent"), "{:.0f}"),
+            ]
+            for r in report.per_rank
+        ]
+        lines.append("")
+        lines.append(
+            _table(["rank", "comp s", "comm s", "comp:comm", "bytes sent"],
+                   rows, title="per-rank split")
+        )
+    if report.faults:
+        rows = [[k, f"{v:.0f}"] for k, v in report.faults.items()]
+        lines.append("")
+        lines.append(_table(["fault/recovery", "count"], rows,
+                            title=f"faults (restarts={report.restarts})"))
+    if report.profile_top:
+        rows = [
+            [
+                str(p.get("ncalls", "")),
+                _fmt(p.get("cumtime"), "{:.4f}"),
+                str(p.get("func", "")),
+            ]
+            for p in report.profile_top
+        ]
+        lines.append("")
+        lines.append(_table(["ncalls", "cumtime", "function"], rows,
+                            title="cProfile top functions (cumulative)"))
+    return "\n".join(lines)

@@ -32,25 +32,52 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from .versions import Version
 
 
 def _traced(kind: str):
-    """Wrap an exchange helper in a ``halo.<kind>`` span and accumulate the
-    per-rank ``halo_seconds`` counter.  Zero-cost beyond one branch when no
-    tracer is installed."""
+    """Wrap an exchange helper in a ``halo.<kind>`` span, accumulate the
+    per-rank ``halo_seconds`` tracer counter, and — when a metrics
+    registry is active — record the exchange's wall time, byte volume
+    (from the communicator's own stats delta, so retransmitted frames are
+    counted as sent) and call count.  Zero-cost beyond two branches when
+    neither tracer nor metrics are installed."""
 
     def deco(fn):
         @functools.wraps(fn)
         def wrapper(comm, tag, *args, **kwargs):
             tr = get_tracer()
-            if not tr.enabled:
+            mx = get_metrics()
+            if not tr.enabled and not mx.enabled:
                 return fn(comm, tag, *args, **kwargs)
+            stats = getattr(comm, "stats", None)
+            b0 = (
+                stats.bytes_sent + stats.bytes_received
+                if mx.enabled and stats is not None
+                else 0
+            )
             t0 = _time.perf_counter()
-            with tr.span(f"halo.{kind}", cat="halo", rank=comm.rank, tag=tag):
+            if tr.enabled:
+                with tr.span(
+                    f"halo.{kind}", cat="halo", rank=comm.rank, tag=tag
+                ):
+                    out = fn(comm, tag, *args, **kwargs)
+            else:
                 out = fn(comm, tag, *args, **kwargs)
-            tr.count("halo_seconds", _time.perf_counter() - t0, rank=comm.rank)
+            seconds = _time.perf_counter() - t0
+            if tr.enabled:
+                tr.count("halo_seconds", seconds, rank=comm.rank)
+            if mx.enabled:
+                mx.observe(f"halo.{kind}_seconds", seconds, rank=comm.rank)
+                mx.count("halo.seconds", seconds, rank=comm.rank)
+                mx.count("halo.exchanges", 1.0, rank=comm.rank)
+                if stats is not None:
+                    mx.count(
+                        "halo.bytes",
+                        float(stats.bytes_sent + stats.bytes_received - b0),
+                        rank=comm.rank,
+                    )
             return out
 
         return wrapper

@@ -91,9 +91,10 @@ class DistributedSolver(CompressibleSolver):
         # thread default so MacCormack-phase spans inherit it under MPI,
         # where no VirtualCluster worker does the binding).
         self._trace_rank = comm.rank
-        from ..obs import get_tracer
+        from ..obs import get_metrics, get_tracer
 
         get_tracer().bind_rank(comm.rank)
+        get_metrics().bind_rank(comm.rank)
 
     # -- tags -----------------------------------------------------------------
     def _tag(self, op: str, phase: str = "") -> str:

@@ -239,7 +239,7 @@ class SimulatedMachine:
                     "steps_window": steps_window,
                 },
             )
-        return RunResult(
+        result = RunResult(
             platform=f"{self.platform.name}",
             app=application.name,
             nprocs=p,
@@ -249,3 +249,22 @@ class SimulatedMachine:
             timelines=[c.timeline for c in contexts],
             makespan_window=makespan,
         )
+        from ..obs import get_metrics
+
+        mx = get_metrics()
+        if mx.enabled:
+            # Scaled per-rank timeline split plus the modelled flop count,
+            # so the performance report can derive MFLOPS and comp:comm for
+            # simulated runs exactly as it does for measured ones.
+            scale = result.scale
+            flops = workload.flops_per_step_per_rank(p) * total
+            for tl in result.timelines:
+                r = tl.rank
+                mx.count("sim.compute_seconds", tl.compute * scale, rank=r)
+                mx.count("sim.library_seconds", tl.library * scale, rank=r)
+                mx.count("sim.wait_seconds", tl.comm_wait * scale, rank=r)
+                mx.count("sim.busy_seconds", tl.busy * scale, rank=r)
+                mx.count("sim.flops", flops, rank=r)
+                mx.count("sim.steps", float(total), rank=r)
+            mx.count("sim.engine_events", float(engine.steps), rank=0)
+        return result

@@ -173,6 +173,55 @@ def test_chrome_roundtrip(tmp_path):
     assert back.total("sweep") == pytest.approx(tr.trace.total("sweep"))
 
 
+def test_chrome_counter_tracks_trail_and_roundtrip(tmp_path):
+    """Perfetto 'C' counter tracks: cumulative per-rank series appended
+    *after* every X/i record, so positional seq numbering — and hence the
+    round-tripped trace — is unchanged by their presence."""
+    from repro.obs import chrome_counter_events, write_chrome_trace
+
+    tr = Tracer(clock=TickClock(), name="counters")
+    tr.bind_rank(0)
+    with tr.span("comm.send", cat="comm"):
+        pass
+    with tr.span("solver.step", cat="solver"):
+        pass
+    with tr.span("comm.recv", cat="comm", rank=1):
+        pass
+    tr.instant("fault.drop", cat="fault")
+    tr.instant("fault.retransmission", cat="fault")
+    tr.count("bytes_sent", 123.0, rank=0)
+
+    evs = json.loads(chrome_trace_json(tr.trace))["traceEvents"]
+    phases = [e["ph"] for e in evs]
+    assert "C" in phases
+    last_slice = max(i for i, p in enumerate(phases) if p in ("X", "i"))
+    first_counter = min(i for i, p in enumerate(phases) if p == "C")
+    assert first_counter > last_slice  # counters strictly trail
+
+    counters = chrome_counter_events(tr.trace)
+    faults = [e for e in counters if e["name"] == "rank0.faults"]
+    assert [e["args"]["faults"] for e in faults] == [1, 2]  # cumulative
+    calls0 = [e for e in counters if e["name"] == "rank0.comm_calls"]
+    calls1 = [e for e in counters if e["name"] == "rank1.comm_calls"]
+    assert [e["args"]["calls"] for e in calls0] == [1]
+    assert [e["args"]["calls"] for e in calls1] == [1]
+    # non-comm/fault records produce no counter samples
+    assert not any("solver" in e["name"] for e in counters)
+
+    p = tmp_path / "t.json"
+    write_chrome_trace(tr.trace, str(p))
+    back = load_trace(str(p))
+    assert [s.name for s in back.ordered_spans()] == [
+        "comm.send", "solver.step", "comm.recv"
+    ]
+    assert [e.name for e in back.ordered_events()] == [
+        "fault.drop", "fault.retransmission"
+    ]
+    assert back.counters == {(0, "bytes_sent"): 123.0}
+    # re-export of the round-tripped trace is stable
+    assert chrome_trace_json(back) == chrome_trace_json(load_trace(str(p)))
+
+
 def test_zero_duration_spans_get_min_chrome_dur():
     tr = Tracer(clock=lambda: 1.0)
     with tr.span("instantaneous"):
