@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: check test test-all trace-smoke bench perf-gate bless-baseline
+.PHONY: check test test-all trace-smoke bench perf-gate bless-baseline speedup
 
 ## check: fast test suite + trace-determinism smoke (the pre-commit gate)
 check: trace-smoke
@@ -18,10 +18,16 @@ test-all: test
 trace-smoke:
 	$(PY) scripts/trace_report.py --selftest
 
-## bench: run the pinned core benchmark matrix (writes BENCH_core.json
-## and appends PerfReport lines to benchmarks/output/BENCH_runs.jsonl)
+## bench: run the pinned core benchmark matrix + multi-core speedup curve
+## (writes BENCH_core.json and appends PerfReport lines to
+## benchmarks/output/BENCH_runs.jsonl)
 bench:
 	$(PY) benchmarks/bench_core.py
+
+## speedup: just the multi-core speedup curve (serial vs 2/4 OS-process
+## ranks on the paper's 250x100 grid), printed to stdout
+speedup:
+	$(PY) -c "import benchmarks.bench_core as b; b.run_speedup()"
 
 ## perf-gate: compare fresh bench results against the committed baseline
 perf-gate:

@@ -121,6 +121,7 @@ def _cmd_run(args) -> int:
             version=args.version,
             trace=args.trace,
             decomposition=args.decomposition,
+            substrate=args.substrate,
             faults=args.faults,
             fault_seed=args.fault_seed,
             checkpoint_every=args.checkpoint_every,
@@ -298,6 +299,12 @@ def main(argv: list[str] | None = None) -> int:
                         "drop-storm, crash-rank1, lossy-crash")
     p.add_argument("--fault-seed", type=int, default=None,
                    help="re-seed the fault plan (reproduces a printed seed)")
+    p.add_argument("--substrate", choices=("virtual", "process"),
+                   default="virtual",
+                   help="distributed execution substrate: 'virtual' (one "
+                        "thread per rank, GIL-serialized) or 'process' (one "
+                        "OS process per rank over shared memory — real "
+                        "multi-core speedup)")
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                    help="gather a restart snapshot every N steps "
                         "(distributed runs; lets injected crashes recover)")

@@ -106,6 +106,10 @@ class RunResult:
     """Performance report (``run(..., metrics=True)``), else ``None``."""
     metrics: MetricsRegistry | None = None
     """The populated registry behind ``perf`` for programmatic access."""
+    substrate: str | None = None
+    """Parallel-route execution substrate (``"virtual"`` — one thread per
+    rank — or ``"process"`` — one OS process per rank over shared
+    memory); ``None`` for serial and simulated runs."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -207,6 +211,7 @@ def run(
     px: int | None = None,
     pr: int | None = None,
     timeout: float = 120.0,
+    substrate: str = "virtual",
     steps_window: int = 30,
     faults=None,
     fault_seed: int | None = None,
@@ -256,6 +261,14 @@ def run(
         selects how the hot-path kernels are evaluated.
     decomposition, px, pr, timeout:
         Forwarded to the distributed solver (``nprocs > 1`` route).
+    substrate:
+        How distributed ranks execute (``nprocs > 1``, ``platform=None``):
+        ``"virtual"`` (default) runs one thread per rank — real message
+        passing, GIL-serialized, the correctness substrate; ``"process"``
+        runs one OS process per rank over POSIX shared memory — true
+        multi-core execution with measured wall-clock speedup (see
+        :mod:`repro.msglib.process`).  Both produce bitwise-identical
+        final states.
     steps_window:
         Simulated steps actually executed by the DES before scaling
         (simulated route only).
@@ -296,6 +309,15 @@ def run(
     """
     from contextlib import nullcontext
 
+    if substrate not in ("virtual", "process"):
+        raise ValueError(
+            f"substrate must be 'virtual' or 'process', got {substrate!r}"
+        )
+    if substrate == "process" and platform is not None:
+        raise ValueError(
+            "substrate='process' applies to real distributed runs; "
+            "platform= selects the simulated route (drop one of the two)"
+        )
     sc = _resolve(scenario, **scenario_kw)
     tracer, trace_path = _coerce_tracer(trace)
     reg = _coerce_metrics(metrics, profile or ledger)
@@ -329,6 +351,7 @@ def run(
                     timeout, tracer, backend, faults=plan,
                     checkpoint_every=checkpoint_every,
                     max_restarts=max_restarts,
+                    substrate=substrate,
                 )
         finally:
             if profiler is not None:
@@ -430,6 +453,7 @@ def _run_parallel(
     faults=None,
     checkpoint_every: int = 0,
     max_restarts: int = 2,
+    substrate: str = "virtual",
 ) -> RunResult:
     from .parallel.runner import ParallelJetSolver
 
@@ -443,6 +467,7 @@ def _run_parallel(
         px=px,
         pr=pr,
         timeout=timeout,
+        substrate=substrate,
         faults=faults,
         checkpoint_every=checkpoint_every,
         max_restarts=max_restarts,
@@ -467,6 +492,7 @@ def _run_parallel(
         trace=res.trace,
         restarts=res.restarts,
         fault_stats=res.fault_stats,
+        substrate=substrate,
     )
 
 

@@ -50,6 +50,12 @@ class RankCrashed(FaultError):
         at = f" at step {step}" if step is not None else ""
         super().__init__(f"rank {rank} crashed{at} (injected fault)")
 
+    def __reduce__(self):
+        # BaseException's default reduce replays args=(message,) into the
+        # multi-argument constructor; rebuild from the structured fields
+        # instead so the exception survives a process boundary.
+        return (type(self), (self.rank, self.step))
+
 
 class MessageTimeout(FaultError):
     """A message never arrived despite retries — peer dead or frame lost."""
@@ -67,12 +73,20 @@ class MessageTimeout(FaultError):
         self.source = source
         self.tag = tag
         self.waited = waited
+        self.retries = retries
         self.step = step
         at = f" (step {step})" if step is not None else ""
         super().__init__(
             f"rank {receiver}: receive from rank {source} tag {tag!r} timed "
             f"out after {waited:.2f}s and {retries} retries{at} — sender "
             "crashed or message lost beyond retransmission"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.receiver, self.source, self.tag, self.waited,
+             self.retries, self.step),
         )
 
 

@@ -185,11 +185,16 @@ class Communicator(abc.ABC):
         self.send(dest, tag, array)
         return CompletedRequest()
 
-    def irecv(self, source: int, tag: str) -> Request:
+    def irecv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> Request:
         """Non-blocking receive: returns a request to poll or wait on.
 
-        Default implementation blocks at ``wait()``; backends with a
-        probing mailbox override for true progress polling.
+        ``timeout`` bounds the eventual ``wait()`` exactly like
+        :meth:`recv`'s — a lazy irecv against a crashed peer fails fast
+        instead of hanging for the backend default.  Default
+        implementation blocks at ``wait()``; backends with a probing
+        mailbox override for true progress polling.
         """
         comm = self
 
@@ -203,19 +208,36 @@ class Communicator(abc.ABC):
 
             def wait(self):
                 if not self._done:
-                    self._value = comm.recv(source, tag)
+                    self._value = comm.recv(source, tag, timeout=timeout)
                     self._done = True
                 return self._value
 
         return _LazyRecv()
 
     # -- collectives (generic implementations over send/recv) -----------------
+    def _collective_tag(self, tag: str) -> str:
+        """Wire tag for one collective call: the caller's tag plus this
+        communicator's monotonic collective sequence number.
+
+        Every rank enters the same collectives in the same order (SPMD),
+        so the counters advance in lockstep and the suffix matches across
+        ranks.  Without it, consecutive collectives called with the same
+        tag (the defaults: ``"allreduce"``, ``"barrier"``, ``"gather"``)
+        share wire tags, and on an at-least-once transport a duplicated
+        or reordered message from collective *N* satisfies collective
+        *N+1*'s receive, silently returning a stale value.
+        """
+        seq = getattr(self, "_collective_seq", 0)
+        self._collective_seq = seq + 1
+        return f"{tag}#{seq}"
+
     def allreduce_min(self, value: float, tag: str = "allreduce") -> float:
         """Global minimum via gather-to-root + broadcast."""
         if self.size == 1:
             return value
         from ..obs import get_tracer
 
+        wire = self._collective_tag(tag)
         tr = get_tracer()
         with tr.span("comm.allreduce", cat="collective", rank=self.rank, tag=tag):
             t0 = _time.perf_counter() if tr.enabled else 0.0
@@ -223,13 +245,13 @@ class Communicator(abc.ABC):
             if self.rank == 0:
                 acc = float(value)
                 for src in range(1, self.size):
-                    acc = min(acc, float(self.recv(src, f"{tag}:up")[0]))
+                    acc = min(acc, float(self.recv(src, f"{wire}:up")[0]))
                 out = np.array([acc])
                 for dst in range(1, self.size):
-                    self.send(dst, f"{tag}:down", out)
+                    self.send(dst, f"{wire}:down", out)
             else:
-                self.send(0, f"{tag}:up", buf)
-                acc = float(self.recv(0, f"{tag}:down")[0])
+                self.send(0, f"{wire}:up", buf)
+                acc = float(self.recv(0, f"{wire}:down")[0])
             if tr.enabled:
                 tr.count(
                     "barrier_wait_seconds",
@@ -243,11 +265,17 @@ class Communicator(abc.ABC):
         self.allreduce_min(0.0, tag=tag)
 
     def gather_arrays(self, array: np.ndarray, tag: str = "gather"):
-        """Gather per-rank arrays to rank 0; returns list there, None else."""
+        """Gather per-rank arrays to rank 0; returns list there, None else.
+
+        Every slot of the returned list is an independent copy — rank 0's
+        own contribution included, so a caller that reuses its send buffer
+        after the gather cannot corrupt the gathered state.
+        """
+        wire = self._collective_tag(tag)
         if self.rank == 0:
-            out = [array]
+            out = [np.ascontiguousarray(array).copy()]
             for src in range(1, self.size):
-                out.append(self.recv(src, tag))
+                out.append(self.recv(src, wire))
             return out
-        self.send(0, tag, array)
+        self.send(0, wire, array)
         return None

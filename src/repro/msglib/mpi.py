@@ -109,5 +109,11 @@ class MPIComm(Communicator):
         self._comm.Barrier()
 
     def gather_arrays(self, array: np.ndarray, tag: str = "gather"):
-        parts = self._comm.gather(np.ascontiguousarray(array), root=0)
+        # Remote contributions arrive as fresh (deserialized) copies, but
+        # the root's own slot passes through in-process: force a copy so
+        # rank 0's gathered slot never aliases the caller's send buffer.
+        payload = np.ascontiguousarray(array)
+        if self.rank == 0 and payload is array:
+            payload = payload.copy()
+        parts = self._comm.gather(payload, root=0)
         return parts if self.rank == 0 else None

@@ -1,0 +1,553 @@
+"""The process cluster: real multi-core SPMD execution, one OS process per rank.
+
+The virtual cluster (:mod:`repro.msglib.virtual`) runs every rank on a
+daemon *thread* — real message passing, but serialized by the GIL, so
+``nprocs=8`` is slower than serial.  This module is the third execution
+substrate: :class:`ProcessCluster` forks one worker process per rank and
+:class:`ProcessCommunicator` implements the same :class:`Communicator`
+contract over
+
+* a **shared-memory data plane** — one POSIX shared-memory segment
+  (:class:`multiprocessing.shared_memory.SharedMemory`) carved into a
+  fixed ring of slots per directed ``src -> dst`` channel.  A send packs
+  the payload straight into its channel's next slot with one vectorized
+  ``np.copyto`` (no pickling on the hot halo path); the receiver unpacks
+  with one copy out of the slot and releases it.  A per-channel semaphore
+  counts free slots, so senders keep PVM's buffered deposit-and-return
+  semantics up to the ring depth and apply backpressure beyond it;
+* a **queue control plane** — one :class:`multiprocessing.Queue` per rank
+  carrying small ``(kind, source, tag, ...)`` records: shared-memory slot
+  descriptors, oversized payloads inline (state gathers, checkpoints),
+  and abort notices.  Tag matching, ``(source, tag)`` selectivity with a
+  stash, per-call ``recv(timeout=)`` and the mailbox failure contract
+  (:class:`~repro.msglib.vchannel.DeadlockError`,
+  :class:`~repro.msglib.vchannel.ClusterAborted`) mirror
+  :class:`~repro.msglib.vchannel.Mailbox` exactly.
+
+Failure semantics match the virtual cluster: any worker exception is
+shipped back structured, the parent broadcasts an abort to every rank
+(blocked receives fail promptly), and the caller gets one
+:class:`~repro.msglib.virtual.RankFailure`.  A worker that dies without
+reporting (killed, segfault) is detected by liveness polling and treated
+the same way, so the cluster never hangs on a silent death.
+
+Observability composes by *local record, exact merge*: each worker
+installs a fresh tracer/metrics registry mirroring the parent's enabled
+state, records rank-locally, and ships the results back with its return
+value; the parent folds them in with the order-independent exact merge
+(:meth:`repro.obs.metrics.MetricsRegistry.ingest`), so a process run's
+metrics are bitwise-independent of rank completion order.
+
+Requires the ``fork`` start method (rank programs are closures; POSIX
+only) — :class:`ProcessCluster` raises a clear error where unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as _mp
+import os
+import pickle
+import queue as _queue
+import time as _time
+from collections import defaultdict, deque
+from multiprocessing import shared_memory as _shm
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
+from .api import Communicator, CommStats, Request
+from .vchannel import ClusterAborted, DeadlockError
+from .virtual import RankFailure, VirtualCluster
+
+__all__ = [
+    "ProcessCluster",
+    "ProcessCommunicator",
+    "ProcessComm",
+    "RemoteRankError",
+]
+
+#: Bytes per shared-memory slot.  Sized for halo traffic (a V7 flux pair
+#: at nr=1000 is 64 KB); anything larger rides the control queue inline.
+DEFAULT_SLOT_BYTES = 1 << 16
+
+#: Slots per directed channel — the buffered-send ring depth.
+DEFAULT_SLOTS_PER_CHANNEL = 8
+
+#: Poll interval for abort-aware blocking waits (seconds).
+_POLL = 0.05
+
+
+class RemoteRankError(RuntimeError):
+    """A worker failure whose original exception could not cross the
+    process boundary intact (unpicklable, or the worker died without
+    reporting).  Carries the original type name and, when known, the
+    solver step (``.step``) so restart bookkeeping still works."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.original_type: str | None = None
+        self.step: int | None = None
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a structured
+    :class:`RemoteRankError` preserving type name, message and step."""
+    try:
+        clone = pickle.loads(pickle.dumps(exc))
+        if type(clone) is type(exc):
+            return exc
+    except Exception:  # noqa: BLE001 - any pickling failure takes the fallback
+        pass
+    wrapped = RemoteRankError(f"{type(exc).__name__}: {exc}")
+    wrapped.original_type = type(exc).__name__
+    wrapped.step = getattr(exc, "step", None)
+    return wrapped
+
+
+class ProcessCommunicator(Communicator):
+    """Communicator endpoint for one rank of a :class:`ProcessCluster`.
+
+    Constructed inside the worker process (the cluster object arrives by
+    fork inheritance, never pickled).  Point-to-point traffic small
+    enough for a slot crosses through shared memory; larger payloads and
+    all control records cross the rank's queue.
+    """
+
+    def __init__(self, cluster: "ProcessCluster", rank: int) -> None:
+        self.cluster = cluster
+        self.rank = rank
+        self.size = cluster.size
+        self.stats = CommStats()
+        self._q = cluster._queues[rank]
+        self._stash: dict[tuple[int, str], deque] = defaultdict(deque)
+        self._tx_seq = [0] * cluster.size
+        self._aborted: str | None = None
+
+    # -- shared-memory ring helpers --------------------------------------------
+    def _slot_offset(self, src: int, dst: int, slot: int) -> int:
+        channel = src * self.size + dst
+        return (
+            channel * self.cluster.slots_per_channel + slot
+        ) * self.cluster.slot_bytes
+
+    def _pack(self, dest: int, payload: np.ndarray) -> int:
+        """Copy ``payload`` into the next free slot of ``self -> dest``;
+        returns the slot index.  Blocks (abort-aware) when the ring is
+        full — the bounded counterpart of PVM's buffered deposit."""
+        sem = self.cluster._slots_free[self.rank * self.size + dest]
+        deadline = _time.monotonic() + self.cluster.timeout
+        while not sem.acquire(timeout=_POLL):
+            if self.cluster._abort.is_set():
+                raise ClusterAborted(
+                    f"rank {self.rank}: cluster aborted while sending to "
+                    f"{dest}"
+                )
+            if _time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"rank {self.rank}: channel to {dest} stayed full for "
+                    f"{self.cluster.timeout}s ({self.cluster.slots_per_channel}"
+                    " slots; receiver stuck or dead)"
+                )
+        slot = self._tx_seq[dest] % self.cluster.slots_per_channel
+        self._tx_seq[dest] += 1
+        off = self._slot_offset(self.rank, dest, slot)
+        view = np.frombuffer(
+            self.cluster._shm.buf, dtype=payload.dtype,
+            count=payload.size, offset=off,
+        ).reshape(payload.shape)
+        np.copyto(view, payload)
+        return slot
+
+    def _unpack(self, src: int, slot: int, shape, dtype: str) -> np.ndarray:
+        """Copy a payload out of ``src``'s slot and free it."""
+        off = self._slot_offset(src, self.rank, slot)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        arr = np.frombuffer(
+            self.cluster._shm.buf, dtype=np.dtype(dtype),
+            count=count, offset=off,
+        ).reshape(shape).copy()
+        self.cluster._slots_free[src * self.size + self.rank].release()
+        return arr
+
+    # -- point to point --------------------------------------------------------
+    def send(self, dest: int, tag: str, array: np.ndarray) -> None:
+        if not (0 <= dest < self.size) or dest == self.rank:
+            raise ValueError(f"invalid destination {dest} from rank {self.rank}")
+        tr = get_tracer()
+        with tr.span("comm.send", cat="comm", rank=self.rank, peer=dest, tag=tag):
+            t0 = _time.perf_counter()
+            payload = np.ascontiguousarray(array)
+            nbytes = payload.nbytes
+            if nbytes <= self.cluster.slot_bytes:
+                slot = self._pack(dest, payload)
+                self.cluster._queues[dest].put(
+                    ("shm", self.rank, tag, slot, payload.shape,
+                     payload.dtype.str, nbytes)
+                )
+            else:
+                # Copy before queueing: the queue's feeder thread pickles
+                # asynchronously and the caller may reuse its buffer.
+                if payload is array or payload.base is not None:
+                    payload = payload.copy()
+                self.cluster._queues[dest].put(
+                    ("inline", self.rank, tag, payload)
+                )
+            seconds = _time.perf_counter() - t0
+        self.stats.record_send(dest, tag, nbytes, seconds)
+        if tr.enabled:
+            tr.count("messages", 1, rank=self.rank)
+            tr.count("bytes_sent", nbytes, rank=self.rank)
+        mx = get_metrics()
+        if mx.enabled:
+            mx.observe("comm.send_call_seconds", seconds, rank=self.rank)
+
+    def _raise_aborted(self, source: int, tag: str) -> None:
+        raise ClusterAborted(
+            f"rank {self.rank}: cluster aborted while waiting for message "
+            f"from {source} tag {tag!r}: {self._aborted}"
+        )
+
+    def _ingest(self, record: tuple) -> None:
+        """Stash one control record's payload under its (source, tag)."""
+        kind = record[0]
+        if kind == "shm":
+            _, src, tag, slot, shape, dtype, _nbytes = record
+            self._stash[(src, tag)].append(self._unpack(src, slot, shape, dtype))
+        elif kind == "inline":
+            _, src, tag, payload = record
+            self._stash[(src, tag)].append(payload)
+        elif kind == "abort":
+            self._aborted = record[1]
+
+    def _drain_nowait(self) -> None:
+        while True:
+            try:
+                self._ingest(self._q.get_nowait())
+            except _queue.Empty:
+                return
+
+    def _mailbox_get(
+        self, source: int, tag: str, timeout: float | None
+    ) -> np.ndarray:
+        """Blocking tag-matched fetch with Mailbox-identical semantics."""
+        limit = self.cluster.timeout if timeout is None else timeout
+        key = (source, tag)
+        deadline = _time.monotonic() + limit
+        while True:
+            if self._stash[key]:
+                return self._stash[key].popleft()
+            if self._aborted is not None or self.cluster._abort.is_set():
+                if self._aborted is None:
+                    self._aborted = "cluster abort flagged"
+                self._raise_aborted(source, tag)
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self.rank}: no message from {source} tag {tag!r} "
+                    f"within {limit}s (likely deadlock, tag mismatch, or a "
+                    "lost message)"
+                )
+            try:
+                record = self._q.get(timeout=min(remaining, _POLL))
+            except _queue.Empty:
+                continue
+            self._ingest(record)
+
+    def recv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> np.ndarray:
+        tr = get_tracer()
+        with tr.span("comm.recv", cat="comm", rank=self.rank, peer=source, tag=tag):
+            t0 = _time.perf_counter()
+            payload = self._mailbox_get(source, tag, timeout)
+            seconds = _time.perf_counter() - t0
+        self.stats.record_recv(source, tag, payload.nbytes, seconds)
+        if tr.enabled:
+            tr.count("messages", 1, rank=self.rank)
+            tr.count("bytes_received", payload.nbytes, rank=self.rank)
+        mx = get_metrics()
+        if mx.enabled:
+            mx.observe("comm.recv_call_seconds", seconds, rank=self.rank)
+        return payload
+
+    def irecv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> Request:
+        """True non-blocking receive: ``test()`` probes the control queue."""
+        comm = self
+        key = (source, tag)
+
+        class _ProbingRecv(Request):
+            def __init__(self) -> None:
+                self._value = None
+                self._done = False
+
+            def test(self) -> bool:
+                if self._done:
+                    return True
+                comm._drain_nowait()
+                if comm._stash[key]:
+                    payload = comm._stash[key].popleft()
+                    comm.stats.record_recv(source, tag, payload.nbytes)
+                    self._value = payload
+                    self._done = True
+                return self._done
+
+            def wait(self):
+                if not self._done:
+                    self._value = comm.recv(source, tag, timeout=timeout)
+                    self._done = True
+                return self._value
+
+        return _ProbingRecv()
+
+    def pending(self) -> int:
+        """Stashed (unconsumed) envelopes — should be 0 at a clean exit."""
+        return sum(len(d) for d in self._stash.values())
+
+
+#: Short alias, mirroring ``VirtualComm``.
+ProcessComm = ProcessCommunicator
+
+
+def _worker_main(
+    cluster: "ProcessCluster",
+    rank: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    extra: tuple,
+) -> None:
+    """Worker-process entry: run the rank program, ship the outcome.
+
+    Inherits the parent's enabled/disabled observability state through
+    fork, but records into *fresh* per-process instances (the parent's
+    tracer and registry hold thread locks the child must not share) and
+    ships the recorded data back with the result for an exact merge."""
+    comm = ProcessCommunicator(cluster, rank)
+    tracer = None
+    if get_tracer().enabled:
+        tracer = Tracer()
+        set_tracer(tracer)
+        tracer.bind_rank(rank)
+    reg = None
+    if get_metrics().enabled:
+        reg = MetricsRegistry()
+        set_metrics(reg)
+        reg.bind_rank(rank)
+    try:
+        value = fn(comm, *args, *extra)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        cluster._to_parent.put(
+            ("error", rank, _portable_exception(exc), comm.stats, reg,
+             tracer.trace if tracer is not None else None)
+        )
+    else:
+        cluster._to_parent.put(
+            ("result", rank, value, comm.stats, reg,
+             tracer.trace if tracer is not None else None)
+        )
+
+
+class ProcessCluster:
+    """A fixed-size set of ranks, one OS process each, with all-to-all
+    shared-memory connectivity.  API mirrors :class:`VirtualCluster`."""
+
+    def __init__(
+        self,
+        size: int,
+        timeout: float = 120.0,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        slots_per_channel: int = DEFAULT_SLOTS_PER_CHANNEL,
+    ) -> None:
+        if size < 1:
+            raise ValueError("cluster size must be >= 1")
+        try:
+            self._ctx = _mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "substrate='process' needs the 'fork' start method (rank "
+                "programs are closures); unavailable on this platform — "
+                "use the default substrate='virtual' instead"
+            ) from exc
+        self.size = size
+        self.timeout = timeout
+        self.slot_bytes = int(slot_bytes)
+        self.slots_per_channel = int(slots_per_channel)
+        nbytes = size * size * self.slots_per_channel * self.slot_bytes
+        self._shm = _shm.SharedMemory(create=True, size=max(nbytes, 1))
+        self._queues = [self._ctx.Queue() for _ in range(size)]
+        self._to_parent = self._ctx.Queue()
+        self._abort = self._ctx.Event()
+        self._slots_free = [
+            self._ctx.Semaphore(self.slots_per_channel)
+            for _ in range(size * size)
+        ]
+        self._procs: list = []
+        self._closed = False
+        self._owner_pid = os.getpid()
+        self.last_stats: list[CommStats] = [CommStats() for _ in range(size)]
+        #: Parent-side checkpoint hook: ``snapshot_sink(step, t, q)`` is
+        #: called for every snapshot a worker submits (see
+        #: :meth:`submit_snapshot`); the runner points it at its
+        #: :class:`~repro.parallel.checkpoint.CheckpointStore`.
+        self.snapshot_sink: Callable[[int, float, np.ndarray], Any] | None = None
+
+    # -- worker-side checkpoint proxy ------------------------------------------
+    def submit_snapshot(self, step: int, t: float, q: np.ndarray) -> None:
+        """Ship a checkpoint snapshot to the parent (worker-side call).
+
+        The checkpoint store lives in the parent so snapshots survive the
+        crash of any worker — including the rank that gathered them."""
+        self._to_parent.put(("snapshot", int(step), float(t), np.array(q, copy=True)))
+
+    # -- parent-side control ---------------------------------------------------
+    def abort(self, reason: str) -> None:
+        """Poison every rank: blocked operations raise ``ClusterAborted``."""
+        self._abort.set()
+        for q in self._queues:
+            q.put(("abort", reason))
+
+    def _handle_silent_deaths(self, pending, errors) -> None:
+        for rank in sorted(pending):
+            p = self._procs[rank]
+            if not p.is_alive():
+                exc = RemoteRankError(
+                    f"rank {rank} worker exited (code {p.exitcode}) without "
+                    "reporting a result"
+                )
+                errors.append((rank, exc))
+                pending.discard(rank)
+                self.abort(f"rank {rank} died silently (exit {p.exitcode})")
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        per_rank_args: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; returns per-rank results.
+
+        Mirrors :meth:`VirtualCluster.run`: any rank failure aborts the
+        others and raises one structured
+        :class:`~repro.msglib.virtual.RankFailure`.  Each worker's
+        locally-recorded metrics and trace are folded into the parent's
+        active registry/tracer (exact, order-independent merge) before
+        this returns or raises."""
+        if self._closed:
+            raise RuntimeError("ProcessCluster is closed")
+        if self._procs:
+            raise RuntimeError("ProcessCluster.run is single-shot; build a "
+                               "fresh cluster per attempt")
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, BaseException]] = []
+        shipped_obs: list[tuple] = []
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    self, r, fn, args,
+                    per_rank_args[r] if per_rank_args is not None else (),
+                ),
+                daemon=True,
+            )
+            for r in range(self.size)
+        ]
+        for p in self._procs:
+            p.start()
+        pending = set(range(self.size))
+        while pending:
+            try:
+                msg = self._to_parent.get(timeout=0.2)
+            except _queue.Empty:
+                self._handle_silent_deaths(pending, errors)
+                continue
+            kind = msg[0]
+            if kind == "snapshot":
+                _, step, t, q = msg
+                if self.snapshot_sink is not None:
+                    self.snapshot_sink(step, t, q)
+            elif kind == "result":
+                _, rank, value, stats, reg, trace = msg
+                results[rank] = value
+                self.last_stats[rank] = stats
+                shipped_obs.append((reg, trace))
+                pending.discard(rank)
+            elif kind == "error":
+                _, rank, exc, stats, reg, trace = msg
+                errors.append((rank, exc))
+                self.last_stats[rank] = stats
+                shipped_obs.append((reg, trace))
+                pending.discard(rank)
+                self.abort(f"rank {rank} died with {exc!r}")
+        for p in self._procs:
+            p.join(timeout=10.0)
+            if p.is_alive():  # pragma: no cover - stuck worker backstop
+                p.terminate()
+                p.join(timeout=5.0)
+        self._absorb_observability(shipped_obs)
+        if errors:
+            raise VirtualCluster._failure(errors)
+        return results
+
+    @staticmethod
+    def _absorb_observability(shipped: list[tuple]) -> None:
+        """Fold worker registries/traces into the parent's active ones."""
+        reg_parent = get_metrics()
+        tr_parent = get_tracer()
+        for reg, trace in shipped:
+            if reg is not None and reg_parent.enabled:
+                reg_parent.ingest(reg)
+            if trace is not None and tr_parent.enabled:
+                dst = tr_parent.trace
+                dst.spans.extend(trace.spans)
+                dst.events.extend(trace.events)
+                for key, v in trace.counters.items():
+                    dst.counters[key] = dst.counters.get(key, 0.0) + v
+
+    def total_stats(self) -> CommStats:
+        """Aggregate statistics over all ranks (last completed run)."""
+        agg = CommStats()
+        for st in self.last_stats:
+            agg = agg.merged_with(st)
+        return agg
+
+    def close(self) -> None:
+        """Release processes, queues and the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - only after a failed run
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in [*self._queues, self._to_parent]:
+            q.close()
+            q.cancel_join_thread()
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            if not self._closed and os.getpid() == getattr(
+                self, "_owner_pid", os.getpid()
+            ):
+                self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass

@@ -125,8 +125,11 @@ class VirtualComm(Communicator):
             mx.observe("comm.recv_call_seconds", seconds, rank=self.rank)
         return payload
 
-    def irecv(self, source: int, tag: str) -> Request:
-        """True non-blocking receive: ``test()`` probes the mailbox."""
+    def irecv(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> Request:
+        """True non-blocking receive: ``test()`` probes the mailbox;
+        ``timeout`` bounds ``wait()`` like :meth:`recv`'s."""
         comm = self
         mailbox = self.cluster.mailboxes[self.rank]
 
@@ -159,7 +162,7 @@ class VirtualComm(Communicator):
                         tag=tag,
                     ):
                         t0 = _time.perf_counter()
-                        payload = mailbox.get(source, tag)
+                        payload = mailbox.get(source, tag, timeout=timeout)
                         self._account(payload, _time.perf_counter() - t0)
                 return self._value
 

@@ -271,6 +271,18 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._tls = threading.local()
 
+    # -- pickling (process-substrate obs shipping) -----------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the recorded data only: the lock and the thread-local
+        rank binding are process-private and rebuilt on load."""
+        return {"meta": self.meta, "data": self._data}
+
+    def __setstate__(self, state: dict) -> None:
+        self.meta = state["meta"]
+        self._data = state["data"]
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
     # -- per-thread default rank (mirrors Tracer.bind_rank) -------------------
     def bind_rank(self, rank: int) -> None:
         self._tls.rank = rank
@@ -351,6 +363,18 @@ class MetricsRegistry:
             else:
                 out._data[key] = a.merged_with(b)
         return out
+
+    def ingest(self, other: "MetricsRegistry") -> None:
+        """Merge ``other``'s metrics into this registry *in place*, with
+        the same exactness guarantee as :meth:`merged_with` (contribution
+        multisets, sorted ``fsum``).  This is how the process substrate
+        folds each worker's locally-recorded registry into the parent's
+        active one on join — any ingest order yields identical bits."""
+        with self._lock:
+            for key, m in other._data.items():
+                mine = self._data.get(key)
+                self._data[key] = m if mine is None else mine.merged_with(m)
+            self.meta = {**other.meta, **self.meta}
 
     # -- serialization ---------------------------------------------------------
     def snapshot(self) -> dict:

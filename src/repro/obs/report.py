@@ -52,6 +52,8 @@ class PerfReport:
     schema: str = LEDGER_SCHEMA
     backend: str | None = None
     platform: str | None = None
+    substrate: str | None = None
+    """Parallel-route substrate (``"virtual"``/``"process"``), else ``None``."""
     version: int | None = None
     grid: tuple[int, int] | None = None
     viscous: bool | None = None
@@ -78,6 +80,7 @@ class PerfReport:
             "mode": self.mode,
             "backend": self.backend,
             "platform": self.platform,
+            "substrate": self.substrate,
             "nprocs": self.nprocs,
             "version": self.version,
             "steps": self.steps,
@@ -106,6 +109,7 @@ class PerfReport:
             mode=d["mode"],
             backend=d.get("backend"),
             platform=d.get("platform"),
+            substrate=d.get("substrate"),
             nprocs=int(d["nprocs"]),
             version=d.get("version"),
             steps=int(d["steps"]),
@@ -331,11 +335,13 @@ def build_perf_report(
         metrics = MetricsRegistry()
     hists, counters = _collect(metrics)
     platform = result.sim.platform if result.sim is not None else None
+    substrate = getattr(result, "substrate", None)
     fingerprint = config_fingerprint(
         scenario=result.scenario,
         mode=result.mode,
         backend=backend,
         platform=platform,
+        substrate=substrate,
         nprocs=result.nprocs,
         version=result.version,
         steps=result.steps,
@@ -382,6 +388,7 @@ def build_perf_report(
         mode=result.mode,
         backend=backend,
         platform=platform,
+        substrate=substrate,
         nprocs=result.nprocs,
         version=result.version,
         steps=result.steps,

@@ -101,6 +101,12 @@ class ParallelJetSolver:
         blocks; pass ``px``/``pr`` with ``px * pr == nranks``).
     timeout:
         Per-receive deadlock timeout in seconds.
+    substrate:
+        ``"virtual"`` (default — one thread per rank, GIL-serialized, the
+        correctness substrate) or ``"process"`` (one OS process per rank
+        over shared memory — real multi-core execution; see
+        :mod:`repro.msglib.process`).  Results are bitwise-identical
+        across substrates.
     faults:
         ``None`` (default), a preset name (``"lossy-ethernet"``, ...), or a
         :class:`~repro.faults.FaultPlan`: wraps every rank's communicator
@@ -124,11 +130,16 @@ class ParallelJetSolver:
         px: int | None = None,
         pr: int | None = None,
         timeout: float = 120.0,
+        substrate: str = "virtual",
         faults=None,
         checkpoint_every: int = 0,
         max_restarts: int = 2,
     ) -> None:
         from ..faults import resolve_fault_plan
+        if substrate not in ("virtual", "process"):
+            raise ValueError(
+                f"substrate must be 'virtual' or 'process', got {substrate!r}"
+            )
         if decomposition not in ("axial", "radial", "2d"):
             raise ValueError(
                 f"decomposition must be 'axial', 'radial' or '2d', got "
@@ -147,6 +158,7 @@ class ParallelJetSolver:
         self.decomposition = decomposition
         self.px, self.pr = px, pr
         self.timeout = timeout
+        self.substrate = substrate
         self.faults = resolve_fault_plan(faults)
         self.checkpoint_every = checkpoint_every
         self.max_restarts = max_restarts
@@ -180,11 +192,26 @@ class ParallelJetSolver:
     ) -> list:
         """One cluster execution from snapshot ``start`` (may raise
         :class:`~repro.msglib.virtual.RankFailure`)."""
+        from contextlib import nullcontext
+
         from ..faults import FaultyComm
 
         plan = self.faults
-        cluster = VirtualCluster(self.nranks, timeout=self.timeout)
         checkpoint_every = self.checkpoint_every
+        if self.substrate == "process":
+            from ..msglib.process import ProcessCluster
+
+            cluster = ProcessCluster(self.nranks, timeout=self.timeout)
+            scope = cluster
+            if store is not None:
+                # The store stays in the parent so snapshots survive any
+                # worker's crash; workers ship them through the cluster.
+                cluster.snapshot_sink = store.save
+            save = cluster.submit_snapshot if store is not None else None
+        else:
+            cluster = VirtualCluster(self.nranks, timeout=self.timeout)
+            scope = nullcontext()
+            save = store.save if store is not None else None
 
         def program(comm):
             fcomm = (
@@ -204,8 +231,8 @@ class ParallelJetSolver:
                         and solver.nstep < steps
                     ):
                         snap = solver.checkpoint()
-                        if snap is not None and store is not None:
-                            store.save(*snap)
+                        if snap is not None and save is not None:
+                            save(*snap)
                 gathered = solver.gather_state()
                 return (
                     gathered,
@@ -218,8 +245,13 @@ class ParallelJetSolver:
                 if fcomm is not comm:
                     fcomm.drain()
 
-        results = cluster.run(program)
-        self._last_comms = cluster.comms
+        with scope:
+            results = cluster.run(program)
+            self._last_stats = (
+                list(cluster.last_stats)
+                if self.substrate == "process"
+                else [c.stats for c in cluster.comms]
+            )
         return results
 
     def run(self, steps: int, tracer: Tracer | None = None) -> ParallelRunResult:
@@ -273,7 +305,7 @@ class ParallelJetSolver:
         fault_stats = [r[4] for r in results]
         return ParallelRunResult(
             state=state,
-            per_rank_stats=[c.stats for c in self._last_comms],
+            per_rank_stats=self._last_stats,
             nsteps=nsteps,
             t=t,
             per_rank_wall=[r[3] for r in results],

@@ -384,3 +384,88 @@ class TestFaultyCommPassthrough:
         assert probe.sent[2] is payload  # no framing, no copy
         assert np.array_equal(fc.recv(1, "t"), np.ones(3))
         assert fc.fault_stats.total_injected == 0
+
+
+class TestReceiveResilience:
+    """irecv must ride recv's fault-aware timeout plumbing: a lazy irecv
+    against a crashed/silent peer raises a structured MessageTimeout
+    instead of hanging (ISSUE-5 bugfix)."""
+
+    def test_lazy_irecv_times_out_with_structure(self, chaos_seed):
+        import time
+
+        from repro.msglib import VirtualCluster
+
+        plan = FaultPlan(
+            seed=chaos_seed, name="irecv-timeout", recv_timeout=0.05,
+            recv_retries=2, always_wrap=True,
+        )
+        cluster = VirtualCluster(2, timeout=60.0)
+
+        def prog(comm):
+            fcomm = FaultyComm(comm, plan)
+            try:
+                if comm.rank == 1:
+                    req = fcomm.irecv(0, "never", timeout=0.05)
+                    t0 = time.perf_counter()
+                    try:
+                        req.wait()
+                    except MessageTimeout as exc:
+                        assert exc.receiver == 1
+                        assert exc.source == 0
+                        assert exc.tag == "never"
+                        return time.perf_counter() - t0
+                    return None
+                return "sender"
+            finally:
+                fcomm.drain()
+
+        waited = cluster.run(prog)[1]
+        assert waited is not None, "irecv.wait() never raised MessageTimeout"
+        assert waited < 10.0
+
+
+class TestCollectiveChaos:
+    """Consecutive same-tag collectives under duplication + reordering
+    must stay exact: the per-communicator sequence suffix keeps a
+    retransmitted reply from collective N out of collective N+1's receive
+    (ISSUE-5 foregrounded bugfix)."""
+
+    ROUNDS = [(3.0, 8.0), (9.0, 4.0), (1.0, 7.0), (6.0, 2.0), (5.0, 5.5)]
+
+    def _collect(self, seed: int) -> list:
+        from repro.msglib import VirtualCluster
+
+        plan = FaultPlan(
+            seed=seed, name="collective-chaos", duplicate=0.4, reorder=0.4,
+            recv_timeout=0.3, recv_retries=4,
+        )
+        cluster = VirtualCluster(2, timeout=30.0)
+        rounds = self.ROUNDS
+
+        def prog(comm):
+            fcomm = FaultyComm(comm, plan)
+            try:
+                out = []
+                for vals in rounds:
+                    fcomm.barrier()
+                    out.append(fcomm.allreduce_min(vals[comm.rank]))
+                    fcomm.barrier()
+                g = fcomm.gather_arrays(np.array([float(comm.rank)]))
+                if g is not None:
+                    out.append([float(a[0]) for a in g])
+                return out
+            finally:
+                fcomm.drain()
+
+        return cluster.run(prog)
+
+    def test_consecutive_collectives_bitwise_exact(self, chaos_seed):
+        results = self._collect(chaos_seed)
+        expected = [min(vals) for vals in self.ROUNDS]
+        assert results[0][:-1] == expected
+        assert results[1] == expected
+        assert results[0][-1] == [0.0, 1.0]
+
+    def test_collective_chaos_reproducible(self, chaos_seed):
+        assert self._collect(chaos_seed) == self._collect(chaos_seed)

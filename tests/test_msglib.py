@@ -357,3 +357,155 @@ class TestReceiveResilience:
         mb.abort("rank 7 died")
         with pytest.raises(ClusterAborted, match="rank 7 died"):
             mb.get(1, "anything")
+
+
+class TestCollectiveTagSafety:
+    """Generic collectives must be safe on *any* conforming transport,
+    including at-least-once ones that deliver duplicates (ISSUE-5 bugfix:
+    constant collective tags let a stale duplicate from collective N
+    satisfy collective N+1's receive)."""
+
+    class _DuplicatingComm:
+        """At-least-once transport: every send is delivered twice.
+
+        Thin decorator over a VirtualComm — no reliable-framing layer, so
+        the duplicate really reaches the peer's mailbox as a second
+        envelope under the same (source, tag)."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.rank = inner.rank
+            self.size = inner.size
+            self.stats = inner.stats
+            # Inherit the generic collectives unchanged.
+            self.allreduce_min = lambda *a, **kw: type(inner).allreduce_min(
+                self, *a, **kw
+            )
+            self.barrier = lambda *a, **kw: type(inner).barrier(self, *a, **kw)
+            self.gather_arrays = lambda *a, **kw: type(inner).gather_arrays(
+                self, *a, **kw
+            )
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def send(self, dest, tag, array):
+            self.inner.send(dest, tag, array)
+            self.inner.send(dest, tag, array)  # the duplicate
+
+        def recv(self, source, tag, timeout=None):
+            return self.inner.recv(source, tag, timeout=timeout)
+
+    def test_consecutive_allreduces_survive_duplication(self):
+        """Each collective must compute its own minimum even when every
+        message is delivered twice: with constant tags, collective i+1
+        consumes the duplicate of collective i's contribution and returns
+        a stale (wrong) value."""
+        from repro.msglib.api import Communicator
+
+        rounds = [(3.0, 8.0), (9.0, 4.0), (1.0, 7.0), (6.0, 2.0)]
+        cluster = VirtualCluster(2, timeout=10.0)
+
+        def prog(comm):
+            dup = self._DuplicatingComm(comm)
+            return [
+                Communicator.allreduce_min(dup, vals[comm.rank])
+                for vals in rounds
+            ]
+
+        results = cluster.run(prog)
+        expected = [min(vals) for vals in rounds]
+        assert results[0] == expected
+        assert results[1] == expected
+
+    def test_consecutive_barriers_and_gathers_survive_duplication(self):
+        from repro.msglib.api import Communicator
+
+        cluster = VirtualCluster(2, timeout=10.0)
+
+        def prog(comm):
+            dup = self._DuplicatingComm(comm)
+            out = []
+            for i in range(3):
+                Communicator.barrier(dup)
+                g = Communicator.gather_arrays(
+                    dup, np.array([float(comm.rank), float(i)])
+                )
+                if g is not None:
+                    out.append([a.copy() for a in g])
+            return out
+
+        results = cluster.run(prog)
+        for i, gathered in enumerate(results[0]):
+            assert np.array_equal(gathered[0], [0.0, float(i)])
+            assert np.array_equal(gathered[1], [1.0, float(i)])
+
+
+class TestGatherAliasing:
+    """ISSUE-5 bugfix: rank 0's own contribution to gather_arrays must be
+    a copy — mutating the send buffer after the gather must not corrupt
+    the gathered slot (remote slots already arrive as fresh copies)."""
+
+    def test_gather_does_not_alias_rank0_send_buffer(self):
+        cluster = VirtualCluster(2, timeout=10.0)
+
+        def prog(comm):
+            mine = np.full(4, float(comm.rank + 1))
+            g = comm.gather_arrays(mine, tag="g")
+            mine[:] = -99.0  # caller reuses its send buffer
+            return g
+
+        results = cluster.run(prog)
+        gathered = results[0]
+        assert np.array_equal(gathered[0], np.full(4, 1.0))
+        assert np.array_equal(gathered[1], np.full(4, 2.0))
+
+
+class TestIrecvTimeout:
+    """ISSUE-5 bugfix: irecv must honour recv's timeout= plumbing — a lazy
+    irecv against a silent peer fails fast instead of hanging for the
+    cluster-default timeout."""
+
+    def test_lazy_irecv_wait_honours_timeout(self):
+        import time
+
+        cluster = VirtualCluster(2, timeout=60.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                return "sender"
+            req = comm.irecv(0, "never", timeout=0.05)
+            t0 = time.perf_counter()
+            try:
+                req.wait()
+            except DeadlockError:
+                return time.perf_counter() - t0
+            return None
+
+        waited = cluster.run(prog)[1]
+        assert waited is not None, "irecv.wait() never timed out"
+        assert waited < 5.0
+
+    def test_generic_fallback_irecv_wait_honours_timeout(self):
+        """The ABC's default _LazyRecv (used by backends without a probing
+        mailbox) must forward timeout= to recv."""
+        import time
+
+        from repro.msglib.api import Communicator
+
+        cluster = VirtualCluster(2, timeout=60.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                return "sender"
+            req = Communicator.irecv(comm, 0, "never", timeout=0.05)
+            t0 = time.perf_counter()
+            try:
+                req.wait()
+            except DeadlockError:
+                return time.perf_counter() - t0
+            return None
+
+        waited = cluster.run(prog)[1]
+        assert waited is not None, "fallback irecv.wait() never timed out"
+        assert waited < 5.0

@@ -220,8 +220,14 @@ def test_committed_baseline_matches_schema():
         doc = json.load(fh)
     assert doc["schema"] == "repro.bench-core/1"
     assert doc["calibration_ms"] > 0
-    assert len(doc["cases"]) == 5
+    assert len(doc["cases"]) == 6
     for case in doc["cases"].values():
         assert case["ms_per_step"] > 0
         assert len(case["fingerprint"]) == 12
         assert 0 < case["tolerance"] < 1
+    sp = doc["speedup"]
+    assert sp["grid"] == [250, 100]
+    assert sp["cpu_count"] >= 1
+    assert [r["nprocs"] for r in sp["rows"]] == [1, 2, 4]
+    assert sp["rows"][0]["speedup"] == 1.0
+    assert all(r["ms_per_step"] > 0 for r in sp["rows"])

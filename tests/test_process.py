@@ -1,0 +1,352 @@
+"""The process substrate: real multi-core SPMD execution (ISSUE 5).
+
+Three layers of coverage:
+
+* **msglib unit tests** — :class:`~repro.msglib.ProcessCluster` and
+  :class:`~repro.msglib.ProcessCommunicator` honour the same
+  :class:`~repro.msglib.Communicator` contract as the virtual cluster:
+  tag-matched point-to-point (shared-memory and oversized-inline paths),
+  ``(source, tag)`` selectivity, collectives, timeouts
+  (:class:`~repro.msglib.DeadlockError`) and the structured failure
+  contract (:class:`~repro.msglib.RankFailure` + survivor abort).
+* **cross-substrate equivalence** — a distributed run on OS processes is
+  bitwise-identical to the same run on the virtual cluster and to the
+  serial reference, for Euler and Navier-Stokes, for the fused and
+  baseline kernel backends, and through checkpoint/restart recovery.
+* **facade composition** — ``api.run(..., substrate="process")`` routes,
+  records per-rank metrics/traces from every worker (exact merge on
+  join), stamps the substrate into the perf report fingerprint, and
+  rejects meaningless combinations.
+
+Worker processes are forked, so every test here is POSIX-only (the
+cluster raises a clear error elsewhere); spawn cost keeps the chaos
+matrix subset behind ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario
+from repro.api import run
+from repro.faults import FaultPlan, MessageTimeout, RankCrashed
+from repro.msglib import (
+    ClusterAborted,
+    DeadlockError,
+    ProcessCluster,
+    ProcessCommunicator,
+    RankFailure,
+    RemoteRankError,
+    VirtualCluster,
+)
+from repro.msglib.process import DEFAULT_SLOT_BYTES, _portable_exception
+from repro.parallel.runner import ParallelJetSolver, serial_reference
+
+STEPS = 6
+
+#: Chaos-matrix subset exercised over real processes (the full matrix
+#: lives in test_faults.py on the cheap-to-spawn virtual cluster).
+CHAOS_KINDS = {
+    "duplicate": dict(duplicate=0.25),
+    "reorder": dict(reorder=0.2),
+    "mixed": dict(drop=0.08, duplicate=0.08, reorder=0.08, truncate=0.05,
+                  delay=0.15, max_delay=0.001, max_transmits=4),
+}
+
+
+def _case(viscous: bool):
+    sc = jet_scenario(nx=48, nr=16, viscous=viscous)
+    config = dataclasses.replace(sc.solver.config, dt_recompute_every=1)
+    ref = serial_reference(sc.state, config, steps=STEPS)
+    return sc, config, ref
+
+
+@pytest.fixture(scope="module")
+def ns_case():
+    return _case(viscous=True)
+
+
+@pytest.fixture(scope="module")
+def euler_case():
+    return _case(viscous=False)
+
+
+# -- msglib unit tests --------------------------------------------------------
+
+
+class TestProcessCluster:
+    def test_ring_exchange(self):
+        """Every rank sends right / receives left; payloads intact."""
+
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(right, "ring", np.full(8, float(comm.rank)))
+            got = comm.recv(left, "ring")
+            return float(got[0])
+
+        with ProcessCluster(3, timeout=20) as cluster:
+            results = cluster.run(program)
+        assert results == [2.0, 0.0, 1.0]
+
+    def test_tag_selectivity_and_stash(self):
+        """Receives match on (source, tag) even against arrival order."""
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "first", np.array([1.0]))
+                comm.send(1, "second", np.array([2.0]))
+                return None
+            # Consume in reverse send order: 'first' must wait stashed.
+            b = comm.recv(0, "second", timeout=10)
+            a = comm.recv(0, "first", timeout=10)
+            assert comm.pending() == 0
+            return (float(a[0]), float(b[0]))
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            results = cluster.run(program)
+        assert results[1] == (1.0, 2.0)
+
+    def test_oversized_payload_rides_inline(self):
+        """Payloads beyond slot_bytes cross the queue, bit-exact."""
+        big = np.arange(DEFAULT_SLOT_BYTES // 8 + 100, dtype=np.float64)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "big", big)
+                return None
+            got = comm.recv(0, "big", timeout=20)
+            return bool(np.array_equal(got, big))
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            results = cluster.run(program)
+        assert results[1] is True
+
+    def test_collectives_and_stats(self):
+        def program(comm):
+            lo = comm.allreduce_min(float(10 - comm.rank))
+            comm.barrier()
+            parts = comm.gather_arrays(np.array([float(comm.rank)]))
+            gathered = (
+                [float(p[0]) for p in parts] if comm.rank == 0 else None
+            )
+            return lo, gathered, comm.stats.sends
+
+        with ProcessCluster(3, timeout=20) as cluster:
+            results = cluster.run(program)
+            total = cluster.total_stats()
+        assert [r[0] for r in results] == [8.0, 8.0, 8.0]
+        assert results[0][1] == [0.0, 1.0, 2.0]
+        assert all(r[2] > 0 for r in results)
+        assert total.sends == total.recvs > 0
+
+    def test_recv_timeout_is_deadlock_error(self):
+        def program(comm):
+            if comm.rank == 1:
+                with pytest.raises(DeadlockError):
+                    comm.recv(0, "never", timeout=0.1)
+            comm.barrier()
+            return comm.rank
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program) == [0, 1]
+
+    def test_worker_exception_is_structured(self):
+        """A raising rank produces RankFailure; survivors are aborted."""
+
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("injected worker failure")
+            # Rank 0 blocks on a message that never comes: the abort
+            # broadcast must fail it promptly instead of timing out.
+            comm.recv(1, "never")
+
+        with ProcessCluster(2, timeout=60) as cluster:
+            with pytest.raises(RankFailure) as exc:
+                cluster.run(program)
+        failure = exc.value
+        assert failure.rank == 1
+        assert isinstance(failure.__cause__, ValueError)
+        assert any(
+            isinstance(e, ClusterAborted) for _, _, e in failure.failures
+        ), "the surviving rank should have been aborted"
+
+    def test_run_is_single_shot(self):
+        with ProcessCluster(2, timeout=20) as cluster:
+            cluster.run(lambda comm: comm.rank)
+            with pytest.raises(RuntimeError, match="single-shot"):
+                cluster.run(lambda comm: comm.rank)
+
+    def test_backpressure_fills_then_times_out(self):
+        """An unconsumed channel applies backpressure, then deadlocks.
+
+        Rank 1 must stay out of every receive: any blocking wait drains
+        the control queue into the stash (freeing ring slots), which is
+        exactly the backpressure-release path this test must not take.
+        """
+
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(DeadlockError, match="stayed full"):
+                    for _ in range(100):
+                        comm.send(1, "flood", np.zeros(4))
+                return True
+            time.sleep(1.5)
+            return True
+
+        with ProcessCluster(
+            2, timeout=0.5, slots_per_channel=2
+        ) as cluster:
+            assert cluster.run(program) == [True, True]
+
+
+class TestExceptionPortability:
+    """Structured fault exceptions must survive the process boundary."""
+
+    @pytest.mark.parametrize("exc", [
+        RankCrashed(3, 17),
+        MessageTimeout(1, 0, "5:halo", 2.5, 4, step=5),
+    ])
+    def test_fault_errors_pickle_round_trip(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert clone.args == exc.args
+        assert vars(clone) == vars(exc)
+        assert _portable_exception(exc) is exc
+
+    def test_unpicklable_exception_is_wrapped(self):
+        exc = ValueError("boom")
+        exc.payload = lambda: None  # closures don't pickle
+        exc.step = 9
+        wrapped = _portable_exception(exc)
+        assert isinstance(wrapped, RemoteRankError)
+        assert wrapped.original_type == "ValueError"
+        assert wrapped.step == 9
+        assert "boom" in str(wrapped)
+
+
+# -- cross-substrate equivalence ----------------------------------------------
+
+
+class TestSubstrateEquivalence:
+    @pytest.mark.parametrize("case", ["euler_case", "ns_case"])
+    def test_process_matches_virtual_and_serial(self, case, request):
+        sc, config, ref = request.getfixturevalue(case)
+        runs = {}
+        for substrate in ("virtual", "process"):
+            res = ParallelJetSolver(
+                sc.state, config, nranks=2, timeout=60, substrate=substrate,
+            ).run(STEPS)
+            runs[substrate] = res
+        assert np.array_equal(runs["process"].state.q, runs["virtual"].state.q)
+        assert np.array_equal(runs["process"].state.q, ref.q)
+        # Both substrates speak the same protocol: identical traffic shape.
+        assert [s.sends for s in runs["process"].per_rank_stats] == [
+            s.sends for s in runs["virtual"].per_rank_stats
+        ]
+
+    def test_fused_matches_baseline_on_processes(self, euler_case):
+        sc, config, _ = euler_case
+        states = {}
+        for backend in ("baseline", "fused"):
+            cfg = dataclasses.replace(config, backend=backend)
+            states[backend] = ParallelJetSolver(
+                sc.state, cfg, nranks=2, timeout=60, substrate="process",
+            ).run(STEPS).state.q
+        assert np.array_equal(states["fused"], states["baseline"])
+
+    def test_crash_recovers_via_checkpoint(self, ns_case, chaos_seed):
+        """Injected crash on a worker process: the parent-held store
+        restarts the run from the shipped snapshot, bitwise-exact."""
+        sc, config, ref = ns_case
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 4),),
+                         recv_timeout=0.2, recv_retries=2)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, substrate="process",
+            faults=plan, checkpoint_every=2,
+        ).run(STEPS)
+        assert res.restarts == 1
+        assert np.array_equal(res.state.q, ref.q)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kind", sorted(CHAOS_KINDS))
+    def test_chaos_subset(self, ns_case, kind, chaos_seed):
+        """Seeded wire chaos over real processes: recovered bitwise or
+        structured failure — same contract as the virtual chaos matrix."""
+        sc, config, ref = ns_case
+        plan = FaultPlan(
+            seed=chaos_seed, name=kind, recv_timeout=0.3, recv_retries=4,
+            **CHAOS_KINDS[kind],
+        )
+        try:
+            res = ParallelJetSolver(
+                sc.state, config, nranks=2, timeout=60, substrate="process",
+                faults=plan, max_restarts=0,
+            ).run(STEPS)
+        except RankFailure as failure:
+            assert failure.ranks
+            assert all(0 <= r < 2 for r in failure.ranks)
+            return
+        assert np.array_equal(res.state.q, ref.q)
+
+
+# -- facade composition -------------------------------------------------------
+
+
+class TestApiProcessSubstrate:
+    @pytest.fixture(scope="class")
+    def process_run(self):
+        return run(
+            "jet-euler", steps=4, nprocs=2, nx=48, nr=16,
+            substrate="process", metrics=True, trace=True,
+        )
+
+    def test_routes_and_stamps_substrate(self, process_run):
+        res = process_run
+        assert res.mode == "parallel"
+        assert res.substrate == "process"
+        assert res.perf.substrate == "process"
+
+    def test_matches_virtual_route_bitwise(self, process_run):
+        ref = run("jet-euler", steps=4, nprocs=2, nx=48, nr=16)
+        assert ref.substrate == "virtual"
+        assert np.array_equal(process_run.state.q, ref.state.q)
+
+    def test_fingerprint_separates_substrates(self, process_run):
+        ref = run("jet-euler", steps=4, nprocs=2, nx=48, nr=16,
+                  metrics=True)
+        assert ref.perf.substrate == "virtual"
+        assert ref.perf.fingerprint != process_run.perf.fingerprint
+
+    def test_observability_covers_every_rank(self, process_run):
+        res = process_run
+        assert [s.sends for s in res.per_rank_stats] == [13, 14]
+        span_ranks = {s.rank for s in res.trace.spans}
+        assert {0, 1} <= span_ranks
+        snap = res.metrics.snapshot()
+        bytes_sent = snap["counters"]["comm.bytes_sent"]
+        assert set(bytes_sent) == {"0", "1"}
+        # Live per-call histograms must carry both workers' samples too
+        # (recorded in the forked processes, merged exactly on join).
+        send_calls = snap["histograms"]["comm.send_call_seconds"]
+        assert set(send_calls) == {"0", "1"}
+
+    def test_rejects_unknown_substrate(self):
+        with pytest.raises(ValueError, match="substrate"):
+            run("jet-euler", steps=2, nprocs=2, substrate="mpi-someday")
+
+    def test_rejects_platform_combination(self):
+        with pytest.raises(ValueError, match="simulated"):
+            run("jet-euler", steps=2, nprocs=4, platform="sp2",
+                substrate="process")
+
+    def test_nprocs_one_takes_serial_route(self):
+        res = run("jet-euler", steps=2, nprocs=1, nx=48, nr=16,
+                  substrate="process")
+        assert res.mode == "serial"
+        assert res.substrate is None
