@@ -29,8 +29,14 @@ Every substrate is reached through one facade (``repro.api``; see also
     print(res.summary())
 """
 
-from .api import RunResult, RunTimings, run
+from .api import RunResult, RunTimings, run, run_request
 from .faults import FaultPlan
+from .request import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    RunRequest,
+)
 from .grid import Grid, paper_grid
 from .physics.state import FlowState
 from .physics.jet import JetProfile, InflowExcitation
@@ -54,6 +60,11 @@ __version__ = "1.1.0"
 
 __all__ = [
     "run",
+    "run_request",
+    "RunRequest",
+    "ExecutionConfig",
+    "ResilienceConfig",
+    "ObservabilityConfig",
     "RunResult",
     "RunTimings",
     "FaultPlan",

@@ -24,6 +24,14 @@ Commands
     ``run(..., metrics=True)``) or recorded trace files — autodetected
     per path.  Defaults to the standard ledger under
     ``benchmarks/output/``.
+``serve [--workers N --socket PATH --store DIR]``
+    Start the run service: a worker-pool job queue behind a Unix socket,
+    deduplicating identical requests against a persistent result store.
+``submit <scenario> [run options] | submit --experiment ID``
+    Submit a run (or paper-artifact regeneration) to a running service
+    and stream its status; cached fingerprints return instantly.
+``jobs [--socket PATH]``
+    List the jobs the running service knows about.
 """
 
 from __future__ import annotations
@@ -243,6 +251,122 @@ def _cmd_jet(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import ResultStore, serve
+
+    store = ResultStore(args.store) if args.store else None
+
+    def _announce(server):
+        root = server.service.store.root
+        print(
+            f"repro service: {server.service.workers} worker(s), "
+            f"store {root}, socket {server.socket_path}",
+            flush=True,
+        )
+
+    try:
+        serve(
+            socket_path=args.socket,
+            workers=args.workers,
+            store=store,
+            ledger=not args.no_ledger,
+            ready=_announce,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _format_job(job: dict) -> str:
+    extra = ""
+    if job.get("status") == "cached":
+        extra = "  (served from result store)"
+    elif job.get("attached_to"):
+        extra = f"  (deduplicated onto {job['attached_to']})"
+    elif job.get("error"):
+        extra = f"  {job['error'].splitlines()[-1]}"
+    return (
+        f"{job['id']}  {job['status']:<8}  {job['kind']:<10}  "
+        f"fp={job['fingerprint']}{extra}"
+    )
+
+
+def _cmd_submit(args) -> int:
+    from .request import RunRequest
+    from .service import ExperimentRequest, ServiceClient, ServiceUnavailable
+
+    if args.experiment:
+        if args.scenario:
+            print("error: give a scenario or --experiment, not both",
+                  file=sys.stderr)
+            return 2
+        req = ExperimentRequest(args.experiment)
+    elif args.scenario:
+        kw = {}
+        if args.nx is not None:
+            kw["nx"] = args.nx
+        if args.nr is not None:
+            kw["nr"] = args.nr
+        req = RunRequest.from_run_args(
+            args.scenario,
+            steps=args.steps,
+            nprocs=args.nprocs,
+            substrate=args.substrate,
+            decomposition=args.decomposition,
+            version=args.version,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            checkpoint_every=args.checkpoint_every,
+            **kw,
+        )
+    else:
+        print("error: need a scenario or --experiment ID", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.socket)
+    try:
+        job = client.submit(req)
+        print(_format_job(job))
+        if args.no_wait:
+            return 0
+        for snap in client.watch(job["id"], timeout=args.timeout):
+            if snap["status"] != job["status"]:
+                print(_format_job(snap))
+            job = snap
+        if job["status"] == "failed":
+            return 1
+        if not args.quiet:
+            result = client.result(job["id"])
+            print()
+            print(result if isinstance(result, str) else result.summary())
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.socket)
+    try:
+        info = client.ping()
+        jobs = client.jobs()
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"service pid {info['pid']}: {info['workers']} worker(s), "
+        f"{info['executed']} executed, {info['store_entries']} stored "
+        f"result(s) in {info['store_root']}"
+    )
+    for job in jobs:
+        print(_format_job(job))
+    if not jobs:
+        print("no jobs submitted yet")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -329,6 +453,54 @@ def main(argv: list[str] | None = None) -> int:
                    help="also print the full per-stage report of the last "
                         "N ledger entries (0 disables)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "serve", help="start the run service (worker pool + result cache)"
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes executing jobs (default 2)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix control socket (default: "
+                        "$REPRO_SERVICE_SOCKET or the service store dir)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="result-store directory (default: "
+                        "benchmarks/output/service under $REPRO_DATA_DIR "
+                        "or the repo)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="don't append worker runs to the perf ledger")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a run to the service (dedupes by fingerprint)"
+    )
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="jet, jet-euler, advection, acoustic, sod")
+    p.add_argument("--experiment", default=None, metavar="ID",
+                   help="submit a paper artifact instead (table1, fig01 ..)")
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--version", type=int, default=7, choices=(5, 6, 7))
+    p.add_argument("--decomposition", default="axial",
+                   choices=("axial", "radial", "2d"))
+    p.add_argument("--substrate", choices=("virtual", "process"),
+                   default="virtual")
+    p.add_argument("--faults", default=None, metavar="PRESET")
+    p.add_argument("--fault-seed", type=int, default=None)
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N")
+    p.add_argument("--nx", type=int, default=None)
+    p.add_argument("--nr", type=int, default=None)
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for completion (default 600)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and return without watching the job")
+    p.add_argument("--quiet", action="store_true",
+                   help="don't print the result payload when done")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list jobs on the running service")
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.set_defaults(fn=_cmd_jobs)
 
     p = sub.add_parser("jet", help="run the real solver")
     p.add_argument("--nx", type=int, default=96)

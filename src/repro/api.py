@@ -37,6 +37,7 @@ import os
 import time as _time
 from dataclasses import dataclass, replace as _dc_replace
 
+from .config import default_ledger_path
 from .msglib.api import CommStats
 from .obs import (
     MetricsRegistry,
@@ -50,12 +51,34 @@ from .obs import (
     write_chrome_trace,
 )
 from .physics.state import FlowState
+from .request import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    RunRequest,
+)
 from .scenarios import Scenario, scenario_by_name
 
-__all__ = ["run", "RunResult", "RunTimings", "DEFAULT_LEDGER"]
+__all__ = [
+    "run",
+    "run_request",
+    "RunRequest",
+    "ExecutionConfig",
+    "ResilienceConfig",
+    "ObservabilityConfig",
+    "RunResult",
+    "RunTimings",
+    "DEFAULT_LEDGER",
+]
 
-#: Where ``run(..., ledger=True)`` appends its PerfReport JSON lines.
-DEFAULT_LEDGER = "benchmarks/output/BENCH_runs.jsonl"
+
+def __getattr__(name: str):
+    # DEFAULT_LEDGER is resolved at access time against the anchored data
+    # directory (env REPRO_DATA_DIR, else the repo checkout) so service
+    # workers and CLI runs from any cwd append to the same ledger.
+    if name == "DEFAULT_LEDGER":
+        return str(default_ledger_path())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -110,6 +133,9 @@ class RunResult:
     """Parallel-route execution substrate (``"virtual"`` — one thread per
     rank — or ``"process"`` — one OS process per rank over shared
     memory); ``None`` for serial and simulated runs."""
+    request: RunRequest | None = None
+    """The typed request this result answered (``run_request`` sets it;
+    its :meth:`~repro.request.RunRequest.fingerprint` is the cache key)."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -303,29 +329,74 @@ def run(
         thread — full coverage on the serial route; rank threads of the
         virtual cluster are outside it.
     ledger:
-        A path (or ``True`` for ``benchmarks/output/BENCH_runs.jsonl``) to
-        append the :class:`~repro.obs.PerfReport` to as one JSON line.
-        Implies ``metrics``.
+        A path (or ``True`` for the anchored default ledger — see
+        :func:`repro.config.default_ledger_path`) to append the
+        :class:`~repro.obs.PerfReport` to as one JSON line.  Implies
+        ``metrics``.
+
+    Notes
+    -----
+    This is a thin shim: it packs its keyword surface into a typed
+    :class:`~repro.request.RunRequest` and calls :func:`run_request`.
+    New code (and anything that serializes, caches, or ships runs — see
+    :mod:`repro.service`) should build ``RunRequest`` objects directly.
+    """
+    req = RunRequest.from_run_args(
+        scenario,
+        steps=steps,
+        nprocs=nprocs,
+        platform=platform,
+        version=version,
+        trace=trace,
+        backend=backend,
+        decomposition=decomposition,
+        px=px,
+        pr=pr,
+        timeout=timeout,
+        substrate=substrate,
+        steps_window=steps_window,
+        faults=faults,
+        fault_seed=fault_seed,
+        checkpoint_every=checkpoint_every,
+        max_restarts=max_restarts,
+        metrics=metrics,
+        profile=profile,
+        ledger=ledger,
+        **scenario_kw,
+    )
+    return run_request(req)
+
+
+def run_request(req: RunRequest) -> RunResult:
+    """Execute a typed :class:`~repro.request.RunRequest` — the canonical
+    entry point behind :func:`run` and the unit of work the run service
+    (:mod:`repro.service`) ships to its worker processes.
+
+    The resulting :class:`RunResult` carries the request back
+    (``result.request``), and any :class:`~repro.obs.PerfReport` built for
+    it is stamped with ``req.fingerprint()`` — the request-derived cache
+    key, not a post-hoc hash of run outputs.
     """
     from contextlib import nullcontext
 
-    if substrate not in ("virtual", "process"):
+    ex, rz, ob = req.execution, req.resilience, req.observability
+    if ex.substrate not in ("virtual", "process"):
         raise ValueError(
-            f"substrate must be 'virtual' or 'process', got {substrate!r}"
+            f"substrate must be 'virtual' or 'process', got {ex.substrate!r}"
         )
-    if substrate == "process" and platform is not None:
+    if ex.substrate == "process" and ex.platform is not None:
         raise ValueError(
             "substrate='process' applies to real distributed runs; "
             "platform= selects the simulated route (drop one of the two)"
         )
-    sc = _resolve(scenario, **scenario_kw)
-    tracer, trace_path = _coerce_tracer(trace)
-    reg = _coerce_metrics(metrics, profile or ledger)
+    sc = req.resolve_scenario()
+    tracer, trace_path = _coerce_tracer(ob.trace)
+    reg = _coerce_metrics(ob.metrics, ob.profile or ob.ledger)
     from .faults import resolve_fault_plan
 
-    plan = resolve_fault_plan(faults, seed=fault_seed)
+    plan = resolve_fault_plan(rz.faults, seed=rz.fault_seed)
     profiler = None
-    if profile:
+    if ob.profile:
         import cProfile
 
         profiler = cProfile.Profile()
@@ -333,29 +404,31 @@ def run(
         if profiler is not None:
             profiler.enable()
         try:
-            if platform is not None:
+            if ex.platform is not None:
                 result = _run_simulated(
-                    sc, platform, nprocs, version, steps, steps_window,
-                    tracer, faults=plan,
+                    sc, req.resolve_platform(), ex.nprocs, ex.version,
+                    req.steps, ex.steps_window, tracer, faults=plan,
                 )
-            elif nprocs == 1:
+            elif ex.nprocs == 1:
                 if plan is not None:
                     raise ValueError(
                         "faults= requires a network to break: use nprocs > 1 "
                         "(virtual cluster) or platform=... (simulated machine)"
                     )
-                result = _run_serial(sc, steps, tracer, backend)
+                result = _run_serial(sc, req.steps, tracer, ex.backend)
             else:
                 result = _run_parallel(
-                    sc, steps, nprocs, version, decomposition, px, pr,
-                    timeout, tracer, backend, faults=plan,
-                    checkpoint_every=checkpoint_every,
-                    max_restarts=max_restarts,
-                    substrate=substrate,
+                    sc, req.steps, ex.nprocs, ex.version, ex.decomposition,
+                    ex.px, ex.pr, ex.timeout, tracer, ex.backend,
+                    faults=plan,
+                    checkpoint_every=rz.checkpoint_every,
+                    max_restarts=rz.max_restarts,
+                    substrate=ex.substrate,
                 )
         finally:
             if profiler is not None:
                 profiler.disable()
+    result.request = req
     if tracer is not None and trace_path is not None:
         write_chrome_trace(tracer.trace, trace_path)
         result.trace_path = trace_path
@@ -368,14 +441,14 @@ def run(
         top = None
         if profiler is not None:
             profiler.create_stats()
-            n = profile if profile is not True else 15
+            n = ob.profile if ob.profile is not True else 15
             top = _profile_top(profiler.stats, int(n))
         backend_name = None
         if result.mode != "simulated":
             from .numerics.kernels import resolve_backend
 
             backend_name = resolve_backend(
-                backend or sc.solver.config.backend
+                ex.backend or sc.solver.config.backend
             ).name
         result.metrics = reg
         result.perf = build_perf_report(
@@ -385,9 +458,14 @@ def run(
             grid=(sc.grid.nx, sc.grid.nr),
             viscous=sc.solver.config.viscous,
             profile_top=top,
+            fingerprint=req.fingerprint(),
         )
-        if ledger:
-            path = DEFAULT_LEDGER if ledger is True else os.fspath(ledger)
+        if ob.ledger:
+            path = (
+                str(default_ledger_path())
+                if ob.ledger is True
+                else os.fspath(ob.ledger)
+            )
             append_ledger(result.perf, path)
     return result
 

@@ -1,0 +1,73 @@
+"""Filesystem anchoring for run artifacts: one data directory per install.
+
+Historically ``repro.api.DEFAULT_LEDGER`` was the *relative* path
+``benchmarks/output/BENCH_runs.jsonl``: every process appended to a ledger
+under its own current working directory, so service workers, CLI runs from
+other directories, and the benchmark harness each grew private, diverging
+ledgers.  This module gives every artifact writer one anchored root:
+
+* ``REPRO_DATA_DIR`` (environment) wins when set — point the service, the
+  CLI and the batch driver at any shared location;
+* otherwise the repository's ``benchmarks/output/`` directory, found by
+  walking up from this file to the checkout root (``pyproject.toml``) —
+  the in-tree layout every script and CI job already uses;
+* otherwise (installed package, no env var) ``benchmarks/output`` under
+  the current working directory — the historical behaviour, now only the
+  last resort.
+
+Resolution happens at *call* time, never import time, so tests and tools
+can redirect everything with ``monkeypatch.setenv("REPRO_DATA_DIR", ...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "DATA_DIR_ENV",
+    "data_dir",
+    "default_ledger_path",
+    "default_service_dir",
+    "repo_root",
+]
+
+#: Environment variable overriding the artifact root.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+
+#: Files marking the checkout root when walking up from the package.
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+def repo_root() -> Path | None:
+    """The source checkout containing this package, or ``None``.
+
+    Walks up from the installed package directory looking for a marker
+    file; an installed wheel under ``site-packages`` finds none.
+    """
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if any((parent / marker).exists() for marker in _ROOT_MARKERS):
+            return parent
+    return None
+
+
+def data_dir() -> Path:
+    """The anchored artifact root (not created until something writes)."""
+    env = os.environ.get(DATA_DIR_ENV)
+    if env:
+        return Path(env)
+    root = repo_root()
+    if root is not None:
+        return root / "benchmarks" / "output"
+    return Path.cwd() / "benchmarks" / "output"
+
+
+def default_ledger_path() -> Path:
+    """Where ``run(..., ledger=True)`` appends PerfReport JSON lines."""
+    return data_dir() / "BENCH_runs.jsonl"
+
+
+def default_service_dir() -> Path:
+    """The run service's result store + control socket directory."""
+    return data_dir() / "service"

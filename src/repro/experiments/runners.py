@@ -122,12 +122,18 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 }
 
 
-def run_experiment(exp_id: str) -> str:
-    """Run one experiment by id (``table1``, ``table2``, ``fig01``..``fig13``)."""
+def run_experiment(exp_id: str, **kw) -> str:
+    """Run one experiment by id (``table1``, ``table2``, ``fig01``..``fig13``).
+
+    Extra keyword arguments are forwarded to the experiment callable
+    (``fig01`` accepts ``nx``/``nr``/``steps``/``full``; most others take
+    none) — the batch driver uses this to reproduce the exact benchmark
+    configurations.
+    """
     try:
         fn = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn()
+    return fn(**kw) if kw else fn()

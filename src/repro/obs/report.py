@@ -322,6 +322,7 @@ def build_perf_report(
     grid: tuple[int, int] | None = None,
     viscous: bool | None = None,
     profile_top: list[dict] | None = None,
+    fingerprint: str | None = None,
 ) -> PerfReport:
     """Derive a :class:`PerfReport` from a run outcome + metrics registry.
 
@@ -330,24 +331,31 @@ def build_perf_report(
     this before calling here.  Works for all three substrates: real runs
     get opcount-derived per-stage MFLOPS, simulated runs get the DES
     timeline split and the modelled flop count.
+
+    ``fingerprint`` is the *request-derived* cache key
+    (:meth:`repro.request.RunRequest.fingerprint`) — the facade always
+    passes it.  When absent (standalone callers with only a result in
+    hand), a legacy hash over the run's observable configuration is used
+    instead.
     """
     if isinstance(metrics, NullMetrics):
         metrics = MetricsRegistry()
     hists, counters = _collect(metrics)
     platform = result.sim.platform if result.sim is not None else None
     substrate = getattr(result, "substrate", None)
-    fingerprint = config_fingerprint(
-        scenario=result.scenario,
-        mode=result.mode,
-        backend=backend,
-        platform=platform,
-        substrate=substrate,
-        nprocs=result.nprocs,
-        version=result.version,
-        steps=result.steps,
-        grid=list(grid) if grid is not None else None,
-        viscous=viscous,
-    )
+    if fingerprint is None:
+        fingerprint = config_fingerprint(
+            scenario=result.scenario,
+            mode=result.mode,
+            backend=backend,
+            platform=platform,
+            substrate=substrate,
+            nprocs=result.nprocs,
+            version=result.version,
+            steps=result.steps,
+            grid=list(grid) if grid is not None else None,
+            viscous=viscous,
+        )
     wall = result.timings.wall_seconds
     ms_per_step = result.timings.ms_per_step
     if result.mode == "simulated":

@@ -1,0 +1,417 @@
+"""Typed, serializable run requests — the facade's wire-ready API.
+
+:func:`repro.api.run` grew to 20+ loose keyword arguments; a run *service*
+cannot ship loose kwargs over a wire, and a result *cache* needs one
+canonical identity per workload.  This module factors the sprawl into
+dataclasses:
+
+* :class:`ExecutionConfig` — where and how the run executes (nprocs,
+  platform, substrate, decomposition, code version, kernel backend);
+* :class:`ResilienceConfig` — fault injection and checkpoint/restart;
+* :class:`ObservabilityConfig` — tracing, metrics, profiling, ledger
+  (never part of the workload identity);
+* :class:`RunRequest` — scenario + steps + the three configs, with
+  ``to_dict``/``from_dict`` round-tripping and :meth:`RunRequest.fingerprint`
+  as the **single source of the cache key** used by the run service's
+  result store and stamped into every :class:`~repro.obs.PerfReport`.
+
+``run(scenario, **kw)`` remains a thin shim that builds a
+:class:`RunRequest` (see :func:`repro.api.run`); the typed entry point is
+:func:`repro.api.run_request`.
+
+Identity vs. observability
+--------------------------
+The fingerprint covers everything that selects *what work runs*: the
+scenario and its constructor overrides, the step count, the execution
+route, and the resilience plan.  It deliberately excludes observability
+(tracing a run does not change its result), the wall-clock ``timeout``
+guard, and fields irrelevant to the selected route (a serial run's
+fingerprint does not change with ``decomposition=``).  Two requests with
+equal fingerprints execute the same workload and may share one cached
+:class:`~repro.api.RunResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .obs.report import config_fingerprint
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "ExecutionConfig",
+    "ObservabilityConfig",
+    "ResilienceConfig",
+    "RunRequest",
+]
+
+#: Request wire-format tag; bump on incompatible shape changes.
+REQUEST_SCHEMA = "repro.request/1"
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Where and how a run executes (the routing half of ``run(...)``)."""
+
+    nprocs: int = 1
+    platform: str | None = None
+    """Platform name selecting the simulated (DES) route, else ``None``."""
+    substrate: str = "virtual"
+    """Distributed substrate: ``"virtual"`` (threads) or ``"process"``."""
+    decomposition: str = "axial"
+    px: int | None = None
+    pr: int | None = None
+    version: int = 7
+    """Paper code version (5 grouped / 6 overlapped / 7 de-burstified)."""
+    backend: str | None = None
+    """Kernel backend override (``"baseline"``/``"fused"``), ``None`` keeps
+    the scenario's configured backend."""
+    steps_window: int = 30
+    """DES steps actually executed before scaling (simulated route)."""
+    timeout: float = 120.0
+    """Wall-clock guard for distributed runs — never part of the
+    fingerprint (a slower timeout is the same workload)."""
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault injection and checkpoint/restart configuration."""
+
+    faults: Any = None
+    """``None``, a preset name, or a :class:`~repro.faults.FaultPlan`."""
+    fault_seed: int | None = None
+    checkpoint_every: int = 0
+    max_restarts: int = 2
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing/metrics/profiling/ledger — orthogonal to the workload.
+
+    In-process callers may pass live objects (a
+    :class:`~repro.obs.Tracer`, a :class:`~repro.obs.MetricsRegistry`);
+    :meth:`to_dict` normalizes them to ``True`` so the request stays
+    wire-serializable without them.
+    """
+
+    trace: Any = None
+    """Falsy, ``True``, a Tracer, or a Chrome-trace export path."""
+    metrics: Any = None
+    """Falsy, ``True``, or a MetricsRegistry to record into."""
+    profile: Any = False
+    """``True`` / top-N int for cProfile coverage (implies metrics)."""
+    ledger: Any = None
+    """Falsy, ``True`` (anchored default ledger) or an explicit path."""
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": _plain_flag(self.trace),
+            "metrics": _plain_flag(self.metrics),
+            "profile": self.profile if isinstance(self.profile, int) else bool(self.profile),
+            "ledger": _plain_flag(self.ledger),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ObservabilityConfig":
+        return cls(
+            trace=d.get("trace"),
+            metrics=d.get("metrics"),
+            profile=d.get("profile", False),
+            ledger=d.get("ledger"),
+        )
+
+
+def _plain_flag(value: Any) -> Any:
+    """Coerce a live observability object to its wire form."""
+    if value is None or isinstance(value, (bool, str, int, float)):
+        return value
+    try:
+        import os
+
+        return os.fspath(value)
+    except TypeError:
+        return True
+
+
+def _faults_identity(faults: Any) -> Any:
+    """A JSON-able identity for the ``faults`` field (name or plan dict)."""
+    if faults is None or isinstance(faults, str):
+        return faults
+    from .faults import FaultPlan
+
+    if isinstance(faults, FaultPlan):
+        return dataclasses.asdict(faults)
+    raise TypeError(
+        f"faults must be None, a preset name, or a FaultPlan; got "
+        f"{type(faults).__name__}"
+    )
+
+
+def _faults_from_wire(value: Any) -> Any:
+    if value is None or isinstance(value, str):
+        return value
+    from .faults import FaultPlan
+
+    d = dict(value)
+    for key in ("slow_ranks", "crashes"):
+        if key in d:
+            d[key] = tuple(tuple(pair) for pair in d[key])
+    return FaultPlan(**d)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One complete, serializable description of a facade run.
+
+    ``scenario`` is a registered name (``"jet"``, ``"advection"``, ...)
+    and ``scenario_kw`` its constructor overrides.  Requests built from a
+    live :class:`~repro.scenarios.Scenario` object (via
+    :meth:`from_run_args`) carry it in ``scenario_obj``; they execute and
+    fingerprint fine in-process but refuse :meth:`to_dict` (an ad-hoc
+    scenario cannot cross a wire).
+    """
+
+    scenario: str
+    steps: int | None = None
+    scenario_kw: Mapping[str, Any] = field(default_factory=dict)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
+    scenario_obj: Any = field(default=None, compare=False, repr=False)
+    """In-process only: a pre-built Scenario overriding name resolution."""
+    platform_obj: Any = field(default=None, compare=False, repr=False)
+    """In-process only: a live Platform object (ad-hoc machine models)."""
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_run_args(
+        cls,
+        scenario,
+        *,
+        steps: int | None = None,
+        nprocs: int = 1,
+        platform=None,
+        version: int = 7,
+        trace=None,
+        backend: str | None = None,
+        decomposition: str = "axial",
+        px: int | None = None,
+        pr: int | None = None,
+        timeout: float = 120.0,
+        substrate: str = "virtual",
+        steps_window: int = 30,
+        faults=None,
+        fault_seed: int | None = None,
+        checkpoint_every: int = 0,
+        max_restarts: int = 2,
+        metrics=None,
+        profile=False,
+        ledger=None,
+        **scenario_kw,
+    ) -> "RunRequest":
+        """Build a request from :func:`repro.api.run`'s keyword surface.
+
+        The parameter names and defaults are exactly the legacy ``run``
+        signature — this is the shim's one-line body.
+        """
+        scenario_obj = None
+        from .scenarios import Scenario
+
+        if isinstance(scenario, Scenario):
+            if scenario_kw:
+                raise TypeError(
+                    "scenario keyword arguments "
+                    f"{sorted(scenario_kw)} are only valid when the scenario "
+                    "is given by name; pass them to the scenario constructor "
+                    "instead"
+                )
+            scenario_obj = scenario
+            scenario = scenario.name or "scenario"
+        platform_obj = None
+        if platform is not None and not isinstance(platform, str):
+            platform_obj = platform
+            platform = getattr(platform, "name", str(platform))
+        return cls(
+            scenario=scenario,
+            steps=steps,
+            scenario_kw=dict(scenario_kw),
+            execution=ExecutionConfig(
+                nprocs=nprocs,
+                platform=platform,
+                substrate=substrate,
+                decomposition=decomposition,
+                px=px,
+                pr=pr,
+                version=version,
+                backend=backend,
+                steps_window=steps_window,
+                timeout=timeout,
+            ),
+            resilience=ResilienceConfig(
+                faults=faults,
+                fault_seed=fault_seed,
+                checkpoint_every=checkpoint_every,
+                max_restarts=max_restarts,
+            ),
+            observability=ObservabilityConfig(
+                trace=trace, metrics=metrics, profile=profile, ledger=ledger
+            ),
+            scenario_obj=scenario_obj,
+            platform_obj=platform_obj,
+        )
+
+    # -- routing helpers -----------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"serial"``, ``"parallel"`` or ``"simulated"`` (derived)."""
+        if self.execution.platform is not None:
+            return "simulated"
+        return "serial" if self.execution.nprocs == 1 else "parallel"
+
+    def resolve_scenario(self):
+        """The live :class:`~repro.scenarios.Scenario` this request runs."""
+        if self.scenario_obj is not None:
+            return self.scenario_obj
+        from .scenarios import scenario_by_name
+
+        return scenario_by_name(self.scenario, **dict(self.scenario_kw))
+
+    def resolve_platform(self):
+        """The live Platform for the simulated route (or ``None``)."""
+        if self.platform_obj is not None:
+            return self.platform_obj
+        if self.execution.platform is None:
+            return None
+        from .machines.platforms import platform_by_name
+
+        return platform_by_name(self.execution.platform)
+
+    # -- identity ------------------------------------------------------------
+
+    def identity(self) -> dict:
+        """The normalized workload identity behind :meth:`fingerprint`.
+
+        Route-irrelevant fields are nulled out so e.g. a serial run's
+        identity does not vary with ``decomposition=`` or ``faults=``;
+        observability and ``timeout`` never appear.
+        """
+        ex, rz = self.execution, self.resilience
+        mode = self.mode
+        parallel = mode == "parallel"
+        simulated = mode == "simulated"
+        ident: dict[str, Any] = {
+            "schema": REQUEST_SCHEMA,
+            "scenario": self.scenario,
+            "scenario_kw": dict(sorted(dict(self.scenario_kw).items())),
+            "steps": self.steps,
+            "mode": mode,
+            "nprocs": ex.nprocs,
+            "platform": ex.platform,
+            "substrate": ex.substrate if parallel else None,
+            "decomposition": ex.decomposition if parallel else None,
+            "px": ex.px if parallel else None,
+            "pr": ex.pr if parallel else None,
+            "version": ex.version if (parallel or simulated) else None,
+            "backend": ex.backend if not simulated else None,
+            "steps_window": ex.steps_window if simulated else None,
+            "faults": _faults_identity(rz.faults) if mode != "serial" else None,
+            "fault_seed": rz.fault_seed if mode != "serial" else None,
+            "checkpoint_every": rz.checkpoint_every if parallel else 0,
+            "max_restarts": rz.max_restarts if parallel else None,
+        }
+        if self.scenario_obj is not None:
+            # Ad-hoc scenarios: the name alone may not pin the setup.
+            sc = self.scenario_obj
+            ident["adhoc_grid"] = [sc.grid.nx, sc.grid.nr]
+            ident["adhoc_viscous"] = sc.solver.config.viscous
+        return ident
+
+    def fingerprint(self) -> str:
+        """Short stable hash of :meth:`identity` — the cache key.
+
+        A pure function of the request: equal across processes, machines
+        and sessions for equal configurations.
+        """
+        return config_fingerprint(**self.identity())
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Wire form (plain JSON-able dict); round-trips via
+        :meth:`from_dict`.  Raises ``ValueError`` for requests carrying
+        live scenario/platform objects."""
+        if self.scenario_obj is not None:
+            raise ValueError(
+                "a RunRequest built from a live Scenario object is not "
+                "serializable; build it from a registered scenario name"
+            )
+        if self.platform_obj is not None:
+            raise ValueError(
+                "a RunRequest carrying a live Platform object is not "
+                "serializable; use a registered platform name"
+            )
+        ex, rz = self.execution, self.resilience
+        return {
+            "schema": REQUEST_SCHEMA,
+            "scenario": self.scenario,
+            "steps": self.steps,
+            "scenario_kw": dict(self.scenario_kw),
+            "execution": {
+                "nprocs": ex.nprocs,
+                "platform": ex.platform,
+                "substrate": ex.substrate,
+                "decomposition": ex.decomposition,
+                "px": ex.px,
+                "pr": ex.pr,
+                "version": ex.version,
+                "backend": ex.backend,
+                "steps_window": ex.steps_window,
+                "timeout": ex.timeout,
+            },
+            "resilience": {
+                "faults": _faults_identity(rz.faults),
+                "fault_seed": rz.fault_seed,
+                "checkpoint_every": rz.checkpoint_every,
+                "max_restarts": rz.max_restarts,
+            },
+            "observability": self.observability.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunRequest":
+        schema = d.get("schema", REQUEST_SCHEMA)
+        if schema != REQUEST_SCHEMA:
+            raise ValueError(
+                f"unknown request schema {schema!r} "
+                f"(expected {REQUEST_SCHEMA!r})"
+            )
+        ex = dict(d.get("execution") or {})
+        rz = dict(d.get("resilience") or {})
+        if "faults" in rz:
+            rz["faults"] = _faults_from_wire(rz["faults"])
+        known_ex = {f.name for f in dataclasses.fields(ExecutionConfig)}
+        known_rz = {f.name for f in dataclasses.fields(ResilienceConfig)}
+        return cls(
+            scenario=d["scenario"],
+            steps=d.get("steps"),
+            scenario_kw=dict(d.get("scenario_kw") or {}),
+            execution=ExecutionConfig(
+                **{k: v for k, v in ex.items() if k in known_ex}
+            ),
+            resilience=ResilienceConfig(
+                **{k: v for k, v in rz.items() if k in known_rz}
+            ),
+            observability=ObservabilityConfig.from_dict(
+                d.get("observability") or {}
+            ),
+        )
+
+    def replace(self, **changes) -> "RunRequest":
+        """A copy with top-level fields replaced (dataclass semantics)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,62 @@
+"""The run service: a job queue + worker pool + fingerprint-keyed cache.
+
+PRs 1–5 built four execution substrates behind one facade, but every run
+was a blocking one-shot call with no memory of prior results.  This
+package promotes the facade into a long-lived **run service** — the
+architecture a large experiment campaign (or a deployment serving many
+users) needs:
+
+* :class:`~repro.service.service.RunService` — accepts typed
+  :class:`~repro.request.RunRequest` (and
+  :class:`~repro.service.experiments.ExperimentRequest`) submissions,
+  shards them across a pool of worker OS processes (forked, like the
+  PR 5 process substrate, so a crashing run never takes the service
+  down), dedupes identical-fingerprint requests, and streams job status
+  back through :meth:`~repro.service.service.RunService.watch`;
+* :class:`~repro.service.store.ResultStore` — the persistent result
+  cache, content-addressed by ``request.fingerprint()``: a JSON-lines
+  index (``index.jsonl``, one line per completed run — the
+  ``BENCH_runs.jsonl`` idiom) plus pickled
+  :class:`~repro.api.RunResult` payloads.  A resubmitted fingerprint is
+  served from the store without re-execution, bitwise-identical to the
+  original run — across service restarts;
+* :class:`~repro.service.server.ServiceServer` /
+  :class:`~repro.service.client.ServiceClient` — a newline-delimited
+  JSON protocol over a Unix domain socket, fronting the service for
+  other processes (``repro serve`` / ``repro submit`` / ``repro jobs``).
+
+Quickstart (in-process)::
+
+    from repro.request import RunRequest
+    from repro.service import RunService
+
+    with RunService(workers=2) as svc:
+        a = svc.submit(RunRequest("jet", steps=100,
+                                  scenario_kw={"nx": 64, "nr": 32}))
+        b = svc.submit(RunRequest("jet", steps=100,
+                                  scenario_kw={"nx": 64, "nr": 32}))
+        svc.wait(a.id); svc.wait(b.id)      # one execution, two results
+        res = svc.result(b.id)              # a full RunResult
+"""
+
+from .experiments import EXPERIMENT_SCHEMA, ExperimentRequest
+from .service import Job, JobFailed, RunService
+from .store import STORE_SCHEMA, ResultStore, StoreEntry
+from .server import ServiceServer, default_socket_path, serve
+from .client import ServiceClient, ServiceUnavailable
+
+__all__ = [
+    "EXPERIMENT_SCHEMA",
+    "ExperimentRequest",
+    "Job",
+    "JobFailed",
+    "ResultStore",
+    "RunService",
+    "STORE_SCHEMA",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "StoreEntry",
+    "default_socket_path",
+    "serve",
+]

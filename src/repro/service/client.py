@@ -1,0 +1,118 @@
+"""Client for the Unix-socket run service (``repro submit`` / ``jobs``).
+
+One connection per call; ``watch`` holds its connection open and yields
+each streamed status line.  Results come back as real objects: the client
+reads the payload path from the server's reply and unpickles it from the
+shared filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+from typing import Any, Iterator
+
+from .server import default_socket_path
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """No service is listening on the control socket."""
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` over its Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        self.socket_path = str(socket_path or default_socket_path())
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            s.settimeout(self.timeout)
+        try:
+            s.connect(self.socket_path)
+        except (FileNotFoundError, ConnectionRefusedError) as exc:
+            s.close()
+            raise ServiceUnavailable(
+                f"no run service listening on {self.socket_path} "
+                "(start one with: repro serve)"
+            ) from exc
+        return s
+
+    def _call(self, op: str, **kw) -> dict:
+        with self._connect() as s:
+            fh = s.makefile("rwb")
+            fh.write(json.dumps({"op": op, **kw}).encode() + b"\n")
+            fh.flush()
+            line = fh.readline()
+        if not line:
+            raise ConnectionError(f"service closed the connection mid-{op}")
+        resp = json.loads(line)
+        if not resp.get("ok"):
+            raise RuntimeError(resp.get("error", f"{op} failed"))
+        return resp
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def submit(self, request) -> dict:
+        """Submit a RunRequest / ExperimentRequest (or wire dict); returns
+        the job record."""
+        wire = request if isinstance(request, dict) else request.to_dict()
+        return self._call("submit", request=wire)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._call("jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("status", job_id=job_id)["job"]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        return self._call("wait", job_id=job_id, timeout=timeout)["job"]
+
+    def watch(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict]:
+        """Yield job snapshots as the service streams transitions."""
+        with self._connect() as s:
+            fh = s.makefile("rwb")
+            fh.write(
+                json.dumps(
+                    {"op": "watch", "job_id": job_id, "timeout": timeout}
+                ).encode()
+                + b"\n"
+            )
+            fh.flush()
+            for line in fh:
+                resp = json.loads(line)
+                if not resp.get("ok"):
+                    raise RuntimeError(resp.get("error", "watch failed"))
+                yield resp["job"]
+                if resp.get("final"):
+                    return
+
+    def result(self, job_id: str, timeout: float | None = None) -> Any:
+        """The completed job's payload (RunResult / experiment text)."""
+        resp = self._call("result", job_id=job_id, timeout=timeout)
+        with open(resp["payload_path"], "rb") as fh:
+            return pickle.load(fh)
+
+    def report(self, job_id: str, timeout: float | None = None) -> dict:
+        """The completed job's manifest (PerfReport dict for runs)."""
+        return self._call("result", job_id=job_id, timeout=timeout)["report"]
+
+    def shutdown(self) -> None:
+        self._call("shutdown")

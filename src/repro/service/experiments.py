@@ -1,0 +1,71 @@
+"""Experiment requests: paper-artifact regeneration as service jobs.
+
+The figure/table artifacts under ``benchmarks/output/*.txt`` are rendered
+text from :mod:`repro.experiments` — deterministic, so they are perfect
+cache material.  :class:`ExperimentRequest` wraps one experiment id (plus
+keyword overrides, e.g. ``fig01``'s reduced grid) as a submittable,
+fingerprintable request, letting ``scripts/run_missing.py`` regenerate
+exactly the missing/stale artifacts through the service worker pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..obs.report import config_fingerprint
+
+__all__ = ["EXPERIMENT_SCHEMA", "ExperimentRequest"]
+
+#: Experiment-request wire tag (also how the service tells request kinds
+#: apart on the queue).
+EXPERIMENT_SCHEMA = "repro.experiment-request/1"
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """One paper table/figure regeneration (``table1``, ``fig01``..)."""
+
+    id: str
+    kw: Mapping[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        return config_fingerprint(
+            schema=EXPERIMENT_SCHEMA,
+            id=self.id,
+            kw=dict(sorted(dict(self.kw).items())),
+        )
+
+    def execute(self) -> str:
+        """Render the experiment text (runs the underlying pipeline)."""
+        from ..experiments import run_experiment
+
+        return run_experiment(self.id, **dict(self.kw))
+
+    def report_for(self, text: str) -> dict:
+        """The small store manifest for a rendered artifact."""
+        return {
+            "kind": "experiment",
+            "id": self.id,
+            "kw": dict(self.kw),
+            "chars": len(text),
+            "sha256": hashlib.sha256(text.encode()).hexdigest(),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": EXPERIMENT_SCHEMA,
+            "id": self.id,
+            "kw": dict(self.kw),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ExperimentRequest":
+        schema = d.get("schema", EXPERIMENT_SCHEMA)
+        if schema != EXPERIMENT_SCHEMA:
+            raise ValueError(
+                f"unknown experiment-request schema {schema!r} "
+                f"(expected {EXPERIMENT_SCHEMA!r})"
+            )
+        return cls(id=d["id"], kw=dict(d.get("kw") or {}))

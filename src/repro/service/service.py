@@ -1,0 +1,507 @@
+"""The run service core: queue, scheduler, worker pool, dedupe, streaming.
+
+:class:`RunService` is the in-process engine behind both the Unix-socket
+server (``repro serve``) and direct library use.  Design points:
+
+* **Worker OS processes.**  Jobs execute in forked worker processes (the
+  PR 5 process-substrate discipline): a crashing or runaway run cannot
+  take the service down, and real runs get real cores.  A worker that
+  dies mid-job (killed, segfault) is detected by liveness polling; its
+  job fails with a structured error — never a hang — and a replacement
+  worker is forked.
+* **Fingerprint dedupe, two layers.**  At submit time a request whose
+  ``fingerprint()`` is already in the :class:`~repro.service.store.ResultStore`
+  completes instantly as ``cached``; one whose fingerprint is already
+  *in flight* attaches to the running execution (``attached``) and
+  completes when it does.  Either way: N identical submissions, one
+  execution, N results.
+* **Status streaming.**  Every job transition bumps a version counter
+  and wakes waiters; :meth:`RunService.watch` yields each transition as
+  it happens (the socket server forwards these lines to clients).
+* **Persistent results.**  Workers write the pickled payload into the
+  store's content-addressed ``results/`` directory; the parent (single
+  writer) appends the index line.  A restarted service sees every prior
+  result.
+
+Workers force ``metrics=True`` on run requests (every cached entry then
+carries a :class:`~repro.obs.PerfReport`) and by default append to the
+anchored run ledger — the service is how the run database grows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as _mp
+import os
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Iterator
+
+from ..request import RunRequest
+from .experiments import EXPERIMENT_SCHEMA, ExperimentRequest
+from .store import ResultStore
+
+__all__ = ["Job", "JobFailed", "RunService"]
+
+#: Liveness/queue poll interval for the pump thread (seconds).
+_POLL = 0.1
+
+#: Job states.  ``cached`` is terminal-on-arrival: served from the store
+#: without execution.  ``attached`` jobs mirror their primary's state.
+_TERMINAL = frozenset({"done", "failed", "cached"})
+
+
+class JobFailed(RuntimeError):
+    """Asking for the result of a failed job; carries the job's error."""
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record (safe to snapshot/serialize)."""
+
+    id: str
+    fingerprint: str
+    kind: str
+    """``"run"`` or ``"experiment"``."""
+    request: dict
+    """Wire form of the submitted request."""
+    status: str = "queued"
+    """``queued`` → ``running`` → ``done`` | ``failed``; or ``cached``."""
+    error: str | None = None
+    """Structured failure description (``status == "failed"``)."""
+    cached: bool = False
+    """Served from the persistent store without execution."""
+    attached_to: str | None = None
+    """Primary job id this submission deduped onto (in-flight dedupe)."""
+    worker_pid: int | None = None
+    """PID of the worker executing this job (while ``running``)."""
+    submitted: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    version: int = 0
+    """Monotone transition counter (drives ``watch`` streaming)."""
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "request": self.request,
+            "status": self.status,
+            "error": self.error,
+            "cached": self.cached,
+            "attached_to": self.attached_to,
+            "worker_pid": self.worker_pid,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "version": self.version,
+        }
+
+
+def _encode_request(request) -> tuple[str, dict, str]:
+    """Normalize a submission to ``(kind, wire_dict, fingerprint)``."""
+    if isinstance(request, dict):
+        if request.get("schema") == EXPERIMENT_SCHEMA:
+            request = ExperimentRequest.from_dict(request)
+        else:
+            request = RunRequest.from_dict(request)
+    if isinstance(request, ExperimentRequest):
+        return "experiment", request.to_dict(), request.fingerprint()
+    if isinstance(request, RunRequest):
+        return "run", request.to_dict(), request.fingerprint()
+    raise TypeError(
+        "submit() takes a RunRequest, an ExperimentRequest, or a wire "
+        f"dict; got {type(request).__name__}"
+    )
+
+
+def _worker_main(tasks, results, store_root: str, policy: dict) -> None:
+    """Worker process loop: execute queued requests, ship results back.
+
+    Payloads are written straight into the store's content-addressed
+    ``results/`` directory (atomic rename); only small manifests cross
+    the result queue.  ``None`` is the poison pill.
+    """
+    store = ResultStore(store_root)
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        job_id, kind, req_dict = item
+        results.put(("started", job_id, os.getpid(), None))
+        try:
+            if kind == "experiment":
+                req = ExperimentRequest.from_dict(req_dict)
+                text = req.execute()
+                store.write_payload(req.fingerprint(), text)
+                report = req.report_for(text)
+            else:
+                from ..api import run_request
+
+                req = RunRequest.from_dict(req_dict)
+                if policy.get("force_metrics", True):
+                    req = req.replace(
+                        observability=_dc_replace(
+                            req.observability,
+                            metrics=True,
+                            ledger=req.observability.ledger
+                            or policy.get("ledger", False),
+                        )
+                    )
+                result = run_request(req)
+                result.request = None  # live objects stay out of the pickle
+                store.write_payload(req.fingerprint(), result)
+                report = result.perf.to_dict() if result.perf else {}
+            results.put(("done", job_id, os.getpid(), report))
+        except BaseException as exc:  # ship *everything* back structured
+            err = (
+                f"{type(exc).__name__}: {exc}\n"
+                + "".join(traceback.format_exception(exc)[-3:])
+            )
+            results.put(("failed", job_id, os.getpid(), err))
+
+
+class RunService:
+    """Async job-queue run service over a pool of worker OS processes.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`)::
+
+        with RunService(workers=2) as svc:
+            job = svc.submit(RunRequest("jet", steps=50,
+                                        scenario_kw={"nx": 48, "nr": 24}))
+            job = svc.wait(job.id)
+            res = svc.result(job.id)
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to fork (each executes one job at a time).
+    store:
+        A :class:`~repro.service.store.ResultStore` (or path / ``None``
+        for the anchored default) — the persistent dedupe cache.
+    ledger:
+        Append every executed run's PerfReport to the anchored run
+        ledger (default ``True`` — service runs feed the run database).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store: ResultStore | str | os.PathLike | None = None,
+        *,
+        ledger: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        self.workers = workers
+        self._policy = {"force_metrics": True, "ledger": ledger}
+        try:
+            self._ctx = _mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            raise RuntimeError(
+                "RunService requires the 'fork' start method (POSIX only), "
+                "matching the process substrate"
+            ) from None
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs: list[Any] = []
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._inflight: dict[str, str] = {}  # fingerprint -> primary job id
+        self._followers: dict[str, list[str]] = {}  # primary id -> followers
+        self._pid_job: dict[int, str] = {}  # worker pid -> running job id
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._changed = threading.Condition(self._lock)
+        self._pump: threading.Thread | None = None
+        self._closing = False
+        self.executed = 0
+        """Jobs actually executed by a worker (cache/dedupe hits excluded)."""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "RunService":
+        if self._pump is not None:
+            return self
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="repro-service-pump", daemon=True
+        )
+        self._pump.start()
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop workers and the pump; queued jobs stay queued (persist by
+        resubmitting after a restart — completed work is in the store)."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            self._changed.notify_all()
+        for _ in self._procs:
+            self._tasks.put(None)
+        deadline = time.monotonic() + timeout
+        for p in self._procs:
+            p.join(max(deadline - time.monotonic(), 0.1))
+            if p.is_alive():
+                p.terminate()
+                p.join(1.0)
+        if self._pump is not None:
+            self._pump.join(timeout=2.0)
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "RunService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spawn_worker(self) -> None:
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(self._tasks, self._results, str(self.store.root),
+                  dict(self._policy)),
+            daemon=True,
+            name=f"repro-service-worker-{len(self._procs)}",
+        )
+        p.start()
+        self._procs.append(p)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request) -> Job:
+        """Enqueue (or instantly satisfy) one request; returns its Job.
+
+        Dedupe order: persistent store first (``cached``), then in-flight
+        fingerprints (``attached``), then a fresh queue entry.
+        """
+        if self._pump is None:
+            raise RuntimeError("RunService is not started (use 'with' or start())")
+        kind, wire, fp = _encode_request(request)
+        now = time.time()
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("RunService is closing")
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                fingerprint=fp,
+                kind=kind,
+                request=wire,
+                submitted=now,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            if fp in self.store:
+                job.status = "cached"
+                job.cached = True
+                job.finished = now
+                self._bump(job)
+                return _snapshot(job)
+            primary_id = self._inflight.get(fp)
+            if primary_id is not None:
+                primary = self._jobs[primary_id]
+                job.attached_to = primary_id
+                job.status = primary.status
+                job.started = primary.started
+                job.worker_pid = primary.worker_pid
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self._bump(job)
+                return _snapshot(job)
+            self._inflight[fp] = job.id
+            self._tasks.put((job.id, kind, wire))
+            self._bump(job)
+            return _snapshot(job)
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            return _snapshot(self._require(job_id))
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [_snapshot(self._jobs[i]) for i in self._order]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            job = self._require(job_id)
+            while not job.terminal:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._changed.wait(timeout=remaining if remaining else _POLL)
+                if self._closing and not job.terminal:
+                    break
+            return _snapshot(job)
+
+    def watch(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[Job]:
+        """Yield a snapshot at each status transition, ending terminal.
+
+        This is the streaming surface: the socket server forwards each
+        yielded snapshot as one JSON line to the watching client.
+        """
+        last_version = -1
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                job = self._require(job_id)
+                while job.version == last_version and not job.terminal:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return
+                    self._changed.wait(
+                        timeout=remaining if remaining else _POLL
+                    )
+                    if self._closing:
+                        break
+                if job.version == last_version:
+                    return
+                last_version = job.version
+                snap = _snapshot(job)
+            yield snap
+            if snap.terminal:
+                return
+
+    def result(self, job_id: str) -> Any:
+        """The stored payload of a completed job (RunResult / text).
+
+        Raises :class:`JobFailed` for failed jobs and ``RuntimeError``
+        for jobs still in flight.
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if job.status == "failed":
+                raise JobFailed(f"{job.id}: {job.error}")
+            if not job.terminal:
+                raise RuntimeError(
+                    f"{job.id} is {job.status}; wait() for it first"
+                )
+            fp = job.fingerprint
+        self.store.refresh()
+        return self.store.load_result(fp)
+
+    # -- internals -----------------------------------------------------------
+
+    def _require(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def _bump(self, job: Job) -> None:
+        job.version += 1
+        self._changed.notify_all()
+
+    def _group(self, primary: Job) -> list[Job]:
+        return [primary] + [
+            self._jobs[i] for i in self._followers.get(primary.id, [])
+        ]
+
+    def _pump_loop(self) -> None:
+        """Drain worker results; poll worker liveness; respawn the dead."""
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+            try:
+                msg = self._results.get(timeout=_POLL)
+            except _queue.Empty:
+                msg = None
+            except (EOFError, OSError):
+                return
+            if msg is not None:
+                self._handle(msg)
+            self._check_liveness()
+
+    def _handle(self, msg) -> None:
+        event, job_id, pid, detail = msg
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            if event == "started":
+                self._pid_job[pid] = job_id
+                for j in self._group(job):
+                    j.status = "running"
+                    j.started = time.time()
+                    j.worker_pid = pid
+                    self._bump(j)
+                return
+            self._pid_job.pop(pid, None)
+            self._inflight.pop(job.fingerprint, None)
+            if event == "done":
+                # Single-writer index append happens here, in the parent.
+                self.store.commit(
+                    job.fingerprint,
+                    kind=job.kind,
+                    request=job.request,
+                    report=detail or {},
+                    meta={"job": job.id},
+                )
+                self.executed += 1
+                for j in self._group(job):
+                    j.status = "done"
+                    j.finished = time.time()
+                    j.worker_pid = None
+                    self._bump(j)
+            else:  # failed
+                for j in self._group(job):
+                    j.status = "failed"
+                    j.error = detail
+                    j.finished = time.time()
+                    j.worker_pid = None
+                    self._bump(j)
+
+    def _check_liveness(self) -> None:
+        """Fail jobs owned by dead workers; fork replacements."""
+        with self._lock:
+            if self._closing:
+                return
+            dead = [p for p in self._procs if not p.is_alive()]
+            if not dead:
+                return
+            for p in dead:
+                self._procs.remove(p)
+                job_id = self._pid_job.pop(p.pid, None)
+                if job_id is not None:
+                    job = self._jobs.get(job_id)
+                    if job is not None and not job.terminal:
+                        self._inflight.pop(job.fingerprint, None)
+                        err = (
+                            f"worker process died (pid={p.pid}, "
+                            f"exitcode={p.exitcode}) while running {job_id}"
+                        )
+                        for j in self._group(job):
+                            j.status = "failed"
+                            j.error = err
+                            j.finished = time.time()
+                            j.worker_pid = None
+                            self._bump(j)
+            while len(self._procs) < self.workers:
+                self._spawn_worker()
+
+
+def _snapshot(job: Job) -> Job:
+    """A detached copy safe to return across the lock boundary."""
+    return _dc_replace(job)

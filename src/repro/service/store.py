@@ -1,0 +1,208 @@
+"""The persistent result store: content-addressed by request fingerprint.
+
+Layout under one root directory (default
+``<data_dir>/service/`` — see :func:`repro.config.default_service_dir`)::
+
+    index.jsonl            one JSON line per completed run (append-only)
+    results/<fp>.pkl       pickled payload (RunResult, or experiment text)
+
+The index follows the run-ledger idiom (``BENCH_runs.jsonl``): append-only
+JSON lines, last line wins per fingerprint, rebuildable by rescanning.
+Payload files are written atomically (temp + ``os.replace``) and named by
+fingerprint, so concurrent workers computing the same fingerprint are
+idempotent — the bytes they race to write are identical.
+
+Pickle round-trips numpy arrays exactly, so a cached
+:class:`~repro.api.RunResult` is **bitwise-identical** to the one the
+original execution returned (the end-to-end service test asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..config import default_service_dir
+
+__all__ = ["STORE_SCHEMA", "ResultStore", "StoreEntry"]
+
+#: Index line format tag; bump on incompatible shape changes.
+STORE_SCHEMA = "repro.service/1"
+
+
+@dataclass
+class StoreEntry:
+    """One completed run in the store (one ``index.jsonl`` line)."""
+
+    fingerprint: str
+    kind: str
+    """``"run"`` (a RunRequest) or ``"experiment"``."""
+    request: dict
+    """The wire form of the request that produced this entry."""
+    report: dict
+    """Summary manifest: a :class:`~repro.obs.PerfReport` dict for runs,
+    a small ``{id, chars, sha256}`` record for experiments."""
+    payload: str
+    """Payload file path, relative to the store root."""
+    created: float = 0.0
+    schema: str = STORE_SCHEMA
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "request": self.request,
+            "report": self.report,
+            "payload": self.payload,
+            "created": self.created,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StoreEntry":
+        return cls(
+            schema=d.get("schema", STORE_SCHEMA),
+            fingerprint=d["fingerprint"],
+            kind=d.get("kind", "run"),
+            request=d.get("request") or {},
+            report=d.get("report") or {},
+            payload=d["payload"],
+            created=float(d.get("created", 0.0)),
+            meta=d.get("meta") or {},
+        )
+
+
+class ResultStore:
+    """Fingerprint-keyed persistent cache of run results.
+
+    Single-writer index discipline: only the service parent process (or a
+    standalone caller) appends index lines via :meth:`commit` / :meth:`put`;
+    worker processes write payload files only (:meth:`write_payload` is
+    safe from any process).
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_service_dir()
+        self.index_path = self.root / "index.jsonl"
+        self.results_dir = self.root / "results"
+        self._entries: dict[str, StoreEntry] = {}
+        self.refresh()
+
+    # -- reading -------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-read the index from disk (last line wins per fingerprint)."""
+        entries: dict[str, StoreEntry] = {}
+        try:
+            with open(self.index_path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    d = json.loads(line)
+                    if d.get("schema") != STORE_SCHEMA:
+                        raise ValueError(
+                            f"{self.index_path}:{lineno}: unknown store "
+                            f"schema {d.get('schema')!r} "
+                            f"(expected {STORE_SCHEMA!r})"
+                        )
+                    entry = StoreEntry.from_dict(d)
+                    entries[entry.fingerprint] = entry
+        except FileNotFoundError:
+            pass
+        self._entries = entries
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> StoreEntry | None:
+        return self._entries.get(fingerprint)
+
+    def entries(self) -> Iterable[StoreEntry]:
+        return list(self._entries.values())
+
+    def load_result(self, fingerprint: str) -> Any:
+        """Unpickle the stored payload (RunResult / experiment text)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            raise KeyError(f"fingerprint {fingerprint!r} not in store")
+        with open(self.root / entry.payload, "rb") as fh:
+            return pickle.load(fh)
+
+    # -- writing -------------------------------------------------------------
+
+    def payload_relpath(self, fingerprint: str) -> str:
+        return str(Path("results") / f"{fingerprint}.pkl")
+
+    def write_payload(self, fingerprint: str, payload: Any) -> str:
+        """Atomically write the pickled payload; returns the relative path.
+
+        Safe from worker processes: temp file + ``os.replace`` into the
+        content-addressed name, so a concurrent identical write is a
+        harmless overwrite with identical bytes.
+        """
+        rel = self.payload_relpath(fingerprint)
+        final = self.root / rel
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, final)
+        return rel
+
+    def commit(
+        self,
+        fingerprint: str,
+        *,
+        kind: str,
+        request: dict,
+        report: dict,
+        payload: str | None = None,
+        meta: dict | None = None,
+    ) -> StoreEntry:
+        """Append one index line for an already-written payload."""
+        entry = StoreEntry(
+            fingerprint=fingerprint,
+            kind=kind,
+            request=request,
+            report=report,
+            payload=payload or self.payload_relpath(fingerprint),
+            created=time.time(),
+            meta=meta or {},
+        )
+        self.index_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        self._entries[fingerprint] = entry
+        return entry
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: Any,
+        *,
+        kind: str,
+        request: dict,
+        report: dict,
+        meta: dict | None = None,
+    ) -> StoreEntry:
+        """Write payload + index line in one call (standalone use)."""
+        rel = self.write_payload(fingerprint, payload)
+        return self.commit(
+            fingerprint,
+            kind=kind,
+            request=request,
+            report=report,
+            payload=rel,
+            meta=meta,
+        )

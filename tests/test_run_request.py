@@ -1,0 +1,156 @@
+"""Typed run requests: serialization, fingerprints, and the run() shim."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.request import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    RunRequest,
+)
+from repro.scenarios import shock_tube_scenario
+
+
+class TestRoundTrip:
+    def test_to_from_dict_identity(self):
+        req = RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2, substrate="virtual",
+            faults="lossy-ethernet", fault_seed=7, checkpoint_every=5,
+        )
+        wire = req.to_dict()
+        back = RunRequest.from_dict(wire)
+        assert back == req
+        assert back.fingerprint() == req.fingerprint()
+
+    def test_wire_is_json_serializable(self):
+        req = RunRequest.from_run_args("jet", steps=10, nx=24, nr=12)
+        wire = json.loads(json.dumps(req.to_dict()))
+        assert RunRequest.from_dict(wire).fingerprint() == req.fingerprint()
+
+    def test_unknown_schema_rejected(self):
+        wire = RunRequest.from_run_args("sod", steps=5).to_dict()
+        wire["schema"] = "repro.request/99"
+        with pytest.raises(ValueError, match="schema"):
+            RunRequest.from_dict(wire)
+
+    def test_adhoc_scenario_object_not_serializable(self):
+        req = RunRequest.from_run_args(shock_tube_scenario(nx=32), steps=5)
+        with pytest.raises(ValueError, match="scenario"):
+            req.to_dict()
+
+    def test_fingerprint_stable_across_processes(self):
+        req = RunRequest.from_run_args("sod", steps=25, nprocs=2)
+        code = (
+            "import json, sys\n"
+            "from repro.request import RunRequest\n"
+            "req = RunRequest.from_dict(json.loads(sys.argv[1]))\n"
+            "print(req.fingerprint())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(req.to_dict())],
+            capture_output=True, text=True, env=os.environ.copy(),
+            check=True,
+        )
+        assert out.stdout.strip() == req.fingerprint()
+
+
+class TestFingerprint:
+    def test_covers_physics_and_execution(self):
+        base = RunRequest.from_run_args("sod", steps=25)
+        assert base.fingerprint() != RunRequest.from_run_args(
+            "sod", steps=26).fingerprint()
+        assert base.fingerprint() != RunRequest.from_run_args(
+            "jet", steps=25).fingerprint()
+        assert base.fingerprint() != RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2).fingerprint()
+
+    def test_excludes_observability_and_timeout(self):
+        base = RunRequest.from_run_args("sod", steps=25)
+        noisy = RunRequest.from_run_args(
+            "sod", steps=25, metrics=True, profile=True, ledger=True,
+            timeout=9.0,
+        )
+        assert noisy.fingerprint() == base.fingerprint()
+
+    def test_serial_ignores_parallel_only_knobs(self):
+        a = RunRequest.from_run_args("sod", steps=25, substrate="virtual")
+        b = RunRequest.from_run_args("sod", steps=25, substrate="process")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_parallel_distinguishes_substrate(self):
+        a = RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2, substrate="virtual")
+        b = RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2, substrate="process")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fault_seed_in_identity(self):
+        a = RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2, faults="lossy-ethernet", fault_seed=1)
+        b = RunRequest.from_run_args(
+            "sod", steps=25, nprocs=2, faults="lossy-ethernet", fault_seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_replace_changes_fingerprint(self):
+        req = RunRequest.from_run_args("sod", steps=25)
+        bumped = req.replace(steps=50)
+        assert bumped.steps == 50
+        assert bumped.fingerprint() != req.fingerprint()
+
+
+class TestRunShim:
+    def test_run_equals_run_request(self):
+        direct = api.run("sod", steps=30)
+        via_req = api.run_request(RunRequest.from_run_args("sod", steps=30))
+        assert np.array_equal(direct.state.rho, via_req.state.rho)
+        assert np.array_equal(direct.state.u, via_req.state.u)
+        assert direct.t == via_req.t
+
+    def test_result_carries_request(self):
+        res = api.run("sod", steps=10)
+        assert isinstance(res.request, RunRequest)
+        assert res.request.scenario == "sod"
+        assert res.request.fingerprint() == RunRequest.from_run_args(
+            "sod", steps=10).fingerprint()
+
+    def test_report_fingerprint_is_request_fingerprint(self):
+        res = api.run("sod", steps=10, metrics=True, ledger=False)
+        assert res.perf is not None
+        assert res.perf.fingerprint == res.request.fingerprint()
+
+    def test_config_dataclass_defaults_match_run_signature(self):
+        ex, rz, ob = ExecutionConfig(), ResilienceConfig(), ObservabilityConfig()
+        assert (ex.nprocs, ex.substrate, ex.decomposition, ex.version) == (
+            1, "virtual", "axial", 7)
+        assert (rz.checkpoint_every, rz.max_restarts) == (0, 2)
+        assert (ob.trace, ob.metrics, ob.profile, ob.ledger) == (
+            None, None, False, None)
+
+
+class TestDataDir:
+    def test_default_ledger_respects_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        assert api.DEFAULT_LEDGER == str(tmp_path / "BENCH_runs.jsonl")
+
+    def test_metrics_ledger_lands_in_data_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        res = api.run("sod", steps=10, metrics=True, ledger=True)
+        ledger = tmp_path / "BENCH_runs.jsonl"
+        assert ledger.exists()
+        entry = json.loads(ledger.read_text().splitlines()[-1])
+        assert entry["fingerprint"] == res.request.fingerprint()
+
+    def test_default_is_repo_anchored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        from repro.config import data_dir, repo_root
+
+        assert data_dir() == repo_root() / "benchmarks" / "output"
