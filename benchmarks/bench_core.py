@@ -14,9 +14,10 @@ numpy workload, so baselines transfer across machines), and writes
 
 The matrix is deliberately tiny (seconds, not minutes): small grids, few
 steps, serial + fused + a 4-rank virtual-cluster case for both Euler and
-Navier-Stokes, plus a 2-rank process-substrate case, so the gate
-exercises every hot seam the metrics layer instruments without making CI
-slow.  A separate speedup curve (serial vs 2/4 OS-process ranks on the
+Navier-Stokes, plus process-substrate cases for all three decompositions
+(axial, radial, 2-D Cartesian — all fused, all bitwise-equal), so the
+gate exercises every hot seam the metrics layer instruments without
+making CI slow.  A separate speedup curve (serial vs 2/4 OS-process ranks on the
 paper's full 250 x 100 grid) is measured once per run and stored under
 ``"speedup"`` — the repo's real multi-core numbers.
 """
@@ -90,6 +91,30 @@ MATRIX = (
         "substrate": "process",
         "tolerance": 0.35,
     },
+    {
+        "id": "ns-p2-radial-fused",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 2,
+        "backend": "fused",
+        "substrate": "process",
+        "decomposition": "radial",
+        "tolerance": 0.35,
+    },
+    {
+        "id": "ns-p4-2d-fused",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 4,
+        "backend": "fused",
+        "substrate": "process",
+        "decomposition": "2d",
+        "px": 2,
+        "pr": 2,
+        "tolerance": 0.40,
+    },
 )
 
 #: The multi-core speedup measurement (the paper's Table 2 analogue):
@@ -141,6 +166,9 @@ def run_case(case: dict, repeats: int, ledger_path: str | None):
             nprocs=case["nprocs"],
             backend=case["backend"],
             substrate=case.get("substrate", "virtual"),
+            decomposition=case.get("decomposition", "axial"),
+            px=case.get("px"),
+            pr=case.get("pr"),
             metrics=True,
             **case["kw"],
         )
@@ -225,6 +253,7 @@ def run_matrix(
                 "nprocs": case["nprocs"],
                 "backend": case["backend"],
                 "substrate": case.get("substrate", "virtual"),
+                "decomposition": case.get("decomposition", "axial"),
                 **case["kw"],
             },
         }

@@ -51,6 +51,54 @@ MFLOPS_WARN_DROP = 0.20
 SPEEDUP_MIN_CORES = 4
 SPEEDUP_REQUIRED = 2.0
 
+#: Cross-decomposition parity: a non-axial process-substrate case must
+#: stay within this factor of its axial reference at the same rank count.
+#: The unified exchange core gives radial and 2-D runs the same fused
+#: kernels and preallocated pack buffers as axial, so a larger gap means
+#: a decomposition-specific slow path crept back in.  Keys map a case id
+#: to its axial reference; cases at rank counts with no axial
+#: process-substrate peer (e.g. the 4-rank 2-D case) are reported as
+#: notes only.
+DECOMP_PARITY_FACTOR = 2.0
+DECOMP_PARITY = {"ns-p2-radial-fused": "ns-p2-process-fused"}
+DECOMP_NOTES = {"ns-p4-2d-fused": "ns-p2-process-fused"}
+
+
+def check_decomposition_parity(current: dict) -> tuple[list[str], list[str]]:
+    """Gate non-axial process cases against their axial reference."""
+    failures: list[str] = []
+    notes: list[str] = []
+    cases = current.get("cases", {})
+
+    def ratio_of(case_id, ref_id):
+        cur, ref = cases.get(case_id), cases.get(ref_id)
+        if cur is None or ref is None:
+            return None  # compare() already reports missing cases
+        return float(cur["ms_per_step"]) / float(ref["ms_per_step"])
+
+    for case_id, ref_id in sorted(DECOMP_PARITY.items()):
+        ratio = ratio_of(case_id, ref_id)
+        if ratio is None:
+            continue
+        notes.append(
+            f"decomposition parity: {case_id} runs x{ratio:.2f} the "
+            f"step time of {ref_id}"
+        )
+        if ratio > DECOMP_PARITY_FACTOR:
+            failures.append(
+                f"{case_id}: x{ratio:.2f} the step time of its axial "
+                f"reference {ref_id} (allowed x{DECOMP_PARITY_FACTOR:.1f})"
+            )
+    for case_id, ref_id in sorted(DECOMP_NOTES.items()):
+        ratio = ratio_of(case_id, ref_id)
+        if ratio is not None:
+            notes.append(
+                f"decomposition parity (informational, different rank "
+                f"count): {case_id} runs x{ratio:.2f} the step time of "
+                f"{ref_id}"
+            )
+    return failures, notes
+
 
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
@@ -251,6 +299,9 @@ def main(argv=None) -> int:
     rows, failures = compare(current, baseline)
     speedup_failures, speedup_notes = check_speedup(current)
     failures.extend(speedup_failures)
+    parity_failures, parity_notes = check_decomposition_parity(current)
+    failures.extend(parity_failures)
+    speedup_notes.extend(parity_notes)
     cal_cur = current.get("calibration_ms") or 0.0
     cal_base = baseline.get("calibration_ms") or 0.0
     scale_note = (

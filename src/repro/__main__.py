@@ -129,6 +129,8 @@ def _cmd_run(args) -> int:
             version=args.version,
             trace=args.trace,
             decomposition=args.decomposition,
+            px=args.px,
+            pr=args.pr,
             substrate=args.substrate,
             faults=args.faults,
             fault_seed=args.fault_seed,
@@ -313,6 +315,8 @@ def _cmd_submit(args) -> int:
             nprocs=args.nprocs,
             substrate=args.substrate,
             decomposition=args.decomposition,
+            px=args.px,
+            pr=args.pr,
             version=args.version,
             faults=args.faults,
             fault_seed=args.fault_seed,
@@ -416,6 +420,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="export a Chrome/Perfetto trace of the run")
     p.add_argument("--decomposition", default="axial",
                    choices=("axial", "radial", "2d"))
+    p.add_argument("--px", type=int, default=None,
+                   help="axial rank-grid extent for --decomposition 2d "
+                        "(px * pr must equal --nprocs)")
+    p.add_argument("--pr", type=int, default=None,
+                   help="radial rank-grid extent for --decomposition 2d")
     p.add_argument("--nx", type=int, default=None)
     p.add_argument("--nr", type=int, default=None)
     p.add_argument("--faults", default=None, metavar="PRESET",
@@ -482,6 +491,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--version", type=int, default=7, choices=(5, 6, 7))
     p.add_argument("--decomposition", default="axial",
                    choices=("axial", "radial", "2d"))
+    p.add_argument("--px", type=int, default=None,
+                   help="axial rank-grid extent for --decomposition 2d")
+    p.add_argument("--pr", type=int, default=None,
+                   help="radial rank-grid extent for --decomposition 2d")
     p.add_argument("--substrate", choices=("virtual", "process"),
                    default="virtual")
     p.add_argument("--faults", default=None, metavar="PRESET")

@@ -59,9 +59,11 @@ class StepWorkspace:
     * **flux evaluation** — ``F``/``S`` plus the 2-D primitive and stress
       buffers consumed by the fused flux kernels;
     * **boundary strips** — ``q_tail`` holds the trailing five columns the
-      characteristic outflow needs (replacing the full-state copy);
-    * **halo packing** — ``uvT_buf``/``pair_buf`` are added by the
-      distributed solver (:meth:`add_halo_buffers`).
+      characteristic outflow needs (replacing the full-state copy).
+
+    Halo *pack* buffers live on the distributed solver's
+    :class:`~repro.parallel.halo.ExchangePlan`, which preallocates them per
+    decomposed axis.
     """
 
     def __init__(
@@ -107,19 +109,6 @@ class StepWorkspace:
         self.mu = np.empty(plane) if (viscous and mu_field) else None
         # Boundary strip snapshot (trailing <=5 columns).
         self.q_tail = np.empty((nvars, min(5, nx), nr))
-        # Halo packing buffers (distributed solvers only).
-        self.uvT_buf: np.ndarray | None = None
-        self.pair_buf: np.ndarray | None = None
-
-    def add_halo_buffers(self, n_perp: int, nvars: int = 4) -> None:
-        """Preallocate the packed halo-line buffers for a distributed rank.
-
-        ``n_perp`` is the boundary-line length (``nr`` for the axial
-        decomposition).  The buffers are safe to reuse for every exchange
-        because ``Communicator.send`` copies its payload before returning.
-        """
-        self.uvT_buf = np.empty((3, n_perp))
-        self.pair_buf = np.empty((nvars, 2, n_perp))
 
     def ext_for(self, axis: int) -> np.ndarray:
         """The ghost-extended buffer matching a sweep/filter axis."""

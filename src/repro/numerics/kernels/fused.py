@@ -32,7 +32,12 @@ from ...physics.fluxes import (
     primitives_into,
     radial_inviscid_into,
 )
-from ...physics.viscous import gradient_axis, stress_tensor
+from ...physics.viscous import (
+    assemble_stress,
+    field_gradients_2d,
+    gradient_axis,
+    stress_tensor,
+)
 from .base import KernelBackend, StepWorkspace
 
 
@@ -41,11 +46,7 @@ class FusedBackend(KernelBackend):
 
     name = "fused"
 
-    def step_workspace(self, solver) -> StepWorkspace | None:
-        if not getattr(solver, "_supports_fused_kernels", False):
-            # Radial/2-D decompositions keep the allocating path for now;
-            # the solver runs correctly, just without the fused kernels.
-            return None
+    def step_workspace(self, solver) -> StepWorkspace:
         viscous = bool(solver.fm.mu)
         mu_field = viscous and solver.config.mu_exponent != 0.0
         return StepWorkspace(solver.state.q.shape, viscous, mu_field=mu_field)
@@ -84,6 +85,28 @@ def _heat_flux(g_t: np.ndarray, mu, gamma: float, out: np.ndarray) -> np.ndarray
         np.multiply(g_t, k, out=out)
         np.negative(out, out=out)
     return out
+
+
+def _halo_stress(fm, ws: StepWorkspace, mu, uvT_halo):
+    """Viscous stress terms with neighbour ghost lines, any decomposition.
+
+    A 2-D block decomposition passes its ``{'x': pair, 'r': pair}`` halo
+    dict; 1-axis decompositions pass an ``(lo, hi)`` pair.  Both routes use
+    the reference gradient machinery on the workspace primitives — the
+    identical expressions the baseline backend evaluates, so the result is
+    bitwise-equal.
+    """
+    if isinstance(uvT_halo, dict):
+        grads = field_gradients_2d(
+            ws.u, ws.v, ws.T, fm.dx, fm.dr,
+            halo_x=uvT_halo.get("x"), halo_r=uvT_halo.get("r"),
+        )
+        return assemble_stress(grads, ws.v, fm.r, mu, fm.gamma)
+    return stress_tensor(
+        ws.u, ws.v, ws.T, fm.r, fm.dx, fm.dr, mu, fm.gamma,
+        halo_lo=uvT_halo[0], halo_hi=uvT_halo[1],
+        halo_axis=min(fm.halo_axis, 1),
+    )
 
 
 def _subtract_viscous(
@@ -135,11 +158,7 @@ def fused_axial_flux(
         # Subdomain-boundary gradients need halo-extended fields; reuse the
         # (already computed) primitives but keep the reference gradient
         # machinery, which is identical to the serial interior arithmetic.
-        terms = stress_tensor(
-            ws.u, ws.v, ws.T, fm.r, fm.dx, fm.dr, mu, fm.gamma,
-            halo_lo=uvT_halo[0], halo_hi=uvT_halo[1],
-            halo_axis=min(fm.halo_axis, 1),
-        )
+        terms = _halo_stress(fm, ws, mu, uvT_halo)
         tau_xx, tau_xr, heat_x = terms.tau_xx, terms.tau_xr, terms.heat_x
     else:
         # The axial flux needs tau_xx, tau_xr and heat_x only, i.e. every
@@ -183,11 +202,7 @@ def fused_radial_flux(
     if viscous:
         mu = _mu(fm, ws)
         if uvT_halo is not None:
-            terms = stress_tensor(
-                ws.u, ws.v, ws.T, fm.r, fm.dx, fm.dr, mu, fm.gamma,
-                halo_lo=uvT_halo[0], halo_hi=uvT_halo[1],
-                halo_axis=min(fm.halo_axis, 1),
-            )
+            terms = _halo_stress(fm, ws, mu, uvT_halo)
             tau_rr, tau_xr = terms.tau_rr, terms.tau_xr
             heat_r, tau_tt = terms.heat_r, terms.tau_tt
         else:

@@ -243,11 +243,6 @@ class CompressibleSolver:
         selects the kernel backend (see :mod:`repro.numerics.kernels`).
     """
 
-    #: Whether this solver class supports the fused kernel workspace.  The
-    #: radial and 2-D decompositions keep the allocating path for now (the
-    #: fused backend silently degrades to it there).
-    _supports_fused_kernels = True
-
     def __init__(self, state: FlowState, config: SolverConfig | None = None):
         self.state = state
         self.grid: Grid = state.grid

@@ -1,20 +1,61 @@
-"""Block domain decompositions.
+"""Block domain decompositions and their halo topologies.
 
 The paper chose, "after some experimentation, to decompose the domain by
 blocks along the axial direction only" (Section 5): each processor owns a
 contiguous slab of axial columns with full radial extent, so only the
 axial sweep needs halo exchange and messages group naturally into long
 column vectors.  :class:`RadialDecomposition` implements the radial
-blocking the paper leaves to future work (Section 8) for the extension
-benchmarks.
+blocking the paper leaves to future work (Section 8), and
+:class:`CartesianDecomposition` the general ``px x pr`` grid of blocks.
+
+Every decomposition exposes the same interface, consumed by the unified
+:class:`~repro.parallel.spmd.BlockDistributedSolver`:
+
+* ``halo_axis`` — orientation of the uvT ghost lines (0 = columns,
+  1 = rows, 2 = both, matching ``FluxModel.halo_axis``);
+* ``topology(rank)`` — the rank's :class:`HaloTopology` (neighbour map
+  plus which array axes exchange halos);
+* ``local_block(rank)`` / ``local_grid(global_grid, rank)`` — the slices
+  and subgrid of the rank's block;
+* ``assemble(parts)`` — reassemble gathered per-rank blocks into the
+  global conservative array (the inverse of ``local_block`` over all
+  ranks);
+* ``top_radial_size()`` — radial extent of the blocks owning the
+  far-field boundary, or ``None`` when every rank owns the full radial
+  extent (guards the sponge width).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 MIN_BLOCK = 5
 """Smallest slab width the 2-4 stencil machinery supports."""
+
+
+@dataclass(frozen=True)
+class HaloTopology:
+    """One rank's neighbour map and exchange requirements.
+
+    ``left``/``right`` are the axial (axis-1) neighbours and
+    ``lower``/``upper`` the radial (axis-2) neighbours; ``None`` marks a
+    physical boundary.  ``exchanges_x``/``exchanges_r`` say whether the
+    decomposition splits that array axis at all — they gate which sweep
+    ghost callbacks, filter halos and boundary collectives a rank
+    installs (a flag can be set with all neighbours ``None``: a 1-rank
+    run then degenerates to the serial arithmetic because every exchange
+    returns ``None``).
+    """
+
+    rank: int
+    left: int | None
+    right: int | None
+    lower: int | None
+    upper: int | None
+    exchanges_x: bool
+    exchanges_r: bool
 
 
 @dataclass(frozen=True)
@@ -81,6 +122,7 @@ class AxialDecomposition(BlockDecomposition1D):
     """The paper's decomposition: axial slabs with full radial extent."""
 
     axis = 1  # array axis of (4, nx, nr) states
+    halo_axis = 0  # uvT ghost lines are columns
 
     def __init__(self, nx: int, nparts: int) -> None:
         super().__init__(n=nx, nparts=nparts)
@@ -88,6 +130,26 @@ class AxialDecomposition(BlockDecomposition1D):
     @property
     def nx(self) -> int:
         return self.n
+
+    def topology(self, rank: int) -> HaloTopology:
+        left, right = self.neighbors(rank)
+        return HaloTopology(
+            rank, left, right, None, None,
+            exchanges_x=True, exchanges_r=False,
+        )
+
+    def local_block(self, rank: int) -> tuple[slice, slice]:
+        return self.local_slice(rank), slice(None)
+
+    def local_grid(self, global_grid, rank: int):
+        lo, hi = self.bounds(rank)
+        return global_grid.subgrid(lo, hi)
+
+    def assemble(self, parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts, axis=1)
+
+    def top_radial_size(self) -> int | None:
+        return None  # every rank owns the full radial extent
 
 
 class RadialDecomposition(BlockDecomposition1D):
@@ -101,6 +163,7 @@ class RadialDecomposition(BlockDecomposition1D):
     """
 
     axis = 2
+    halo_axis = 1  # uvT ghost lines are rows
 
     def __init__(self, nr: int, nparts: int) -> None:
         super().__init__(n=nr, nparts=nparts)
@@ -108,3 +171,100 @@ class RadialDecomposition(BlockDecomposition1D):
     @property
     def nr(self) -> int:
         return self.n
+
+    def topology(self, rank: int) -> HaloTopology:
+        lower, upper = self.neighbors(rank)
+        return HaloTopology(
+            rank, None, None, lower, upper,
+            exchanges_x=False, exchanges_r=True,
+        )
+
+    def local_block(self, rank: int) -> tuple[slice, slice]:
+        return slice(None), self.local_slice(rank)
+
+    def local_grid(self, global_grid, rank: int):
+        lo, hi = self.bounds(rank)
+        return global_grid.radial_subgrid(lo, hi)
+
+    def assemble(self, parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts, axis=2)
+
+    def top_radial_size(self) -> int | None:
+        return self.size(self.nparts - 1)
+
+
+@dataclass(frozen=True)
+class CartesianDecomposition:
+    """A ``px x pr`` grid of blocks; ``rank = ix * pr + jr``."""
+
+    nx: int
+    nr: int
+    px: int
+    pr: int
+
+    halo_axis = 2  # uvT ghost lines along both axes
+
+    def __post_init__(self) -> None:
+        # Constructing the 1-D decompositions validates the block sizes.
+        self.axial  # noqa: B018
+        self.radial  # noqa: B018
+
+    @property
+    def nparts(self) -> int:
+        return self.px * self.pr
+
+    @property
+    def axial(self) -> AxialDecomposition:
+        return AxialDecomposition(self.nx, self.px)
+
+    @property
+    def radial(self) -> RadialDecomposition:
+        return RadialDecomposition(self.nr, self.pr)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """``(ix, jr)`` block coordinates of a rank."""
+        if not (0 <= rank < self.nparts):
+            raise IndexError(rank)
+        return rank // self.pr, rank % self.pr
+
+    def rank_of(self, ix: int, jr: int) -> int:
+        return ix * self.pr + jr
+
+    def block(self, rank: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """``((i_lo, i_hi), (j_lo, j_hi))`` global extents of a rank."""
+        ix, jr = self.coords(rank)
+        return self.axial.bounds(ix), self.radial.bounds(jr)
+
+    def neighbors(self, rank: int):
+        """``(left, right, lower, upper)`` neighbouring ranks or ``None``."""
+        ix, jr = self.coords(rank)
+        left = self.rank_of(ix - 1, jr) if ix > 0 else None
+        right = self.rank_of(ix + 1, jr) if ix < self.px - 1 else None
+        lower = self.rank_of(ix, jr - 1) if jr > 0 else None
+        upper = self.rank_of(ix, jr + 1) if jr < self.pr - 1 else None
+        return left, right, lower, upper
+
+    def topology(self, rank: int) -> HaloTopology:
+        left, right, lower, upper = self.neighbors(rank)
+        return HaloTopology(
+            rank, left, right, lower, upper,
+            exchanges_x=True, exchanges_r=True,
+        )
+
+    def local_block(self, rank: int) -> tuple[slice, slice]:
+        (ilo, ihi), (jlo, jhi) = self.block(rank)
+        return slice(ilo, ihi), slice(jlo, jhi)
+
+    def local_grid(self, global_grid, rank: int):
+        (ilo, ihi), (jlo, jhi) = self.block(rank)
+        return global_grid.subgrid(ilo, ihi).radial_subgrid(jlo, jhi)
+
+    def assemble(self, parts: list[np.ndarray]) -> np.ndarray:
+        columns = []
+        for ix in range(self.px):
+            blocks = [parts[self.rank_of(ix, jr)] for jr in range(self.pr)]
+            columns.append(np.concatenate(blocks, axis=2))
+        return np.concatenate(columns, axis=1)
+
+    def top_radial_size(self) -> int | None:
+        return self.radial.size(self.pr - 1)

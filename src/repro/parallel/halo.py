@@ -149,11 +149,13 @@ def _pair(F: np.ndarray, axis: int, sl: slice, buf: np.ndarray | None = None) ->
     """Two edge lines of a ``(4, nx, nr)`` flux array along ``axis`` as a
     ``(4, 2, n_perp)`` pair, optionally packed into ``buf``."""
     if axis == 1:
-        if buf is not None:
-            np.copyto(buf, F[:, sl, :])
-            return buf
-        return np.ascontiguousarray(F[:, sl, :])
-    return np.ascontiguousarray(F[:, :, sl].transpose(0, 2, 1))
+        src = F[:, sl, :]
+    else:
+        src = F[:, :, sl].transpose(0, 2, 1)
+    if buf is not None:
+        np.copyto(buf, src)
+        return buf
+    return np.ascontiguousarray(src)
 
 
 def _send_flux_columns(
@@ -254,6 +256,107 @@ def exchange_state_halo_low(
         return None
     cols = comm.recv(left, t)
     return np.stack([cols[:, 1], cols[:, 0]])
+
+
+class ExchangePlan:
+    """Decomposition-agnostic exchange core for one rank.
+
+    Owns the rank's :class:`~repro.parallel.decomposition.HaloTopology`,
+    the message-grouping :class:`ExchangePolicy`, and preallocated pack
+    buffers for every halo kind on every decomposed axis — so both the
+    baseline and the fused kernel paths exchange without per-call pack
+    allocations, for any decomposition.  The buffers are safe to reuse
+    across directions and steps because ``Communicator.send`` copies its
+    payload before returning.
+
+    The ``*_x`` methods exchange with the axial (``left``/``right``)
+    neighbours, the ``*_r`` methods with the radial (``lower``/``upper``)
+    ones; each returns ``None`` ghosts at physical boundaries exactly like
+    the module-level helpers it delegates to (tracing and metrics
+    therefore instrument plan exchanges identically).  Exchanges on
+    arrays whose perpendicular extent differs from the state's — e.g. the
+    5-column characteristic-outflow window — automatically fall back to
+    allocating packs.
+    """
+
+    def __init__(self, comm, topology, policy: ExchangePolicy, shape) -> None:
+        nvars, nx, nr = shape
+        self.comm = comm
+        self.topo = topology
+        self.policy = policy
+        self.left, self.right = topology.left, topology.right
+        self.lower, self.upper = topology.lower, topology.upper
+        self._uvT_x = np.empty((3, nr)) if topology.exchanges_x else None
+        self._pair_x = np.empty((nvars, 2, nr)) if topology.exchanges_x else None
+        self._uvT_r = np.empty((3, nx)) if topology.exchanges_r else None
+        self._pair_r = np.empty((nvars, 2, nx)) if topology.exchanges_r else None
+
+    @staticmethod
+    def _fit(buf: np.ndarray | None, n_perp: int) -> np.ndarray | None:
+        return buf if buf is not None and buf.shape[-1] == n_perp else None
+
+    # -- uvT halos (viscous gradients) ---------------------------------------
+    def uvT_x(self, tag: str, u, v, T):
+        return exchange_uvT(
+            self.comm, tag, u, v, T, self.left, self.right, axis=0,
+            buf=self._fit(self._uvT_x, u.shape[1]),
+        )
+
+    def uvT_r(self, tag: str, u, v, T):
+        return exchange_uvT(
+            self.comm, tag, u, v, T, self.lower, self.upper, axis=1,
+            buf=self._fit(self._uvT_r, u.shape[0]),
+        )
+
+    # -- flux ghosts (one-sided predictor/corrector stencils) ----------------
+    def flux_high_x(self, tag: str, F):
+        return exchange_flux_high(
+            self.comm, tag, F, self.left, self.right, self.policy, axis=1,
+            buf=self._fit(self._pair_x, F.shape[2]),
+        )
+
+    def flux_low_x(self, tag: str, F):
+        return exchange_flux_low(
+            self.comm, tag, F, self.left, self.right, self.policy, axis=1,
+            buf=self._fit(self._pair_x, F.shape[2]),
+        )
+
+    def flux_high_r(self, tag: str, F):
+        return exchange_flux_high(
+            self.comm, tag, F, self.lower, self.upper, self.policy, axis=2,
+            buf=self._fit(self._pair_r, F.shape[1]),
+        )
+
+    def flux_low_r(self, tag: str, F):
+        return exchange_flux_low(
+            self.comm, tag, F, self.lower, self.upper, self.policy, axis=2,
+            buf=self._fit(self._pair_r, F.shape[1]),
+        )
+
+    # -- state halos (fourth-difference filter) ------------------------------
+    def state_low_x(self, tag: str, q):
+        return exchange_state_halo_low(
+            self.comm, tag, q, self.left, self.right, axis=1,
+            buf=self._fit(self._pair_x, q.shape[2]),
+        )
+
+    def state_high_x(self, tag: str, q):
+        return exchange_state_halo_high(
+            self.comm, tag, q, self.left, self.right, axis=1,
+            buf=self._fit(self._pair_x, q.shape[2]),
+        )
+
+    def state_low_r(self, tag: str, q):
+        return exchange_state_halo_low(
+            self.comm, tag, q, self.lower, self.upper, axis=2,
+            buf=self._fit(self._pair_r, q.shape[1]),
+        )
+
+    def state_high_r(self, tag: str, q):
+        return exchange_state_halo_high(
+            self.comm, tag, q, self.lower, self.upper, axis=2,
+            buf=self._fit(self._pair_r, q.shape[1]),
+        )
 
 
 @_traced("state_high")

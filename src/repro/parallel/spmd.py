@@ -1,22 +1,33 @@
 """The distributed (SPMD) jet solver — one instance per rank.
 
-:class:`DistributedSolver` subclasses the serial
+:class:`BlockDistributedSolver` subclasses the serial
 :class:`~repro.numerics.solver.CompressibleSolver` and overrides exactly the
-points where subdomain boundaries appear:
+points where subdomain boundaries appear, for *any* block decomposition
+(axial, radial, or 2-D Cartesian) described by its
+:class:`~repro.parallel.decomposition.HaloTopology`:
 
-* viscous gradients receive neighbour ``(u, v, T)`` ghost columns;
-* the one-sided flux stencils receive neighbour flux columns on the side
-  the current predictor/corrector phase differences toward;
-* the fourth-difference filter receives two conservative-state columns;
-* the stable ``dt`` is the all-reduce minimum of the per-slab values;
-* inflow forcing runs only on rank 0 and the characteristic outflow only on
-  the last rank.
+* viscous gradients receive neighbour ``(u, v, T)`` ghost lines on every
+  decomposed axis;
+* the one-sided flux stencils receive neighbour flux lines on the side the
+  current predictor/corrector phase differences toward;
+* the fourth-difference filter receives two conservative-state lines per
+  decomposed axis;
+* the stable ``dt`` is the all-reduce minimum of the per-block values;
+* boundary treatments run only on the ranks owning them: inflow on ranks
+  with no left neighbour, characteristic outflow on ranks with no right
+  neighbour (a *collective* among radial neighbours when the radial axis is
+  decomposed), axis mirror on ranks with no lower neighbour, and the
+  far-field sponge on ranks with no upper neighbour.
 
-Because every ghost is *real* neighbour data entering the identical
-vectorized expressions, the distributed solver is bitwise-identical to the
-serial solver for any processor count and any communication version —
-verified by the test suite.  This mirrors the paper's property that its
-parallelization changes performance, never the numerics.
+All exchanges go through a per-rank
+:class:`~repro.parallel.halo.ExchangePlan` with preallocated pack buffers,
+so the fused :class:`~repro.numerics.kernels.StepWorkspace` works for every
+decomposition.  Because every ghost is *real* neighbour data entering the
+identical vectorized expressions, the distributed solver is
+bitwise-identical to the serial solver for any decomposition, processor
+count, communication version, and substrate — verified by the test suite.
+This mirrors the paper's property that its parallelization changes
+performance, never the numerics.
 """
 
 from __future__ import annotations
@@ -25,25 +36,28 @@ import numpy as np
 
 from ..grid import Grid
 from ..msglib.api import Communicator
-from ..numerics.boundary import AXIS_STATE_SIGNS
-from ..numerics.maccormack import CORRECTOR, PREDICTOR, SplitOperator, SweepWorkspace
+from ..numerics.boundary import (
+    AXIS_STATE_SIGNS,
+    apply_axis_ghosts,
+    characteristic_outflow_rates,
+)
+from ..numerics.maccormack import PREDICTOR, SplitOperator, SweepWorkspace
 from ..numerics.solver import CompressibleSolver, SolverConfig
 from ..numerics.timestep import stable_dt
 from ..physics.state import FlowState
 from .decomposition import AxialDecomposition
-from .halo import (
-    ExchangePolicy,
-    exchange_flux_high,
-    exchange_flux_low,
-    exchange_state_halo_high,
-    exchange_state_halo_low,
-    exchange_uvT,
-)
+from .halo import ExchangePlan, ExchangePolicy
 from .versions import Version, version_by_number
 
 
-class DistributedSolver(CompressibleSolver):
-    """Per-rank solver over an axial block decomposition.
+class BlockDistributedSolver(CompressibleSolver):
+    """Per-rank solver over any block decomposition.
+
+    Subclasses pick the decomposition by overriding
+    :meth:`_make_decomposition` (or passing ``decomp``); everything else —
+    halo plumbing, fused-kernel workspace, filter halos, collective ``dt``,
+    boundary ownership, gather, and checkpoint/restart — is decided by the
+    decomposition's :class:`~repro.parallel.decomposition.HaloTopology`.
 
     Parameters
     ----------
@@ -53,13 +67,16 @@ class DistributedSolver(CompressibleSolver):
     global_grid:
         The full-domain grid.
     q_global:
-        Full-domain conservative array to slice the local slab from (shared
-        read-only; each rank copies its slab).
+        Full-domain conservative array to slice the local block from
+        (shared read-only; each rank copies its block).
     config:
         The same :class:`~repro.numerics.solver.SolverConfig` the serial
         solver takes.
     version:
         Paper code version (5, 6 or 7) controlling message grouping.
+    decomp:
+        Optional explicit decomposition instance (otherwise built by
+        :meth:`_make_decomposition`).
     """
 
     def __init__(
@@ -69,24 +86,37 @@ class DistributedSolver(CompressibleSolver):
         q_global: np.ndarray,
         config: SolverConfig,
         version: int | Version = 5,
+        decomp=None,
     ) -> None:
         self.comm = comm
-        self.decomp = AxialDecomposition(global_grid.nx, comm.size)
-        self.lo, self.hi = self.decomp.bounds(comm.rank)
-        self.left, self.right = self.decomp.neighbors(comm.rank)
+        if decomp is None:
+            decomp = self._make_decomposition(global_grid, comm.size)
+        self.decomp = decomp
+        self.topo = decomp.topology(comm.rank)
+        self.left, self.right = self.topo.left, self.topo.right
+        self.lower, self.upper = self.topo.lower, self.topo.upper
         if isinstance(version, int):
             version = version_by_number(version)
         self.version = version
         self.policy = ExchangePolicy.from_version(version)
         self.global_grid = global_grid
-        local_grid = global_grid.subgrid(self.lo, self.hi)
+        xsl, rsl = decomp.local_block(comm.rank)
+        local_grid = decomp.local_grid(global_grid, comm.rank)
         local_state = FlowState(
-            local_grid, q_global[:, self.lo : self.hi, :].copy(), config.gamma
+            local_grid, q_global[:, xsl, rsl].copy(), config.gamma
         )
+        bc = config.boundary
+        cap = decomp.top_radial_size()
+        if (
+            bc is not None
+            and bc.sponge is not None
+            and cap is not None
+            and bc.sponge.width > cap
+        ):
+            raise ValueError("sponge width exceeds the top radial slab")
         super().__init__(local_state, config)
-        if self._ws is not None:
-            # Packed halo-line buffers (safe to reuse: sends are buffered).
-            self._ws.add_halo_buffers(self.state.q.shape[2])
+        self.fm.halo_axis = decomp.halo_axis
+        self.plan = ExchangePlan(comm, self.topo, self.policy, self.state.q.shape)
         # Attribute this solver's spans to its rank (also bound as the
         # thread default so MacCormack-phase spans inherit it under MPI,
         # where no VirtualCluster worker does the binding).
@@ -96,19 +126,51 @@ class DistributedSolver(CompressibleSolver):
         get_tracer().bind_rank(comm.rank)
         get_metrics().bind_rank(comm.rank)
 
+    def _make_decomposition(self, global_grid: Grid, nranks: int):
+        raise NotImplementedError
+
     # -- tags -----------------------------------------------------------------
     def _tag(self, op: str, phase: str = "") -> str:
         return f"{self.nstep}:{op}:{phase}"
 
+    def _active_high(self, variant: int, phase: str) -> bool:
+        """Forward differencing (consuming high ghosts) for this phase?"""
+        return (variant == 1) == (phase == PREDICTOR)
+
     # -- halo-aware flux evaluation ------------------------------------------
-    def _uvT_halo(self, q: np.ndarray, tag: str):
-        """Exchange the paper's velocity/temperature ghost columns."""
+    def _uvT_exchange(self, u, v, T, tag: str, include_x: bool = True):
+        """Route the packed ``(u, v, T)`` edge lines per the topology.
+
+        Returns the halo in the shape ``FluxModel`` expects for this
+        decomposition's ``halo_axis``: an ``(lo, hi)`` pair for 1-axis
+        decompositions, a ``{'x': pair, 'r': pair}`` dict for 2-D blocks,
+        or ``None`` when nothing was exchanged.
+        """
+        axis = self.fm.halo_axis
+        if axis == 0:
+            if self.left is None and self.right is None:
+                return None
+            return self.plan.uvT_x(tag, u, v, T)
+        if axis == 1:
+            if self.lower is None and self.upper is None:
+                return None
+            return self.plan.uvT_r(tag, u, v, T)
+        halo_x = None
+        if include_x and (self.left is not None or self.right is not None):
+            halo_x = self.plan.uvT_x(f"{tag}:hx", u, v, T)
+        halo_r = None
+        if self.lower is not None or self.upper is not None:
+            halo_r = self.plan.uvT_r(f"{tag}:hr", u, v, T)
+        if halo_x is None and halo_r is None:
+            return None
+        return {"x": halo_x, "r": halo_r}
+
+    def _uvT_halo(self, q: np.ndarray, tag: str, include_x: bool = True):
+        """Exchange the paper's velocity/temperature ghost lines."""
         if not self.fm.mu:
             return None
-        if self.left is None and self.right is None:
-            return None
         u, v, T = self.fm.primitives(q)
-        return exchange_uvT(self.comm, tag, u, v, T, self.left, self.right)
+        return self._uvT_exchange(u, v, T, tag, include_x)
 
     def _uvT_halo_fused(self, q: np.ndarray, tag: str):
         """Halo exchange with primitives evaluated once into the workspace.
@@ -126,85 +188,111 @@ class DistributedSolver(CompressibleSolver):
         primitives_into(
             q, fm.gamma, ws.inv_rho, ws.u, ws.v, ws.p, ws.t2a, ws.t2b, T=ws.T
         )
-        if self.left is None and self.right is None:
-            return None, True
-        halo = exchange_uvT(
-            self.comm, tag, ws.u, ws.v, ws.T, self.left, self.right,
-            buf=ws.uvT_buf,
-        )
-        return halo, True
+        return self._uvT_exchange(ws.u, ws.v, ws.T, tag), True
+
+    def _flux_x(self, q, phase):
+        """Halo-aware axial flux (fused when a workspace exists)."""
+        tag = self._tag("x", phase)
+        ws = self._ws
+        if ws is None:
+            return self.fm.axial_flux(q, uvT_halo=self._uvT_halo(q, tag))
+        halo, ready = self._uvT_halo_fused(q, tag)
+        return self.fm.axial_flux(q, uvT_halo=halo, ws=ws, primitives_ready=ready)
+
+    def _flux_r(self, q, phase):
+        """Halo-aware radial flux (fused when a workspace exists)."""
+        tag = self._tag("r", phase)
+        ws = self._ws
+        if ws is None:
+            return self.fm.radial_flux(q, uvT_halo=self._uvT_halo(q, tag))
+        halo, ready = self._uvT_halo_fused(q, tag)
+        return self.fm.radial_flux(q, uvT_halo=halo, ws=ws, primitives_ready=ready)
 
     def _x_workspace(self, variant: int) -> SweepWorkspace:  # type: ignore[override]
         solver = self
         ws = self._ws
-        buf = ws.pair_buf if ws is not None else None
-
-        def flux(q, phase):
-            tag = solver._tag("x", phase)
-            if ws is None:
-                return solver.fm.axial_flux(q, uvT_halo=solver._uvT_halo(q, tag)), None
-            halo, ready = solver._uvT_halo_fused(q, tag)
-            return (
-                solver.fm.axial_flux(
-                    q, uvT_halo=halo, ws=ws, primitives_ready=ready
-                ),
-                None,
-            )
+        flux = lambda q, phase: (solver._flux_x(q, phase), None)
+        scratch = ws.sweep_x if ws is not None else None
+        if not self.topo.exchanges_x:
+            # The axial direction is not decomposed: cubic ghosts as in
+            # the serial code.
+            return SweepWorkspace(flux=flux, scratch=scratch)
 
         def high_ghosts(F, phase):
             # Forward differencing consumes high-side ghosts.
-            if (variant == 1) == (phase == PREDICTOR):
-                return exchange_flux_high(
-                    solver.comm,
-                    solver._tag("x", phase),
-                    F,
-                    solver.left,
-                    solver.right,
-                    solver.policy,
-                    buf=buf,
-                )
+            if solver._active_high(variant, phase):
+                return solver.plan.flux_high_x(solver._tag("x", phase), F)
             return None
 
         def low_ghosts(F, phase):
-            if (variant == 1) == (phase == CORRECTOR):
-                return exchange_flux_low(
-                    solver.comm,
-                    solver._tag("x", phase),
-                    F,
-                    solver.left,
-                    solver.right,
-                    solver.policy,
-                    buf=buf,
-                )
+            if not solver._active_high(variant, phase):
+                return solver.plan.flux_low_x(solver._tag("x", phase), F)
             return None
 
         return SweepWorkspace(
             flux=flux,
             low_ghosts=low_ghosts,
             high_ghosts=high_ghosts,
-            scratch=ws.sweep_x if ws is not None else None,
+            scratch=scratch,
         )
+
+    def _radial_ghost_callbacks(self, variant: int, tag_op: str):
+        """Low/high ghost providers for an r-sweep over a radial block."""
+        solver = self
+
+        def low_ghosts(rG, phase):
+            if not solver._active_high(variant, phase):  # backward: low side
+                # Every rank participates (the exchange's *send* leg must
+                # run even on ranks with no lower neighbour, or their
+                # upper neighbour deadlocks); ranks at the axis get None
+                # back and mirror instead.
+                ghosts = solver.plan.flux_low_r(solver._tag(tag_op, phase), rG)
+                if ghosts is None:
+                    return apply_axis_ghosts(rG)
+                return ghosts
+            # Inactive side: values unused by the one-sided stencil.  Ranks
+            # at the axis still mirror (matches serial); others extrapolate.
+            if solver.lower is None:
+                return apply_axis_ghosts(rG)
+            return None
+
+        def high_ghosts(rG, phase):
+            if solver._active_high(variant, phase):
+                # None at the far field selects cubic extrapolation, as in
+                # the serial solver; the send leg runs on every rank.
+                return solver.plan.flux_high_r(solver._tag(tag_op, phase), rG)
+            return None
+
+        return low_ghosts, high_ghosts
 
     def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
         solver = self
         ws = self._ws
-        base = self._r_workspace_serial()
-
-        def flux(q, phase):
-            tag = solver._tag("r", phase)
-            if ws is None:
-                return solver.fm.radial_flux(q, uvT_halo=solver._uvT_halo(q, tag))
-            halo, ready = solver._uvT_halo_fused(q, tag)
-            return solver.fm.radial_flux(
-                q, uvT_halo=halo, ws=ws, primitives_ready=ready
+        scratch = ws.sweep_r if ws is not None else None
+        flux = lambda q, phase: solver._flux_r(q, phase)
+        if not self.topo.exchanges_r:
+            # The radial direction is not decomposed: serial ghost logic
+            # (axis mirror / periodic wrap / cubic) on every rank.
+            base = self._r_workspace_serial()
+            return SweepWorkspace(
+                flux=flux,
+                low_ghosts=base.low_ghosts,
+                high_ghosts=base.high_ghosts,
+                inv_weight=base.inv_weight,
+                scratch=scratch,
             )
-
+        if variant is None:
+            # Requested by serial helpers; halo-free (used only on windows
+            # fully interior to the block, which never happens here — the
+            # outflow helper overrides below).
+            return super()._r_workspace_serial()
+        low, high = self._radial_ghost_callbacks(variant, "r")
         return SweepWorkspace(
             flux=flux,
-            low_ghosts=base.low_ghosts,
-            high_ghosts=base.high_ghosts,
-            inv_weight=base.inv_weight,
-            scratch=ws.sweep_r if ws is not None else None,
+            low_ghosts=low,
+            high_ghosts=high,
+            inv_weight=self._inv_weight,
+            scratch=scratch,
         )
 
     def _operators(self, variant: int):  # type: ignore[override]
@@ -244,27 +332,62 @@ class DistributedSolver(CompressibleSolver):
             )
         return self._dt_cached
 
-    # -- filter halos ------------------------------------------------------------
+    # -- filter halos ---------------------------------------------------------
     def _state_ghosts(self, q: np.ndarray, axis: int, side: str):  # type: ignore[override]
         if axis == 1:
-            tag = self._tag("filter")
-            buf = self._ws.pair_buf if self._ws is not None else None
+            if not self.topo.exchanges_x:
+                return super()._state_ghosts(q, axis, side)
+            tag = f"{self._tag('filter')}:x"
             if side == "low":
-                return exchange_state_halo_low(
-                    self.comm, tag, q, self.left, self.right, buf=buf
-                )
-            ghosts = exchange_state_halo_high(
-                self.comm, tag, q, self.left, self.right, buf=buf
-            )
-            return ghosts
-        # Radial ghosts are local: axis mirror / cubic as in the serial code.
-        cfg = self.config
-        if cfg.periodic_r:
+                return self.plan.state_low_x(tag, q)
+            return self.plan.state_high_x(tag, q)
+        if not self.topo.exchanges_r:
             return super()._state_ghosts(q, axis, side)
-        if side == "low" and cfg.axisymmetric:
-            signs = AXIS_STATE_SIGNS[:, None]
-            return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
-        return None
+        tag = f"{self._tag('filter')}:r"
+        if side == "low":
+            ghosts = self.plan.state_low_r(tag, q)
+            if ghosts is None and self.config.axisymmetric:
+                signs = AXIS_STATE_SIGNS[:, None]
+                return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
+            return ghosts
+        return self.plan.state_high_r(tag, q)
+
+    # -- characteristic outflow -----------------------------------------------
+    def _outflow_rates(self, q: np.ndarray, variant: int) -> np.ndarray:  # type: ignore[override]
+        if not self.topo.exchanges_r:
+            # The owning rank holds the full radial extent: the serial
+            # (cached, halo-free) helper applies unchanged.
+            return super()._outflow_rates(q, variant)
+        # The outflow column is split across radial neighbours: the radial
+        # part of the boundary rates needs neighbour rows, exchanged on the
+        # 5-column window by all participating ranks symmetrically.  The
+        # window shape differs from the state's, so this stays on the
+        # allocating kernels regardless of backend.
+        window = np.ascontiguousarray(q[:, -5:, :])
+        tag = self._tag("ofw")
+        # The serial helper uses one-sided x-gradients on the window (no
+        # x-halo); only the radial ghosts are real neighbour data.
+        halo = self._uvT_halo(window, f"{tag}:uvx", include_x=False)
+        F = self.fm.axial_flux(window, uvT_halo=halo)
+        h = self.grid.dx
+        dF = (7.0 * (F[:, -1] - F[:, -2]) - (F[:, -2] - F[:, -3])) / (6.0 * h)
+
+        solver = self
+
+        def wflux(qw, phase):
+            whalo = solver._uvT_halo(qw, f"{tag}:uvr:{phase}", include_x=False)
+            return solver.fm.radial_flux(qw, uvT_halo=whalo)
+
+        low, high = self._radial_ghost_callbacks(variant, "ofwr")
+        ws = SweepWorkspace(
+            flux=wflux,
+            low_ghosts=low,
+            high_ghosts=high,
+            inv_weight=self._inv_weight,
+        )
+        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
+        radial_rate = Lr._rate(window, PREDICTOR)[:, -1, :]
+        return -dF + radial_rate
 
     # -- boundaries: only the owning ranks act --------------------------------
     def _apply_boundaries(self, q_tail: np.ndarray | None, dt: float, variant: int):  # type: ignore[override]
@@ -273,16 +396,22 @@ class DistributedSolver(CompressibleSolver):
             return
         q = self.state.q
         if bc.characteristic_outflow and self.right is None:
+            # When the radial axis is decomposed this is a *collective*
+            # among the outflow-owning ranks (all of which have
+            # ``right is None``): the window exchanges inside
+            # ``_outflow_rates`` keep them in lockstep.
             q_t = self._outflow_rates(q_tail, variant)
-            from ..numerics.boundary import characteristic_outflow_rates
-
             rates = characteristic_outflow_rates(
                 q_tail[:, -1, :], q_t, self.config.gamma
             )
             q[:, -1, :] = q_tail[:, -1, :] + dt * rates
         if bc.inflow is not None and self.left is None:
             q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
-        if bc.sponge is not None and self._sponge_col is not None:
+        if (
+            bc.sponge is not None
+            and self._sponge_col is not None
+            and self.upper is None
+        ):
             bc.sponge.apply(q, self._sponge_col)
 
     # -- gathering ------------------------------------------------------------
@@ -291,8 +420,9 @@ class DistributedSolver(CompressibleSolver):
         parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:gather")
         if parts is None:
             return None
-        q_full = np.concatenate(parts, axis=1)
-        return FlowState(self.global_grid, q_full, self.config.gamma)
+        return FlowState(
+            self.global_grid, self.decomp.assemble(parts), self.config.gamma
+        )
 
     # -- checkpoint/restart ----------------------------------------------------
     def checkpoint(self) -> tuple[int, float, np.ndarray] | None:
@@ -306,4 +436,11 @@ class DistributedSolver(CompressibleSolver):
         parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:ckpt")
         if parts is None:
             return None
-        return self.nstep, self.t, np.concatenate(parts, axis=1)
+        return self.nstep, self.t, self.decomp.assemble(parts)
+
+
+class DistributedSolver(BlockDistributedSolver):
+    """Per-rank solver over the paper's axial block decomposition."""
+
+    def _make_decomposition(self, global_grid: Grid, nranks: int):
+        return AxialDecomposition(global_grid.nx, nranks)

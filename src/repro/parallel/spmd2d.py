@@ -7,98 +7,33 @@ with the axial neighbours, rows with the radial ones.  Because every
 stencil in the solver is dimension-split (the one-sided flux differences,
 the viscous gradients via separate extended passes, and the
 fourth-difference filter), **no corner ghosts are needed**, and the result
-remains bitwise-identical to the serial solver.
+remains bitwise-identical to the serial solver with both kernel backends
+on every substrate.
 
 Boundary ownership: inflow = first axial column of ranks; characteristic
 outflow = last axial column (a collective among that column's radial
 neighbours); axis = bottom radial row; far field/sponge = top radial row.
+All of this is decided by :class:`CartesianDecomposition`'s
+:class:`~repro.parallel.decomposition.HaloTopology` in the shared
+:class:`~repro.parallel.spmd.BlockDistributedSolver` base.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..grid import Grid
 from ..msglib.api import Communicator
-from ..numerics.boundary import (
-    AXIS_STATE_SIGNS,
-    apply_axis_ghosts,
-    characteristic_outflow_rates,
-)
-from ..numerics.maccormack import PREDICTOR, SplitOperator, SweepWorkspace
-from ..numerics.solver import CompressibleSolver, SolverConfig
-from ..numerics.timestep import stable_dt
-from ..physics.state import FlowState
-from .decomposition import AxialDecomposition, RadialDecomposition
-from .halo import (
-    ExchangePolicy,
-    exchange_flux_high,
-    exchange_flux_low,
-    exchange_state_halo_high,
-    exchange_state_halo_low,
-    exchange_uvT,
-)
-from .versions import Version, version_by_number
+from ..numerics.solver import SolverConfig
+from .decomposition import CartesianDecomposition
+from .spmd import BlockDistributedSolver
+from .versions import Version
+
+__all__ = ["CartesianDecomposition", "Distributed2DSolver"]
 
 
-@dataclass(frozen=True)
-class CartesianDecomposition:
-    """A ``px x pr`` grid of blocks; ``rank = ix * pr + jr``."""
-
-    nx: int
-    nr: int
-    px: int
-    pr: int
-
-    def __post_init__(self) -> None:
-        # Constructing the 1-D decompositions validates the block sizes.
-        self.axial  # noqa: B018
-        self.radial  # noqa: B018
-
-    @property
-    def nparts(self) -> int:
-        return self.px * self.pr
-
-    @property
-    def axial(self) -> AxialDecomposition:
-        return AxialDecomposition(self.nx, self.px)
-
-    @property
-    def radial(self) -> RadialDecomposition:
-        return RadialDecomposition(self.nr, self.pr)
-
-    def coords(self, rank: int) -> tuple[int, int]:
-        """``(ix, jr)`` block coordinates of a rank."""
-        if not (0 <= rank < self.nparts):
-            raise IndexError(rank)
-        return rank // self.pr, rank % self.pr
-
-    def rank_of(self, ix: int, jr: int) -> int:
-        return ix * self.pr + jr
-
-    def block(self, rank: int) -> tuple[tuple[int, int], tuple[int, int]]:
-        """``((i_lo, i_hi), (j_lo, j_hi))`` global extents of a rank."""
-        ix, jr = self.coords(rank)
-        return self.axial.bounds(ix), self.radial.bounds(jr)
-
-    def neighbors(self, rank: int):
-        """``(left, right, lower, upper)`` neighbouring ranks or ``None``."""
-        ix, jr = self.coords(rank)
-        left = self.rank_of(ix - 1, jr) if ix > 0 else None
-        right = self.rank_of(ix + 1, jr) if ix < self.px - 1 else None
-        lower = self.rank_of(ix, jr - 1) if jr > 0 else None
-        upper = self.rank_of(ix, jr + 1) if jr < self.pr - 1 else None
-        return left, right, lower, upper
-
-
-class Distributed2DSolver(CompressibleSolver):
+class Distributed2DSolver(BlockDistributedSolver):
     """Per-rank solver over a 2-D Cartesian block decomposition."""
-
-    #: The fused kernel workspace is not wired through the 2-D halo
-    #: plumbing yet; the fused backend degrades to the allocating path here.
-    _supports_fused_kernels = False
 
     def __init__(
         self,
@@ -114,278 +49,13 @@ class Distributed2DSolver(CompressibleSolver):
             raise ValueError(
                 f"px * pr = {px * pr} does not match {comm.size} ranks"
             )
-        self.comm = comm
-        self.decomp = CartesianDecomposition(
-            global_grid.nx, global_grid.nr, px, pr
+        super().__init__(
+            comm,
+            global_grid,
+            q_global,
+            config,
+            version=version,
+            decomp=CartesianDecomposition(
+                global_grid.nx, global_grid.nr, px, pr
+            ),
         )
-        (self.ilo, self.ihi), (self.jlo, self.jhi) = self.decomp.block(comm.rank)
-        self.left, self.right, self.lower, self.upper = self.decomp.neighbors(
-            comm.rank
-        )
-        if isinstance(version, int):
-            version = version_by_number(version)
-        self.version = version
-        self.policy = ExchangePolicy.from_version(version)
-        self.global_grid = global_grid
-        local_grid = global_grid.subgrid(self.ilo, self.ihi).radial_subgrid(
-            self.jlo, self.jhi
-        )
-        local_state = FlowState(
-            local_grid,
-            q_global[:, self.ilo : self.ihi, self.jlo : self.jhi].copy(),
-            config.gamma,
-        )
-        bc = config.boundary
-        if bc is not None and bc.sponge is not None:
-            if bc.sponge.width > self.decomp.radial.size(pr - 1):
-                raise ValueError(
-                    "sponge width exceeds the top radial blocks"
-                )
-        super().__init__(local_state, config)
-        self._trace_rank = comm.rank
-        from ..obs import get_tracer
-
-        get_tracer().bind_rank(comm.rank)
-        self.fm.halo_axis = 2  # uvT halos along both axes
-
-    # -- tags --------------------------------------------------------------------
-    def _tag(self, op: str, phase: str = "") -> str:
-        return f"{self.nstep}:{op}:{phase}"
-
-    def _active_high(self, variant: int, phase: str) -> bool:
-        return (variant == 1) == (phase == PREDICTOR)
-
-    # -- halo plumbing ------------------------------------------------------------
-    def _uvT_halo(self, q: np.ndarray, tag: str, include_x: bool = True):
-        """Both-axis velocity/temperature ghosts as the 2-D halo dict."""
-        if not self.fm.mu:
-            return None
-        u, v, T = self.fm.primitives(q)
-        halo_x = None
-        if include_x and (self.left is not None or self.right is not None):
-            halo_x = exchange_uvT(
-                self.comm, f"{tag}:hx", u, v, T, self.left, self.right, axis=0
-            )
-        halo_r = None
-        if self.lower is not None or self.upper is not None:
-            halo_r = exchange_uvT(
-                self.comm, f"{tag}:hr", u, v, T, self.lower, self.upper, axis=1
-            )
-        if halo_x is None and halo_r is None:
-            return None
-        return {"x": halo_x, "r": halo_r}
-
-    def _x_workspace(self, variant: int) -> SweepWorkspace:  # type: ignore[override]
-        solver = self
-
-        def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("x", phase))
-            return solver.fm.axial_flux(q, uvT_halo=halo), None
-
-        def high_ghosts(F, phase):
-            if solver._active_high(variant, phase):
-                return exchange_flux_high(
-                    solver.comm,
-                    solver._tag("x", phase),
-                    F,
-                    solver.left,
-                    solver.right,
-                    solver.policy,
-                    axis=1,
-                )
-            return None
-
-        def low_ghosts(F, phase):
-            if not solver._active_high(variant, phase):
-                return exchange_flux_low(
-                    solver.comm,
-                    solver._tag("x", phase),
-                    F,
-                    solver.left,
-                    solver.right,
-                    solver.policy,
-                    axis=1,
-                )
-            return None
-
-        return SweepWorkspace(
-            flux=flux, low_ghosts=low_ghosts, high_ghosts=high_ghosts
-        )
-
-    def _radial_ghost_callbacks(self, variant: int, tag_op: str):
-        solver = self
-
-        def low_ghosts(rG, phase):
-            if not solver._active_high(variant, phase):
-                ghosts = exchange_flux_low(
-                    solver.comm,
-                    solver._tag(tag_op, phase),
-                    rG,
-                    solver.lower,
-                    solver.upper,
-                    solver.policy,
-                    axis=2,
-                )
-                if ghosts is None:
-                    return apply_axis_ghosts(rG)
-                return ghosts
-            if solver.lower is None:
-                return apply_axis_ghosts(rG)
-            return None
-
-        def high_ghosts(rG, phase):
-            if solver._active_high(variant, phase):
-                return exchange_flux_high(
-                    solver.comm,
-                    solver._tag(tag_op, phase),
-                    rG,
-                    solver.lower,
-                    solver.upper,
-                    solver.policy,
-                    axis=2,
-                )
-            return None
-
-        return low_ghosts, high_ghosts
-
-    def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
-        if variant is None:
-            return super()._r_workspace_serial()
-        solver = self
-
-        def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("r", phase))
-            return solver.fm.radial_flux(q, uvT_halo=halo)
-
-        low, high = self._radial_ghost_callbacks(variant, "r")
-        return SweepWorkspace(
-            flux=flux,
-            low_ghosts=low,
-            high_ghosts=high,
-            inv_weight=self._inv_weight,
-        )
-
-    def _operators(self, variant: int):  # type: ignore[override]
-        Lx = SplitOperator(
-            axis=1,
-            h=self.grid.dx,
-            variant=variant,
-            workspace=self._x_workspace(variant),
-        )
-        Lr = SplitOperator(
-            axis=2,
-            h=self.grid.dr,
-            variant=variant,
-            workspace=self._r_workspace(variant),
-        )
-        return Lx, Lr
-
-    # -- time step --------------------------------------------------------------
-    def current_dt(self) -> float:  # type: ignore[override]
-        cfg = self.config
-        if cfg.dt is not None:
-            return cfg.dt
-        if (
-            self._dt_cached is None
-            or self.nstep % max(cfg.dt_recompute_every, 1) == 0
-        ):
-            local = stable_dt(
-                self.state.q,
-                self.grid.dx,
-                self.grid.dr,
-                cfl=cfg.cfl,
-                mu=self.fm.mu,
-                gamma=cfg.gamma,
-            )
-            self._dt_cached = self.comm.allreduce_min(local, tag=self._tag("dt"))
-        return self._dt_cached
-
-    # -- filter halos -------------------------------------------------------------
-    def _state_ghosts(self, q: np.ndarray, axis: int, side: str):  # type: ignore[override]
-        tag = self._tag("filter")
-        if axis == 1:
-            if side == "low":
-                return exchange_state_halo_low(
-                    self.comm, f"{tag}:x", q, self.left, self.right, axis=1
-                )
-            return exchange_state_halo_high(
-                self.comm, f"{tag}:x", q, self.left, self.right, axis=1
-            )
-        if side == "low":
-            ghosts = exchange_state_halo_low(
-                self.comm, f"{tag}:r", q, self.lower, self.upper, axis=2
-            )
-            if ghosts is None and self.config.axisymmetric:
-                signs = AXIS_STATE_SIGNS[:, None]
-                return np.stack([signs * q[:, :, 0], signs * q[:, :, 1]])
-            return ghosts
-        return exchange_state_halo_high(
-            self.comm, f"{tag}:r", q, self.lower, self.upper, axis=2
-        )
-
-    # -- characteristic outflow (collective over the last axial column) ------------
-    def _outflow_rates(self, q: np.ndarray, variant: int) -> np.ndarray:  # type: ignore[override]
-        window = np.ascontiguousarray(q[:, -5:, :])
-        tag = self._tag("ofw")
-        # The serial helper uses one-sided x-gradients on the window (no
-        # x-halo); only the radial ghosts are real neighbour data.
-        halo = self._uvT_halo(window, f"{tag}:uvx", include_x=False)
-        F = self.fm.axial_flux(window, uvT_halo=halo)
-        h = self.grid.dx
-        dF = (7.0 * (F[:, -1] - F[:, -2]) - (F[:, -2] - F[:, -3])) / (6.0 * h)
-
-        solver = self
-
-        def wflux(qw, phase):
-            whalo = solver._uvT_halo(
-                qw, f"{tag}:uvr:{phase}", include_x=False
-            )
-            return solver.fm.radial_flux(qw, uvT_halo=whalo)
-
-        low, high = self._radial_ghost_callbacks(variant, "ofwr")
-        ws = SweepWorkspace(
-            flux=wflux,
-            low_ghosts=low,
-            high_ghosts=high,
-            inv_weight=self._inv_weight,
-        )
-        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
-        radial_rate = Lr._rate(window, PREDICTOR)[:, -1, :]
-        return -dF + radial_rate
-
-    # -- boundaries ------------------------------------------------------------------
-    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):  # type: ignore[override]
-        bc = self.config.boundary
-        if bc is None:
-            return
-        q = self.state.q
-        if bc.characteristic_outflow and self.right is None:
-            q_t = self._outflow_rates(q_before, variant)
-            rates = characteristic_outflow_rates(
-                q_before[:, -1, :], q_t, self.config.gamma
-            )
-            q[:, -1, :] = q_before[:, -1, :] + dt * rates
-        if bc.inflow is not None and self.left is None:
-            q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
-        if (
-            bc.sponge is not None
-            and self._sponge_col is not None
-            and self.upper is None
-        ):
-            bc.sponge.apply(q, self._sponge_col)
-
-    # -- gathering -------------------------------------------------------------------
-    def gather_state(self) -> FlowState | None:
-        """Assemble the global state on rank 0 (``None`` elsewhere)."""
-        parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:gather")
-        if parts is None:
-            return None
-        columns = []
-        for ix in range(self.decomp.px):
-            blocks = [
-                parts[self.decomp.rank_of(ix, jr)]
-                for jr in range(self.decomp.pr)
-            ]
-            columns.append(np.concatenate(blocks, axis=2))
-        q_full = np.concatenate(columns, axis=1)
-        return FlowState(self.global_grid, q_full, self.config.gamma)

@@ -8,7 +8,9 @@ exchange (rows of length ``nx`` instead of columns of length ``nr``) while
 the axial sweep is communication-free — the mirror image of
 :class:`repro.parallel.spmd.DistributedSolver`.
 
-Differences from axial blocking:
+Differences from axial blocking (all decided by the decomposition's
+:class:`~repro.parallel.decomposition.HaloTopology` in the shared
+:class:`~repro.parallel.spmd.BlockDistributedSolver` base):
 
 * every rank owns a piece of the inflow and outflow columns, so the
   characteristic outflow treatment becomes a *collective* step: the radial
@@ -20,276 +22,19 @@ Differences from axial blocking:
 
 Like the axial solver, every ghost is real neighbour data entering the
 identical vectorized expressions, so the result is bitwise-identical to the
-serial solver — verified by the test suite.
+serial solver — with both the baseline and the fused kernel backends, on
+every substrate, with checkpoint/restart — verified by the test suite.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..grid import Grid
-from ..msglib.api import Communicator
-from ..numerics.boundary import (
-    AXIS_STATE_SIGNS,
-    apply_axis_ghosts,
-    characteristic_outflow_rates,
-)
-from ..numerics.maccormack import PREDICTOR, SplitOperator, SweepWorkspace
-from ..numerics.solver import CompressibleSolver, SolverConfig
-from ..numerics.timestep import stable_dt
-from ..physics.state import FlowState
 from .decomposition import RadialDecomposition
-from .halo import (
-    ExchangePolicy,
-    exchange_flux_high,
-    exchange_flux_low,
-    exchange_state_halo_high,
-    exchange_state_halo_low,
-    exchange_uvT,
-)
-from .versions import Version, version_by_number
+from .spmd import BlockDistributedSolver
 
 
-class RadialDistributedSolver(CompressibleSolver):
+class RadialDistributedSolver(BlockDistributedSolver):
     """Per-rank solver over a radial block decomposition."""
 
-    #: The fused kernel workspace is not wired through the radial halo
-    #: plumbing yet; the fused backend degrades to the allocating path here.
-    _supports_fused_kernels = False
-
-    def __init__(
-        self,
-        comm: Communicator,
-        global_grid: Grid,
-        q_global: np.ndarray,
-        config: SolverConfig,
-        version: int | Version = 5,
-    ) -> None:
-        self.comm = comm
-        self.decomp = RadialDecomposition(global_grid.nr, comm.size)
-        self.lo, self.hi = self.decomp.bounds(comm.rank)
-        self.lower, self.upper = self.decomp.neighbors(comm.rank)
-        if isinstance(version, int):
-            version = version_by_number(version)
-        self.version = version
-        self.policy = ExchangePolicy.from_version(version)
-        self.global_grid = global_grid
-        local_grid = global_grid.radial_subgrid(self.lo, self.hi)
-        local_state = FlowState(
-            local_grid, q_global[:, :, self.lo : self.hi].copy(), config.gamma
-        )
-        bc = config.boundary
-        if bc is not None and bc.sponge is not None:
-            if bc.sponge.width > self.decomp.size(comm.size - 1):
-                raise ValueError(
-                    "sponge width exceeds the last rank's radial slab"
-                )
-        super().__init__(local_state, config)
-        self._trace_rank = comm.rank
-        from ..obs import get_tracer
-
-        get_tracer().bind_rank(comm.rank)
-        self.fm.halo_axis = 1  # uvT halos are rows
-
-    # -- tags -------------------------------------------------------------------
-    def _tag(self, op: str, phase: str = "") -> str:
-        return f"{self.nstep}:{op}:{phase}"
-
-    def _active_high(self, variant: int, phase: str) -> bool:
-        """Forward differencing (consuming high ghosts) for this phase?"""
-        return (variant == 1) == (phase == PREDICTOR)
-
-    # -- halo-aware flux evaluation ------------------------------------------
-    def _uvT_halo(self, q: np.ndarray, tag: str):
-        if not self.fm.mu:
-            return None
-        if self.lower is None and self.upper is None:
-            return None
-        u, v, T = self.fm.primitives(q)
-        return exchange_uvT(
-            self.comm, tag, u, v, T, self.lower, self.upper, axis=1
-        )
-
-    def _x_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
-        solver = self
-
-        def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("x", phase))
-            return solver.fm.axial_flux(q, uvT_halo=halo), None
-
-        # The axial direction is not decomposed: cubic ghosts as in serial.
-        return SweepWorkspace(flux=flux)
-
-    def _radial_ghost_callbacks(self, variant: int, tag_op: str):
-        """Low/high ghost providers for an r-sweep over the slab."""
-        solver = self
-
-        def low_ghosts(rG, phase):
-            if not self._active_high(variant, phase):  # backward: low side
-                # Every rank participates (the exchange's *send* leg must
-                # run even on ranks with no lower neighbour, or their
-                # upper neighbour deadlocks); ranks at the axis get None
-                # back and mirror instead.
-                ghosts = exchange_flux_low(
-                    solver.comm,
-                    solver._tag(tag_op, phase),
-                    rG,
-                    solver.lower,
-                    solver.upper,
-                    solver.policy,
-                    axis=2,
-                )
-                if ghosts is None:
-                    return apply_axis_ghosts(rG)
-                return ghosts
-            # Inactive side: values unused by the one-sided stencil.  Rank 0
-            # still mirrors (matches serial); others extrapolate.
-            if solver.lower is None:
-                return apply_axis_ghosts(rG)
-            return None
-
-        def high_ghosts(rG, phase):
-            if self._active_high(variant, phase):
-                # None at the far field selects cubic extrapolation, as in
-                # the serial solver; the send leg runs on every rank.
-                return exchange_flux_high(
-                    solver.comm,
-                    solver._tag(tag_op, phase),
-                    rG,
-                    solver.lower,
-                    solver.upper,
-                    solver.policy,
-                    axis=2,
-                )
-            return None
-
-        return low_ghosts, high_ghosts
-
-    def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
-        solver = self
-        if variant is None:
-            # Requested by serial helpers; halo-free (used only on windows
-            # fully interior to the slab, which never happens here — the
-            # outflow helper overrides below).
-            return super()._r_workspace_serial()
-
-        def flux(q, phase):
-            halo = solver._uvT_halo(q, solver._tag("r", phase))
-            return solver.fm.radial_flux(q, uvT_halo=halo)
-
-        low, high = self._radial_ghost_callbacks(variant, "r")
-        return SweepWorkspace(
-            flux=flux,
-            low_ghosts=low,
-            high_ghosts=high,
-            inv_weight=self._inv_weight,
-        )
-
-    def _operators(self, variant: int):  # type: ignore[override]
-        Lx = SplitOperator(
-            axis=1,
-            h=self.grid.dx,
-            variant=variant,
-            workspace=self._x_workspace(variant),
-        )
-        Lr = SplitOperator(
-            axis=2,
-            h=self.grid.dr,
-            variant=variant,
-            workspace=self._r_workspace(variant),
-        )
-        return Lx, Lr
-
-    # -- time step ----------------------------------------------------------------
-    def current_dt(self) -> float:  # type: ignore[override]
-        cfg = self.config
-        if cfg.dt is not None:
-            return cfg.dt
-        if (
-            self._dt_cached is None
-            or self.nstep % max(cfg.dt_recompute_every, 1) == 0
-        ):
-            local = stable_dt(
-                self.state.q,
-                self.grid.dx,
-                self.grid.dr,
-                cfl=cfg.cfl,
-                mu=self.fm.mu,
-                gamma=cfg.gamma,
-            )
-            self._dt_cached = self.comm.allreduce_min(local, tag=self._tag("dt"))
-        return self._dt_cached
-
-    # -- filter halos ----------------------------------------------------------------
-    def _state_ghosts(self, q: np.ndarray, axis: int, side: str):  # type: ignore[override]
-        if axis == 2:
-            tag = self._tag("filter")
-            if side == "low":
-                ghosts = exchange_state_halo_low(
-                    self.comm, tag, q, self.lower, self.upper, axis=2
-                )
-                if ghosts is None and self.config.axisymmetric:
-                    signs = AXIS_STATE_SIGNS[:, None]
-                    return np.stack(
-                        [signs * q[:, :, 0], signs * q[:, :, 1]]
-                    )
-                return ghosts
-            return exchange_state_halo_high(
-                self.comm, tag, q, self.lower, self.upper, axis=2
-            )
-        # The axial direction is serial: cubic ghosts (inflow/outflow edges).
-        return None
-
-    # -- characteristic outflow (collective over radial slabs) -----------------------
-    def _outflow_rates(self, q: np.ndarray, variant: int) -> np.ndarray:  # type: ignore[override]
-        window = np.ascontiguousarray(q[:, -5:, :])
-        tag = self._tag("ofw")
-        halo = self._uvT_halo(window, f"{tag}:uvx")
-        F = self.fm.axial_flux(window, uvT_halo=halo)
-        h = self.grid.dx
-        dF = (7.0 * (F[:, -1] - F[:, -2]) - (F[:, -2] - F[:, -3])) / (6.0 * h)
-
-        solver = self
-
-        def wflux(qw, phase):
-            whalo = solver._uvT_halo(qw, f"{tag}:uvr:{phase}")
-            return solver.fm.radial_flux(qw, uvT_halo=whalo)
-
-        low, high = self._radial_ghost_callbacks(variant, "ofwr")
-        ws = SweepWorkspace(
-            flux=wflux,
-            low_ghosts=low,
-            high_ghosts=high,
-            inv_weight=self._inv_weight,
-        )
-        Lr = SplitOperator(axis=2, h=self.grid.dr, variant=variant, workspace=ws)
-        radial_rate = Lr._rate(window, PREDICTOR)[:, -1, :]
-        return -dF + radial_rate
-
-    # -- boundaries ------------------------------------------------------------------
-    def _apply_boundaries(self, q_before: np.ndarray, dt: float, variant: int):  # type: ignore[override]
-        bc = self.config.boundary
-        if bc is None:
-            return
-        q = self.state.q
-        if bc.characteristic_outflow:
-            # Collective: every rank owns a radial slice of the outflow
-            # column; the window exchanges keep all ranks in lockstep.
-            q_t = self._outflow_rates(q_before, variant)
-            rates = characteristic_outflow_rates(
-                q_before[:, -1, :], q_t, self.config.gamma
-            )
-            q[:, -1, :] = q_before[:, -1, :] + dt * rates
-        if bc.inflow is not None:
-            q[:, 0, :] = bc.inflow_column(self.grid.r, self.t, self.config.gamma)
-        if bc.sponge is not None and self._sponge_col is not None and self.upper is None:
-            bc.sponge.apply(q, self._sponge_col)
-
-    # -- gathering -------------------------------------------------------------------
-    def gather_state(self) -> FlowState | None:
-        """Assemble the global state on rank 0 (``None`` elsewhere)."""
-        parts = self.comm.gather_arrays(self.state.q, tag=f"{self.nstep}:gather")
-        if parts is None:
-            return None
-        q_full = np.concatenate(parts, axis=2)
-        return FlowState(self.global_grid, q_full, self.config.gamma)
+    def _make_decomposition(self, global_grid: Grid, nranks: int):
+        return RadialDecomposition(global_grid.nr, nranks)

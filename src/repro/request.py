@@ -299,7 +299,12 @@ class RunRequest:
 
         Route-irrelevant fields are nulled out so e.g. a serial run's
         identity does not vary with ``decomposition=`` or ``faults=``;
-        observability and ``timeout`` never appear.
+        observability and ``timeout`` never appear.  ``decomposition`` (and
+        ``px``/``pr``) is nulled even on the parallel route: all three
+        decompositions produce bitwise-identical states (verified by the
+        test suite), so the result cache soundly dedupes across them.
+        ``substrate`` stays in the parallel identity because per-rank
+        statistics and wall-clock observables differ across substrates.
         """
         ex, rz = self.execution, self.resilience
         mode = self.mode
@@ -314,9 +319,9 @@ class RunRequest:
             "nprocs": ex.nprocs,
             "platform": ex.platform,
             "substrate": ex.substrate if parallel else None,
-            "decomposition": ex.decomposition if parallel else None,
-            "px": ex.px if parallel else None,
-            "pr": ex.pr if parallel else None,
+            "decomposition": None,  # route-irrelevant: results are bitwise-equal
+            "px": None,
+            "pr": None,
             "version": ex.version if (parallel or simulated) else None,
             "backend": ex.backend if not simulated else None,
             "steps_window": ex.steps_window if simulated else None,

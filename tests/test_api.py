@@ -42,12 +42,20 @@ def test_parallel_route_bitwise_identical_to_serial():
     assert par.total_stats.sends > 0
 
 
-def test_parallel_route_other_decompositions():
-    serial = run("jet", steps=4, **SMALL)
-    rad = run("jet", steps=4, nprocs=2, decomposition="radial", **SMALL)
-    two_d = run("jet", steps=4, nprocs=4, decomposition="2d", px=2, pr=2, **SMALL)
+@pytest.mark.parametrize("name", ["jet", "jet-euler"])
+def test_parallel_route_other_decompositions(name):
+    """One exchange core, three decompositions: radial and 2-D runs must be
+    bitwise-equal to the serial reference *and* to the axial route — the
+    contract behind ``RunRequest.fingerprint()`` treating the decomposition
+    as route-irrelevant."""
+    serial = run(name, steps=6, **SMALL)
+    axial = run(name, steps=6, nprocs=2, **SMALL)
+    rad = run(name, steps=6, nprocs=2, decomposition="radial", **SMALL)
+    two_d = run(name, steps=6, nprocs=4, decomposition="2d", px=2, pr=2, **SMALL)
+    assert np.array_equal(axial.state.q, serial.state.q)
     assert np.array_equal(rad.state.q, serial.state.q)
     assert np.array_equal(two_d.state.q, serial.state.q)
+    assert rad.t == serial.t and two_d.t == serial.t
 
 
 def test_simulated_route_by_platform_name():

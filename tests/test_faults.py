@@ -92,12 +92,12 @@ class TestChaosMatrix:
         self._run(euler_case, kind, nprocs, chaos_seed)
 
     @staticmethod
-    def _run(case, kind, nprocs, seed):
+    def _run(case, kind, nprocs, seed, **kw):
         sc, config, ref = case
         plan = _plan(kind, seed)
         solver = ParallelJetSolver(
             sc.state, config, nranks=nprocs, timeout=30, faults=plan,
-            max_restarts=0,
+            max_restarts=0, **kw,
         )
         try:
             res = solver.run(STEPS)
@@ -117,6 +117,23 @@ class TestChaosMatrix:
         )
         stats = [s for s in res.fault_stats if s is not None]
         assert stats, "fault plan active but no fault stats collected"
+
+    @pytest.mark.parametrize(
+        "kind", ["drop", "truncate", "mixed"]
+    )
+    @pytest.mark.parametrize(
+        "nprocs,kw",
+        [
+            (2, dict(decomposition="radial")),
+            (4, dict(decomposition="2d", px=2, pr=2)),
+        ],
+        ids=["radial", "2d"],
+    )
+    def test_other_decompositions(self, ns_case, kind, nprocs, kw, chaos_seed):
+        """The fault contract is decomposition-agnostic: the unified
+        exchange core gives radial and 2-D runs the identical
+        recover-or-structured-failure guarantee."""
+        self._run(ns_case, kind, nprocs, chaos_seed, **kw)
 
     def test_matrix_is_not_vacuous(self, ns_case, chaos_seed):
         """At least one fault actually fires per mechanism at these rates."""
@@ -206,6 +223,29 @@ class TestCrashAndRestart:
         res = ParallelJetSolver(
             sc.state, config, nranks=4, timeout=30, faults=plan,
             checkpoint_every=2,
+        ).run(STEPS)
+        assert res.restarts == 1
+        assert np.array_equal(res.state.q, ref.q)
+
+    @pytest.mark.parametrize(
+        "nranks,kw",
+        [
+            (2, dict(decomposition="radial")),
+            (4, dict(decomposition="2d", px=2, pr=2)),
+        ],
+        ids=["radial", "2d"],
+    )
+    def test_crash_recovers_on_other_decompositions(
+        self, ns_case, chaos_seed, nranks, kw
+    ):
+        """checkpoint()/restore() are wired through every decomposition:
+        an injected crash resumes bitwise-exact on radial and 2-D runs."""
+        sc, config, ref = ns_case
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 4),),
+                         recv_timeout=0.2, recv_retries=2)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=nranks, timeout=30, faults=plan,
+            checkpoint_every=2, **kw,
         ).run(STEPS)
         assert res.restarts == 1
         assert np.array_equal(res.state.q, ref.q)

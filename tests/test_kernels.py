@@ -158,6 +158,29 @@ class TestBitwiseEquivalence:
         fused = run(name, steps=8, nprocs=4, nx=48, nr=24, backend="fused")
         assert np.array_equal(fused.state.q, base.state.q)
 
+    @pytest.mark.parametrize(
+        "decomp,kw",
+        [
+            ("axial", dict(nprocs=2)),
+            ("radial", dict(nprocs=2)),
+            ("2d", dict(nprocs=4, px=2, pr=2)),
+        ],
+        ids=["axial", "radial", "2d"],
+    )
+    def test_every_decomposition(self, viscous, decomp, kw):
+        """The unified exchange core gives every decomposition the fused
+        workspace; each must match the allocating baseline bit for bit."""
+        name = "jet" if viscous else "jet-euler"
+        base = run(
+            name, steps=6, nx=48, nr=24,
+            backend="baseline", decomposition=decomp, **kw,
+        )
+        fused = run(
+            name, steps=6, nx=48, nr=24,
+            backend="fused", decomposition=decomp, **kw,
+        )
+        assert np.array_equal(fused.state.q, base.state.q)
+
 
 class TestWorkspaceMechanics:
     def test_state_ping_pong(self):
@@ -194,12 +217,37 @@ class TestWorkspaceMechanics:
         assert solver._filter_ix[1] is ix[1]
         assert solver._filter_ix[2] is ix[2]
 
-    def test_fused_backend_degrades_on_radial_decomposition(self):
-        """Decompositions without fused plumbing still run — and still
-        match — when the fused backend is requested."""
-        ref = run("jet", steps=4, nx=36, nr=24, backend="baseline")
-        res = run(
-            "jet", steps=4, nx=36, nr=24, nprocs=2,
-            backend="fused", decomposition="radial",
+    def test_fused_workspace_on_every_decomposition(self):
+        """Every decomposition gets a real fused workspace — no silent
+        degradation to the allocating path (the pre-unification radial
+        and 2-D solvers dropped ``_ws`` to ``None``)."""
+        from repro.msglib.virtual import VirtualCluster
+        from repro.parallel.spmd import DistributedSolver
+        from repro.parallel.spmd2d import Distributed2DSolver
+        from repro.parallel.spmd_radial import RadialDistributedSolver
+
+        sc = jet_scenario(nx=36, nr=24)
+        config = sc.solver.config
+        config.backend = "fused"
+        grid, q = sc.state.grid, sc.state.q
+
+        def has_workspace(make, nranks):
+            cluster = VirtualCluster(nranks, timeout=60)
+            return cluster.run(
+                lambda comm: isinstance(make(comm)._ws, StepWorkspace)
+            )
+
+        assert all(
+            has_workspace(lambda c: DistributedSolver(c, grid, q, config), 2)
         )
-        assert np.array_equal(res.state.q, ref.state.q)
+        assert all(
+            has_workspace(
+                lambda c: RadialDistributedSolver(c, grid, q, config), 2
+            )
+        )
+        assert all(
+            has_workspace(
+                lambda c: Distributed2DSolver(c, grid, q, config, px=2, pr=2),
+                4,
+            )
+        )

@@ -250,6 +250,56 @@ class TestSubstrateEquivalence:
             s.sends for s in runs["virtual"].per_rank_stats
         ]
 
+    @pytest.mark.parametrize(
+        "nranks,kw",
+        [
+            (2, dict(decomposition="radial")),
+            (4, dict(decomposition="2d", px=2, pr=2)),
+        ],
+        ids=["radial", "2d"],
+    )
+    def test_other_decompositions_match_virtual_and_serial(
+        self, ns_case, nranks, kw
+    ):
+        """Full substrate parity: radial and 2-D runs are bitwise-equal
+        across OS processes, the virtual cluster and the serial reference,
+        with identical per-rank traffic shape."""
+        sc, config, ref = ns_case
+        runs = {}
+        for substrate in ("virtual", "process"):
+            runs[substrate] = ParallelJetSolver(
+                sc.state, config, nranks=nranks, timeout=60,
+                substrate=substrate, **kw,
+            ).run(STEPS)
+        assert np.array_equal(runs["process"].state.q, runs["virtual"].state.q)
+        assert np.array_equal(runs["process"].state.q, ref.q)
+        assert [s.sends for s in runs["process"].per_rank_stats] == [
+            s.sends for s in runs["virtual"].per_rank_stats
+        ]
+
+    @pytest.mark.parametrize(
+        "nranks,kw",
+        [
+            (2, dict(decomposition="radial")),
+            (4, dict(decomposition="2d", px=2, pr=2)),
+        ],
+        ids=["radial", "2d"],
+    )
+    def test_crash_recovers_on_other_decompositions(
+        self, ns_case, chaos_seed, nranks, kw
+    ):
+        """Worker-process crash on a radial/2-D run: the parent-held
+        store resumes from the shipped snapshot, bitwise-exact."""
+        sc, config, ref = ns_case
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 4),),
+                         recv_timeout=0.2, recv_retries=2)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=nranks, timeout=60,
+            substrate="process", faults=plan, checkpoint_every=2, **kw,
+        ).run(STEPS)
+        assert res.restarts == 1
+        assert np.array_equal(res.state.q, ref.q)
+
     def test_fused_matches_baseline_on_processes(self, euler_case):
         sc, config, _ = euler_case
         states = {}

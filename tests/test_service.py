@@ -68,6 +68,33 @@ class TestDedupe:
         assert np.array_equal(via_service.state.u, direct.state.u)
         assert via_service.t == direct.t
 
+    def test_decomposition_is_route_irrelevant(self, tmp_path):
+        """An axial-cached result is served to radial and 2-D requests.
+
+        The unified exchange core makes every decomposition bitwise-equal,
+        so ``RunRequest.fingerprint()`` nulls ``decomposition``/``px``/``pr``
+        and the service dedupes across them."""
+        kw = dict(steps=6, nx=48, nr=24, nprocs=2)
+        axial = RunRequest.from_run_args("jet", **kw)
+        radial = RunRequest.from_run_args("jet", decomposition="radial", **kw)
+        two_d = RunRequest.from_run_args(
+            "jet", decomposition="2d", px=2, pr=1, **kw
+        )
+        assert radial.fingerprint() == axial.fingerprint()
+        assert two_d.fingerprint() == axial.fingerprint()
+        with make_service(tmp_path) as svc:
+            j1 = svc.submit(axial)
+            j2 = svc.submit(radial)
+            j3 = svc.submit(two_d)
+            svc.wait(j1.id, timeout=120)
+            svc.wait(j2.id, timeout=120)
+            svc.wait(j3.id, timeout=120)
+            assert j2.attached_to == j1.id
+            assert j3.attached_to == j1.id
+            assert svc.executed == 1
+            r1, r2 = svc.result(j1.id), svc.result(j3.id)
+        assert np.array_equal(r1.state.q, r2.state.q)
+
     def test_distinct_fingerprints_both_execute(self, tmp_path):
         with make_service(tmp_path) as svc:
             j1 = svc.submit(sod_request())
