@@ -55,6 +55,19 @@ MATRIX = (
         "tolerance": 0.15,
     },
     {
+        # Compiled ("V6") rung: on hosts with no engine this silently
+        # benchmarks the fused fallback — the regression gate's
+        # calibration normalization keeps that honest because the
+        # committed baseline records which engine produced it.
+        "id": "ns-serial-compiled",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 1,
+        "backend": "compiled",
+        "tolerance": 0.20,
+    },
+    {
         "id": "euler-serial-fused",
         "scenario": "jet-euler",
         "kw": {"nx": 64, "nr": 32},
@@ -241,6 +254,12 @@ def run_matrix(
         if quick:
             spec["steps"] = max(spec["steps"] // 4, 2)
         perf = run_case(spec, repeats, ledger_path)
+        engine = None
+        if case["backend"] == "compiled":
+            from repro.numerics.kernels import get_backend
+
+            be = get_backend("compiled")
+            engine = be.ops().engine if be.available() else "fused-fallback"
         cases[case["id"]] = {
             "ms_per_step": perf.ms_per_step,
             "mflops": perf.mflops_total,
@@ -255,6 +274,7 @@ def run_matrix(
                 "substrate": case.get("substrate", "virtual"),
                 "decomposition": case.get("decomposition", "axial"),
                 **case["kw"],
+                **({"engine": engine} if engine is not None else {}),
             },
         }
         print(

@@ -18,7 +18,7 @@ import time
 import pytest
 
 from repro import jet_scenario
-from repro.numerics.kernels import available_backends
+from repro.numerics.kernels import available_backends, get_backend
 
 from conftest import OUTPUT_DIR
 
@@ -47,22 +47,35 @@ def test_paper_grid_step(benchmark):
 def test_backend_ladder():
     """Per-backend step time at 250x100, written to BENCH_kernels.json.
 
-    The fused backend must deliver at least the 1.5x speedup the ISSUE's
+    The fused backend must deliver at least the 1.5x speedup the ISSUE-2
     acceptance criterion demands (measured: ~2x) — the same shape of gain
     the paper's Versions 2-4 restructuring bought on the RS6000/560
-    (9.3 -> 13.7 MFLOPS before compiler flags).
+    (9.3 -> 13.7 MFLOPS before compiler flags).  The compiled ("V6")
+    backend stacks the paper's Version 5-6 compiler rung on top: where an
+    engine is available it must run at least 2x faster than fused
+    (measured: ~2.3x via the C engine on this container); where no engine
+    exists the rung is skipped and recorded as unavailable rather than
+    silently benchmarking the fused fallback.
     """
     steps, repeats = 25, 3
+    compiled_ok = get_backend("compiled").available()
     results = {}
     for backend in available_backends():
+        if backend == "compiled":
+            if not compiled_ok:
+                results[backend] = {"available": False}
+                continue
+            results[backend] = {
+                "engine": get_backend("compiled").ops().engine
+            }
         solver = _solver_for(backend)
-        solver.run(4)  # warm dt cache, caches, workspace
+        solver.run(4)  # warm dt cache, caches, workspace (and any JIT)
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
             solver.run(steps)
             best = min(best, (time.perf_counter() - t0) / steps)
-        results[backend] = {"ms_per_step": 1e3 * best}
+        results.setdefault(backend, {})["ms_per_step"] = 1e3 * best
     speedup = (
         results["baseline"]["ms_per_step"] / results["fused"]["ms_per_step"]
     )
@@ -73,6 +86,12 @@ def test_backend_ladder():
         "backends": results,
         "fused_speedup_vs_baseline": round(speedup, 3),
     }
+    if compiled_ok:
+        compiled_speedup = (
+            results["fused"]["ms_per_step"]
+            / results["compiled"]["ms_per_step"]
+        )
+        payload["compiled_speedup_vs_fused"] = round(compiled_speedup, 3)
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, "BENCH_kernels.json")
     with open(path, "w") as fh:
@@ -82,6 +101,11 @@ def test_backend_ladder():
         f"fused backend speedup {speedup:.2f}x below the 1.5x acceptance bar "
         f"({results})"
     )
+    if compiled_ok:
+        assert compiled_speedup >= 2.0, (
+            f"compiled backend speedup {compiled_speedup:.2f}x vs fused is "
+            f"below the 2x acceptance bar ({results})"
+        )
 
 
 def test_nulltracer_overhead():

@@ -332,3 +332,20 @@ class FaultyComm(Communicator):
                 continue
             stream["next"] = expected + 1
             return payload
+
+    def recv_view(self, source: int, tag: str, timeout: float | None = None):
+        """Borrow-style receive through the fault layer.
+
+        With injection disabled this passes straight through to the
+        inner communicator's zero-copy ``recv_view`` when it has one.
+        With injection enabled the payload necessarily crosses the
+        framed retransmission path (a raw slot holds a *frame*, not the
+        payload), so the view is an owned copy — but the release
+        discipline stays uniform for callers either way.
+        """
+        from ..msglib.process import SlotView
+
+        inner_rv = getattr(self.inner, "recv_view", None)
+        if not self._enabled and inner_rv is not None:
+            return inner_rv(source, tag, timeout=timeout)
+        return SlotView(self.recv(source, tag, timeout=timeout))

@@ -11,10 +11,13 @@ contract over
   (:class:`multiprocessing.shared_memory.SharedMemory`) carved into a
   fixed ring of slots per directed ``src -> dst`` channel.  A send packs
   the payload straight into its channel's next slot with one vectorized
-  ``np.copyto`` (no pickling on the hot halo path); the receiver unpacks
-  with one copy out of the slot and releases it.  A per-channel semaphore
-  counts free slots, so senders keep PVM's buffered deposit-and-return
-  semantics up to the ring depth and apply backpressure beyond it;
+  ``np.copyto`` (no pickling on the hot halo path); the receiver either
+  copies out of the slot and releases it (``recv``) or *borrows* the slot
+  zero-copy until an explicit release (``recv_view`` ->
+  :class:`SlotView`).  Each slot has its own free/occupied semaphore, so
+  senders keep PVM's buffered deposit-and-return semantics up to the ring
+  depth and block on exactly the slot they would overwrite beyond it —
+  a borrowed slot is therefore never overwritten before release;
 * a **queue control plane** — one :class:`multiprocessing.Queue` per rank
   carrying small ``(kind, source, tag, ...)`` records: shared-memory slot
   descriptors, oversized payloads inline (state gathers, checkpoints),
@@ -72,6 +75,7 @@ __all__ = [
     "ProcessCommunicator",
     "ProcessComm",
     "RemoteRankError",
+    "SlotView",
 ]
 
 #: Bytes per shared-memory slot.  Sized for halo traffic (a V7 flux pair
@@ -112,6 +116,98 @@ def _portable_exception(exc: BaseException) -> BaseException:
     return wrapped
 
 
+class SlotView:
+    """A received payload borrowed in place — zero-copy when it lives in
+    a shared-memory ring slot.
+
+    Returned by :meth:`ProcessCommunicator.recv_view`.  ``array`` is
+    read-only; for slot-backed views it aliases the sender's ring slot,
+    which stays **borrowed** (the sender blocks rather than overwrite it)
+    until :meth:`release` runs.  Use as a context manager to scope the
+    borrow.  ``release`` is mandatory exactly once: a second call raises
+    ``RuntimeError``, and releasing after the cluster aborted raises a
+    structured :class:`~repro.msglib.vchannel.ClusterAborted` (the slot
+    ring is gone; the data must be treated as lost).
+    """
+
+    __slots__ = ("_array", "_release_cb", "_released")
+
+    def __init__(self, array: np.ndarray, release_cb=None) -> None:
+        self._array = array
+        self._release_cb = release_cb
+        self._released = False
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._released:
+            raise RuntimeError("SlotView.array accessed after release()")
+        return self._array
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    @property
+    def zero_copy(self) -> bool:
+        """True when ``array`` aliases a shared-memory ring slot."""
+        return self._release_cb is not None
+
+    def release(self) -> None:
+        """Return the borrowed slot to the sender's ring."""
+        if self._released:
+            raise RuntimeError(
+                "SlotView.release() called twice (slot already returned)"
+            )
+        self._released = True
+        cb, self._release_cb = self._release_cb, None
+        self._array = None
+        if cb is not None:
+            cb()
+
+    def __enter__(self) -> "SlotView":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._released:
+            self.release()
+
+
+class _SlotRef:
+    """A stashed-but-unconsumed shared-memory envelope.
+
+    The payload stays in the sender's ring slot until someone asks for
+    it: ``materialize`` copies it out and frees the slot (the eager
+    ``recv`` path), while ``recv_view`` borrows the slot in place.
+    ``claimed`` marks refs popped from the stash so the ingest-side
+    pressure relief never frees a slot that a live ``SlotView`` borrows.
+    """
+
+    __slots__ = ("comm", "src", "slot", "shape", "dtype", "nbytes",
+                 "array", "claimed")
+
+    def __init__(self, comm, src, slot, shape, dtype, nbytes) -> None:
+        self.comm = comm
+        self.src = src
+        self.slot = slot
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+        self.array: np.ndarray | None = None
+        self.claimed = False
+
+    @property
+    def lazy(self) -> bool:
+        return self.array is None
+
+    def materialize(self) -> np.ndarray:
+        """Copy the payload out of the ring slot and free the slot."""
+        if self.array is None:
+            self.array = self.comm._unpack(
+                self.src, self.slot, self.shape, self.dtype
+            )
+        return self.array
+
+
 class ProcessCommunicator(Communicator):
     """Communicator endpoint for one rank of a :class:`ProcessCluster`.
 
@@ -128,6 +224,7 @@ class ProcessCommunicator(Communicator):
         self.stats = CommStats()
         self._q = cluster._queues[rank]
         self._stash: dict[tuple[int, str], deque] = defaultdict(deque)
+        self._lazy: dict[int, deque] = defaultdict(deque)
         self._tx_seq = [0] * cluster.size
         self._aborted: str | None = None
 
@@ -138,11 +235,23 @@ class ProcessCommunicator(Communicator):
             channel * self.cluster.slots_per_channel + slot
         ) * self.cluster.slot_bytes
 
+    def _slot_sem(self, src: int, dst: int, slot: int):
+        """The per-slot free/occupied semaphore (1 = free)."""
+        channel = src * self.size + dst
+        return self.cluster._slot_sems[
+            channel * self.cluster.slots_per_channel + slot
+        ]
+
     def _pack(self, dest: int, payload: np.ndarray) -> int:
-        """Copy ``payload`` into the next free slot of ``self -> dest``;
-        returns the slot index.  Blocks (abort-aware) when the ring is
-        full — the bounded counterpart of PVM's buffered deposit."""
-        sem = self.cluster._slots_free[self.rank * self.size + dest]
+        """Copy ``payload`` into the next ring slot of ``self -> dest``;
+        returns the slot index.  Slots are written in strict sequence and
+        each has its own semaphore, so the send blocks (abort-aware) on
+        exactly the slot it is about to overwrite — whether the receiver
+        is merely behind or is holding that slot borrowed via
+        :meth:`recv_view` — the bounded counterpart of PVM's buffered
+        deposit."""
+        slot = self._tx_seq[dest] % self.cluster.slots_per_channel
+        sem = self._slot_sem(self.rank, dest, slot)
         deadline = _time.monotonic() + self.cluster.timeout
         while not sem.acquire(timeout=_POLL):
             if self.cluster._abort.is_set():
@@ -152,11 +261,11 @@ class ProcessCommunicator(Communicator):
                 )
             if _time.monotonic() > deadline:
                 raise DeadlockError(
-                    f"rank {self.rank}: channel to {dest} stayed full for "
-                    f"{self.cluster.timeout}s ({self.cluster.slots_per_channel}"
-                    " slots; receiver stuck or dead)"
+                    f"rank {self.rank}: slot {slot} to {dest} stayed "
+                    f"occupied for {self.cluster.timeout}s "
+                    f"({self.cluster.slots_per_channel}-slot ring; receiver "
+                    "stuck, dead, or holding an unreleased recv_view)"
                 )
-        slot = self._tx_seq[dest] % self.cluster.slots_per_channel
         self._tx_seq[dest] += 1
         off = self._slot_offset(self.rank, dest, slot)
         view = np.frombuffer(
@@ -174,7 +283,18 @@ class ProcessCommunicator(Communicator):
             self.cluster._shm.buf, dtype=np.dtype(dtype),
             count=count, offset=off,
         ).reshape(shape).copy()
-        self.cluster._slots_free[src * self.size + self.rank].release()
+        self._slot_sem(src, self.rank, slot).release()
+        return arr
+
+    def _slot_array(self, ref: "_SlotRef") -> np.ndarray:
+        """A read-only array aliasing ``ref``'s ring slot (no copy)."""
+        off = self._slot_offset(ref.src, self.rank, ref.slot)
+        count = int(np.prod(ref.shape, dtype=np.int64)) if ref.shape else 1
+        arr = np.frombuffer(
+            self.cluster._shm.buf, dtype=np.dtype(ref.dtype),
+            count=count, offset=off,
+        ).reshape(ref.shape)
+        arr.setflags(write=False)
         return arr
 
     # -- point to point --------------------------------------------------------
@@ -216,11 +336,29 @@ class ProcessCommunicator(Communicator):
         )
 
     def _ingest(self, record: tuple) -> None:
-        """Stash one control record's payload under its (source, tag)."""
+        """Stash one control record's payload under its (source, tag).
+
+        Shared-memory envelopes are stashed *lazily* — the payload stays
+        in the ring slot so a later :meth:`recv_view` can borrow it
+        without a copy.  To keep the old liveness (a sender never blocks
+        just because the receiver is waiting on a different tag), refs
+        that pile up unconsumed beyond half the ring depth are copied out
+        oldest-first, freeing their slots.  Refs already claimed by
+        ``recv``/``recv_view`` are never touched here."""
         kind = record[0]
         if kind == "shm":
-            _, src, tag, slot, shape, dtype, _nbytes = record
-            self._stash[(src, tag)].append(self._unpack(src, slot, shape, dtype))
+            _, src, tag, slot, shape, dtype, nbytes = record
+            ref = _SlotRef(self, src, slot, shape, dtype, nbytes)
+            self._stash[(src, tag)].append(ref)
+            lz = self._lazy[src]
+            lz.append(ref)
+            while lz and (lz[0].claimed or not lz[0].lazy):
+                lz.popleft()
+            relief = max(1, self.cluster.slots_per_channel // 2)
+            while len(lz) > relief:
+                old = lz.popleft()
+                if not old.claimed and old.lazy:
+                    old.materialize()
         elif kind == "inline":
             _, src, tag, payload = record
             self._stash[(src, tag)].append(payload)
@@ -268,6 +406,9 @@ class ProcessCommunicator(Communicator):
         with tr.span("comm.recv", cat="comm", rank=self.rank, peer=source, tag=tag):
             t0 = _time.perf_counter()
             payload = self._mailbox_get(source, tag, timeout)
+            if isinstance(payload, _SlotRef):
+                payload.claimed = True
+                payload = payload.materialize()
             seconds = _time.perf_counter() - t0
         self.stats.record_recv(source, tag, payload.nbytes, seconds)
         if tr.enabled:
@@ -296,6 +437,9 @@ class ProcessCommunicator(Communicator):
                 comm._drain_nowait()
                 if comm._stash[key]:
                     payload = comm._stash[key].popleft()
+                    if isinstance(payload, _SlotRef):
+                        payload.claimed = True
+                        payload = payload.materialize()
                     comm.stats.record_recv(source, tag, payload.nbytes)
                     self._value = payload
                     self._done = True
@@ -308,6 +452,62 @@ class ProcessCommunicator(Communicator):
                 return self._value
 
         return _ProbingRecv()
+
+    def recv_view(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> SlotView:
+        """Blocking tag-matched receive that *borrows* the payload in
+        place instead of copying it out.
+
+        For payloads still sitting in their shared-memory ring slot the
+        returned :class:`SlotView` aliases the slot directly (zero-copy);
+        the sender cannot overwrite that slot until :meth:`SlotView.release`
+        runs — it blocks on the slot's semaphore, and times out into a
+        ``DeadlockError`` if the borrow is held too long.  Payloads that
+        arrived inline (oversized) or were already copied out under ring
+        pressure come back as owned views (``zero_copy`` is False);
+        release is still required, keeping the calling discipline
+        uniform.  Semantics otherwise match :meth:`recv` (same tag
+        matching, timeouts, abort behaviour, stats accounting).
+        """
+        tr = get_tracer()
+        with tr.span(
+            "comm.recv_view", cat="comm", rank=self.rank, peer=source, tag=tag
+        ):
+            t0 = _time.perf_counter()
+            item = self._mailbox_get(source, tag, timeout)
+            if isinstance(item, _SlotRef):
+                item.claimed = True
+                nbytes = item.nbytes
+                if item.lazy:
+                    src, slot = item.src, item.slot
+                    sem = self._slot_sem(src, self.rank, slot)
+
+                    def _release() -> None:
+                        if (
+                            self._aborted is not None
+                            or self.cluster._abort.is_set()
+                        ):
+                            raise ClusterAborted(
+                                f"rank {self.rank}: released a borrowed "
+                                f"slot from {src} after cluster abort — "
+                                "the slot ring is gone and the borrowed "
+                                "data must be treated as lost"
+                            )
+                        sem.release()
+
+                    view = SlotView(self._slot_array(item), _release)
+                else:
+                    view = SlotView(item.array)
+            else:
+                nbytes = item.nbytes
+                view = SlotView(item)
+            seconds = _time.perf_counter() - t0
+        self.stats.record_recv(source, tag, nbytes, seconds)
+        if tr.enabled:
+            tr.count("messages", 1, rank=self.rank)
+            tr.count("bytes_received", nbytes, rank=self.rank)
+        return view
 
     def pending(self) -> int:
         """Stashed (unconsumed) envelopes — should be 0 at a clean exit."""
@@ -386,9 +586,13 @@ class ProcessCluster:
         self._queues = [self._ctx.Queue() for _ in range(size)]
         self._to_parent = self._ctx.Queue()
         self._abort = self._ctx.Event()
-        self._slots_free = [
-            self._ctx.Semaphore(self.slots_per_channel)
-            for _ in range(size * size)
+        # One binary semaphore per ring slot (1 = free).  Per-slot rather
+        # than per-channel counting so receives may release out of order
+        # (recv_view borrows) while the sender still blocks on exactly
+        # the sequential slot it is about to overwrite.
+        self._slot_sems = [
+            self._ctx.Semaphore(1)
+            for _ in range(size * size * self.slots_per_channel)
         ]
         self._procs: list = []
         self._closed = False

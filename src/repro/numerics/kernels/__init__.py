@@ -5,7 +5,11 @@ The registry maps names to :class:`~.base.KernelBackend` instances:
 * ``"baseline"`` — the original allocating numpy kernels (paper Version 1);
 * ``"fused"`` — in-place kernels over a preallocated
   :class:`~.base.StepWorkspace`, bitwise-identical to the baseline (paper
-  Versions 2-4 transplanted to numpy).
+  Versions 2-4 transplanted to numpy);
+* ``"compiled"`` — the fused kernels JIT-compiled to native loops (Numba
+  ``njit`` or a gcc/ctypes C build; paper "V6"), bitwise-identical again,
+  with a clean :class:`~.compiled.BackendUnavailable` fallback to the
+  fused kernels on hosts with no toolchain.
 
 Selection order: an explicit ``SolverConfig(backend=...)`` /
 ``repro.api.run(..., backend=...)`` argument wins; otherwise the
@@ -19,6 +23,7 @@ import os
 
 from .base import KernelBackend, StepWorkspace
 from .baseline import BaselineBackend
+from .compiled import BackendUnavailable, CompiledBackend, CompiledWorkspace
 from .fused import FusedBackend, fused_axial_flux, fused_radial_flux
 
 __all__ = [
@@ -26,6 +31,9 @@ __all__ = [
     "StepWorkspace",
     "BaselineBackend",
     "FusedBackend",
+    "CompiledBackend",
+    "CompiledWorkspace",
+    "BackendUnavailable",
     "fused_axial_flux",
     "fused_radial_flux",
     "register_backend",
@@ -74,3 +82,7 @@ def available_backends() -> list[str]:
 
 register_backend("baseline", BaselineBackend())
 register_backend("fused", FusedBackend())
+# Registration is unconditional; engine resolution (numba, then a C
+# toolchain) is lazy and per-host, and an unavailable engine falls back
+# to the fused workspace with a warning at solver construction.
+register_backend("compiled", CompiledBackend())

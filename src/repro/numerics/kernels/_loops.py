@@ -1,0 +1,375 @@
+"""Loop-form kernels for the compiled backend (Numba ``njit``-compilable).
+
+These transcribe the same per-element operation order as the C translation
+unit in ``_cc.py`` (which in turn transcribes the fused backend's numpy
+ufunc chains), written as plain nested loops so that
+
+* Numba can ``njit`` them unchanged (the ``"numba"`` engine), and
+* they run as-is under CPython (the ``"python"`` engine) — far too slow
+  for production grids but exactly right for differential tests on tiny
+  grids where no compiler toolchain exists.
+
+Optional operands are passed as (array, flag) pairs rather than ``None``
+so every call site presents Numba with one stable type signature.
+Keep this file dependency-free beyond numpy: it is imported eagerly by the
+backend registry even when neither engine is ever used.
+"""
+
+from __future__ import annotations
+
+
+def prim_loop(q, gamma, inv_rho, u, v, p, T, with_T):
+    nx, nr = inv_rho.shape
+    gm1 = gamma - 1.0
+    for i in range(nx):
+        for j in range(nr):
+            ir = 1.0 / q[0, i, j]
+            ui = q[1, i, j] * ir
+            vi = q[2, i, j] * ir
+            ta = q[1, i, j] * ui
+            tb = q[2, i, j] * vi
+            ta = ta + tb
+            ta = ta * 0.5
+            ta = q[3, i, j] - ta
+            pi = ta * gm1
+            inv_rho[i, j] = ir
+            u[i, j] = ui
+            v[i, j] = vi
+            p[i, j] = pi
+            if with_T:
+                tt = pi * gamma
+                T[i, j] = tt * ir
+
+
+def ax_inv_loop(q, u, v, p, F):
+    nx, nr = u.shape
+    for i in range(nx):
+        for j in range(nr):
+            F[0, i, j] = q[1, i, j]
+            f1 = q[1, i, j] * u[i, j]
+            f1 = f1 + p[i, j]
+            F[1, i, j] = f1
+            F[2, i, j] = q[1, i, j] * v[i, j]
+            ep = q[3, i, j] + p[i, j]
+            F[3, i, j] = u[i, j] * ep
+
+
+def rad_inv_loop(q, u, v, p, G):
+    nx, nr = u.shape
+    for i in range(nx):
+        for j in range(nr):
+            G[0, i, j] = q[2, i, j]
+            G[1, i, j] = q[2, i, j] * u[i, j]
+            g2 = q[2, i, j] * v[i, j]
+            g2 = g2 + p[i, j]
+            G[2, i, j] = g2
+            ep = q[3, i, j] + p[i, j]
+            G[3, i, j] = v[i, j] * ep
+
+
+def visc_loop(
+    F, tau_tt, u, v, T, r, mu_a, mu_s, has_mu_a, k_a, negk_s, has_k_a,
+    dx, dr, radial,
+):
+    nx, nr = u.shape
+    two_thirds = 2.0 / 3.0
+    h2x = 2.0 * dx
+    a0x = -1.5 / dx
+    b0x = 2.0 / dx
+    c0x = -0.5 / dx
+    a1x = 0.5 / dx
+    b1x = -2.0 / dx
+    c1x = 1.5 / dx
+    h2r = 2.0 * dr
+    a0r = -1.5 / dr
+    b0r = 2.0 / dr
+    c0r = -0.5 / dr
+    a1r = 0.5 / dr
+    b1r = -2.0 / dr
+    c1r = 1.5 / dr
+
+    def gx(f, i, j):
+        if i == 0:
+            return (a0x * f[0, j] + b0x * f[1, j]) + c0x * f[2, j]
+        if i == nx - 1:
+            return (
+                a1x * f[nx - 3, j] + b1x * f[nx - 2, j]
+            ) + c1x * f[nx - 1, j]
+        return (f[i + 1, j] - f[i - 1, j]) / h2x
+
+    def gr(f, i, j):
+        if j == 0:
+            return (a0r * f[i, 0] + b0r * f[i, 1]) + c0r * f[i, 2]
+        if j == nr - 1:
+            return (
+                a1r * f[i, nr - 3] + b1r * f[i, nr - 2]
+            ) + c1r * f[i, nr - 1]
+        return (f[i, j + 1] - f[i, j - 1]) / h2r
+
+    for i in range(nx):
+        for j in range(nr):
+            g_ux = gx(u, i, j)
+            g_ur = gr(u, i, j)
+            g_vx = gx(v, i, j)
+            g_vr = gr(v, i, j)
+            g_t = gr(T, i, j) if radial else gx(T, i, j)
+            mu = mu_a[i, j] if has_mu_a else mu_s
+            vr = v[i, j] / r[j]
+            dil = g_ux + g_vr
+            dil = dil + vr
+            dil = dil * two_thirds
+            tn = (g_vr if radial else g_ux) * 2.0
+            tn = tn - dil
+            tn = tn * mu
+            ts = g_ur + g_vx
+            ts = ts * mu
+            if has_k_a:
+                heat = g_t * k_a[i, j]
+                heat = -heat
+            else:
+                heat = g_t * negk_s
+            if radial:
+                ta = u[i, j] * ts
+                tb = v[i, j] * tn
+            else:
+                ta = u[i, j] * tn
+                tb = v[i, j] * ts
+            ta = ta + tb
+            ta = ta - heat
+            if radial:
+                ttt = vr * 2.0
+                ttt = ttt - dil
+                ttt = ttt * mu
+                tau_tt[i, j] = ttt
+                F[2, i, j] = F[2, i, j] - tn
+                F[1, i, j] = F[1, i, j] - ts
+            else:
+                F[1, i, j] = F[1, i, j] - tn
+                F[2, i, j] = F[2, i, j] - ts
+            F[3, i, j] = F[3, i, j] - ta
+
+
+def rad_finish_loop(G, S2, p, tau_tt, r, viscous):
+    nv, nx, nr = G.shape
+    for vv in range(nv):
+        for i in range(nx):
+            for j in range(nr):
+                G[vv, i, j] = G[vv, i, j] * r[j]
+    for i in range(nx):
+        for j in range(nr):
+            if viscous:
+                S2[i, j] = p[i, j] - tau_tt[i, j]
+            else:
+                S2[i, j] = p[i, j]
+
+
+def rate_loop(f, gh, has_gh, S, has_S, iw, has_iw, out, axis, h, forward):
+    # Fused ghost extension + one-sided 2-4 difference + source/weight;
+    # ``gh`` is the (2, 4, plane) ghost-plane array for the one boundary
+    # the stencil reaches past (high for forward, low for backward), or a
+    # dummy with has_gh False for the serial cubic extrapolation.
+    nv, nx, nr = out.shape
+    h6 = 6.0 * h
+
+    def c1(p0, p1, p2, p3):
+        # Transcribes stencils.cubic_ghosts: Python's sum() starts from
+        # int 0, so the leading 0.0 + t is kept for signed-zero fidelity.
+        t = 4.0 * p0
+        g = 0.0 + t
+        t = -6.0 * p1
+        g = g + t
+        t = 4.0 * p2
+        g = g + t
+        t = -1.0 * p3
+        g = g + t
+        return g
+
+    def c2(p0, p1, p2, p3):
+        t = 10.0 * p0
+        g = 0.0 + t
+        t = -20.0 * p1
+        g = g + t
+        t = 15.0 * p2
+        g = g + t
+        t = -4.0 * p3
+        g = g + t
+        return g
+
+    def pt(vv, i, j, off):
+        # f(center + off) along the sweep axis, ghosts past the boundary.
+        m = nx if axis == 1 else nr
+        c = i if axis == 1 else j
+        k = c + off
+        if 0 <= k < m:
+            if axis == 1:
+                return f[vv, k, j]
+            return f[vv, i, k]
+        p = j if axis == 1 else i
+        g = (-k - 1) if k < 0 else (k - m)
+        if has_gh:
+            return gh[g, vv, p]
+        if axis == 1:
+            if k < 0:
+                p0, p1, p2, p3 = f[vv, 0, j], f[vv, 1, j], f[vv, 2, j], f[vv, 3, j]
+            else:
+                p0, p1, p2, p3 = (
+                    f[vv, nx - 1, j], f[vv, nx - 2, j],
+                    f[vv, nx - 3, j], f[vv, nx - 4, j],
+                )
+        else:
+            if k < 0:
+                p0, p1, p2, p3 = f[vv, i, 0], f[vv, i, 1], f[vv, i, 2], f[vv, i, 3]
+            else:
+                p0, p1, p2, p3 = (
+                    f[vv, i, nr - 1], f[vv, i, nr - 2],
+                    f[vv, i, nr - 3], f[vv, i, nr - 4],
+                )
+        if g == 0:
+            return c1(p0, p1, p2, p3)
+        return c2(p0, p1, p2, p3)
+
+    for vv in range(nv):
+        for i in range(nx):
+            for j in range(nr):
+                if forward:
+                    f0 = f[vv, i, j]
+                    f1 = pt(vv, i, j, 1)
+                    f2 = pt(vv, i, j, 2)
+                    t = f1 - f0
+                    t = t * 7.0
+                    t2 = f2 - f1
+                    d = t - t2
+                else:
+                    f0 = f[vv, i, j]
+                    f1 = pt(vv, i, j, -1)
+                    f2 = pt(vv, i, j, -2)
+                    t = f0 - f1
+                    t = t * 7.0
+                    t2 = f1 - f2
+                    d = t - t2
+                d = d / h6
+                if has_S:
+                    rr = S[vv, i, j] - d
+                else:
+                    rr = -d
+                if has_iw:
+                    rr = rr * iw[j]
+                out[vv, i, j] = rr
+
+
+def predict_loop(q, rate, dt, qs):
+    nv, nx, nr = qs.shape
+    for vv in range(nv):
+        for i in range(nx):
+            for j in range(nr):
+                rr = rate[vv, i, j] * dt
+                rate[vv, i, j] = rr
+                qs[vv, i, j] = q[vv, i, j] + rr
+
+
+def correct_loop(q, qs, rate, dt, out):
+    nv, nx, nr = out.shape
+    for vv in range(nv):
+        for i in range(nx):
+            for j in range(nr):
+                o = q[vv, i, j] + qs[vv, i, j]
+                rr = rate[vv, i, j] * dt
+                rate[vv, i, j] = rr
+                o = o + rr
+                out[vv, i, j] = o * 0.5
+
+
+def filter_loop(q, lo, has_lo, hi, has_hi, d4s, eps, axis):
+    # In-place fourth-difference filter with the ghost extension folded
+    # in; each variable runs two passes over the scratch plane ``d4s`` so
+    # the stencil always reads the unmutated plane (matching the
+    # extended-copy evaluation order of apply_filter).
+    nv, nx, nr = q.shape
+
+    def c1(p0, p1, p2, p3):
+        t = 4.0 * p0
+        g = 0.0 + t
+        t = -6.0 * p1
+        g = g + t
+        t = 4.0 * p2
+        g = g + t
+        t = -1.0 * p3
+        g = g + t
+        return g
+
+    def c2(p0, p1, p2, p3):
+        t = 10.0 * p0
+        g = 0.0 + t
+        t = -20.0 * p1
+        g = g + t
+        t = 15.0 * p2
+        g = g + t
+        t = -4.0 * p3
+        g = g + t
+        return g
+
+    def pt(vv, i, j, off):
+        m = nx if axis == 1 else nr
+        c = i if axis == 1 else j
+        k = c + off
+        if 0 <= k < m:
+            if axis == 1:
+                return q[vv, k, j]
+            return q[vv, i, k]
+        p = j if axis == 1 else i
+        g = (-k - 1) if k < 0 else (k - m)
+        if k < 0:
+            if has_lo:
+                return lo[g, vv, p]
+        else:
+            if has_hi:
+                return hi[g, vv, p]
+        if axis == 1:
+            if k < 0:
+                p0, p1, p2, p3 = q[vv, 0, j], q[vv, 1, j], q[vv, 2, j], q[vv, 3, j]
+            else:
+                p0, p1, p2, p3 = (
+                    q[vv, nx - 1, j], q[vv, nx - 2, j],
+                    q[vv, nx - 3, j], q[vv, nx - 4, j],
+                )
+        else:
+            if k < 0:
+                p0, p1, p2, p3 = q[vv, i, 0], q[vv, i, 1], q[vv, i, 2], q[vv, i, 3]
+            else:
+                p0, p1, p2, p3 = (
+                    q[vv, i, nr - 1], q[vv, i, nr - 2],
+                    q[vv, i, nr - 3], q[vv, i, nr - 4],
+                )
+        if g == 0:
+            return c1(p0, p1, p2, p3)
+        return c2(p0, p1, p2, p3)
+
+    for vv in range(nv):
+        for i in range(nx):
+            for j in range(nr):
+                d4 = pt(vv, i, j, -1) * 4.0
+                d4 = pt(vv, i, j, -2) - d4
+                t = q[vv, i, j] * 6.0
+                d4 = d4 + t
+                t = pt(vv, i, j, 1) * 4.0
+                d4 = d4 - t
+                d4 = d4 + pt(vv, i, j, 2)
+                d4 = d4 * eps
+                d4s[i, j] = d4
+        for i in range(nx):
+            for j in range(nr):
+                q[vv, i, j] = q[vv, i, j] - d4s[i, j]
+
+
+#: Kernel table the engines wrap (name -> loop function).
+KERNELS = {
+    "prim": prim_loop,
+    "ax_inv": ax_inv_loop,
+    "rad_inv": rad_inv_loop,
+    "visc": visc_loop,
+    "rad_finish": rad_finish_loop,
+    "rate": rate_loop,
+    "predict": predict_loop,
+    "correct": correct_loop,
+    "filter": filter_loop,
+}

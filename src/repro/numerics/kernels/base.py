@@ -64,7 +64,21 @@ class StepWorkspace:
     Halo *pack* buffers live on the distributed solver's
     :class:`~repro.parallel.halo.ExchangePlan`, which preallocates them per
     decomposed axis.
+
+    The workspace is also the backend dispatch point for the hot kernels:
+    ``FluxModel`` routes its flux evaluation through :meth:`axial_flux` /
+    :meth:`radial_flux`, and the MacCormack/filter layers consult
+    :attr:`ops`.  The base class delegates to the fused numpy kernels;
+    the compiled backend subclasses it
+    (:class:`~.compiled.CompiledWorkspace`) and overrides with native
+    loops — so baseline and fused stay untouched and every decomposition
+    and substrate inherits whichever backend the solver resolved.
     """
+
+    #: Compiled kernel ops, or ``None`` for the fused numpy kernels.  When
+    #: set, ``SplitOperator``/``apply_filter`` route their per-element
+    #: chains through it (see :mod:`repro.numerics.kernels.compiled`).
+    ops = None
 
     def __init__(
         self, shape: tuple[int, int, int], viscous: bool, mu_field: bool = False
@@ -109,6 +123,31 @@ class StepWorkspace:
         self.mu = np.empty(plane) if (viscous and mu_field) else None
         # Boundary strip snapshot (trailing <=5 columns).
         self.q_tail = np.empty((nvars, min(5, nx), nr))
+
+    def primitives_into(self, fm, q: np.ndarray) -> None:
+        """Primitive fields of ``q`` into the workspace buffers."""
+        from ...physics.fluxes import primitives_into
+
+        primitives_into(
+            q, fm.gamma, self.inv_rho, self.u, self.v, self.p, self.t2a,
+            self.t2b, T=self.T,
+        )
+
+    def axial_flux(self, fm, q, uvT_halo=None, primitives_ready=False):
+        """Total axial flux into ``ws.F`` (fused numpy kernels)."""
+        from .fused import fused_axial_flux
+
+        return fused_axial_flux(
+            fm, q, self, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+        )
+
+    def radial_flux(self, fm, q, uvT_halo=None, primitives_ready=False):
+        """Weighted radial flux + source (fused numpy kernels)."""
+        from .fused import fused_radial_flux
+
+        return fused_radial_flux(
+            fm, q, self, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+        )
 
     def ext_for(self, axis: int) -> np.ndarray:
         """The ghost-extended buffer matching a sweep/filter axis."""

@@ -59,12 +59,18 @@ class SweepScratch:
         ``dq/dt`` accumulator, state-shaped.
     tmp:
         State-shaped scratch for the one-sided difference.
+    ops:
+        Compiled kernel ops (``None`` for the fused numpy path).  When
+        set, the one-sided difference + source/weight chain and the
+        predictor/corrector combines run as single native passes —
+        bitwise-identical to the ufunc chains they replace.
     """
 
     ext: np.ndarray
     q_star: np.ndarray
     rate: np.ndarray
     tmp: np.ndarray
+    ops: object | None = None
 
 
 @dataclass
@@ -160,6 +166,19 @@ class SplitOperator:
         """Zero-allocation ``_rate``: bitwise-identical, into ``sc.rate``."""
         ws = self.workspace
         flux, source = ws.flux(q, phase)
+        forward = (self.variant == 1) == (phase == PREDICTOR)
+        if sc.ops is not None:
+            # Compiled path: the ghost extension is folded into the rate
+            # kernel, which consumes the one boundary the one-sided stencil
+            # reaches past.  Both providers still run (their send legs keep
+            # distributed neighbours in lockstep), matching extend_axis.
+            return sc.ops.rate(
+                flux,
+                ws.low_ghosts(flux, phase),
+                ws.high_ghosts(flux, phase),
+                self.axis, self.h, forward, source, ws.inv_weight,
+                out=sc.rate,
+            )
         ext = extend_axis(
             flux,
             self.axis,
@@ -167,7 +186,6 @@ class SplitOperator:
             high=ws.high_ghosts(flux, phase),
             out=sc.ext,
         )
-        forward = (self.variant == 1) == (phase == PREDICTOR)
         diff = forward_difference if forward else backward_difference
         d = diff(ext, self.axis, self.h, out=sc.rate, tmp=sc.tmp)
         if source is None:
@@ -205,13 +223,19 @@ class SplitOperator:
             raise ValueError("apply(out=...) must not alias the input state")
         with tr.span("maccormack.predictor", axis=self.axis):
             rate = self._rate_into(q, PREDICTOR, sc)
-            np.multiply(rate, dt, out=rate)
-            np.add(q, rate, out=sc.q_star)
+            if sc.ops is not None:
+                sc.ops.predictor(q, rate, dt, sc.q_star)
+            else:
+                np.multiply(rate, dt, out=rate)
+                np.add(q, rate, out=sc.q_star)
             q_star = ws.fix_state(sc.q_star, PREDICTOR)
         with tr.span("maccormack.corrector", axis=self.axis):
             rate = self._rate_into(q_star, CORRECTOR, sc)
-            np.add(q, q_star, out=out)
-            np.multiply(rate, dt, out=rate)
-            np.add(out, rate, out=out)
-            np.multiply(out, 0.5, out=out)
+            if sc.ops is not None:
+                sc.ops.corrector(q, q_star, rate, dt, out)
+            else:
+                np.add(q, q_star, out=out)
+                np.multiply(rate, dt, out=rate)
+                np.add(out, rate, out=out)
+                np.multiply(out, 0.5, out=out)
             return ws.fix_state(out, CORRECTOR)

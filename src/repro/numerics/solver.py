@@ -39,7 +39,7 @@ from .boundary import (
     apply_axis_ghosts,
     characteristic_outflow_rates,
 )
-from .kernels import fused_axial_flux, fused_radial_flux, resolve_backend
+from .kernels import resolve_backend
 from .maccormack import PREDICTOR, SplitOperator, SweepWorkspace
 from .stencils import extend_axis
 from .timestep import stable_dt
@@ -80,11 +80,13 @@ class SolverConfig:
     periodic conservation is preserved; set to 0 to disable.
     """
     backend: str | None = None
-    """Kernel backend name (``"baseline"``, ``"fused"``, or a name added
-    via :func:`repro.numerics.kernels.register_backend`).  ``None`` defers
-    to the ``REPRO_BACKEND`` environment variable, then ``"baseline"``.
-    Backends select *how* the hot-path kernels are evaluated, never what
-    they compute: all backends are bitwise-identical."""
+    """Kernel backend name (``"baseline"``, ``"fused"``, ``"compiled"``,
+    or a name added via :func:`repro.numerics.kernels.register_backend`).
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable, then
+    ``"baseline"``.  Backends select *how* the hot-path kernels are
+    evaluated, never what they compute: all backends are
+    bitwise-identical (``"compiled"`` falls back to the fused kernels
+    with a warning on hosts with neither numba nor a C toolchain)."""
 
     def viscosity(self) -> float:
         if not self.viscous:
@@ -176,14 +178,16 @@ class FluxModel:
 
         ``uvT_halo = (lo, hi)`` optionally supplies neighbour ghost columns
         of ``(u, v, T)`` so viscous gradients at subdomain edges match the
-        serial interior arithmetic.  ``ws`` selects the fused zero-allocation
-        kernels (result lands in ``ws.F``, bitwise-identical);
+        serial interior arithmetic.  ``ws`` selects the workspace's
+        zero-allocation kernels — fused numpy in-place ufuncs, or native
+        loops when the workspace came from the compiled backend (result
+        lands in ``ws.F``, bitwise-identical either way);
         ``primitives_ready`` says the workspace primitive buffers already
         hold this ``q``'s values (set by the distributed halo packing).
         """
         if ws is not None:
-            return fused_axial_flux(
-                self, q, ws, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+            return ws.axial_flux(
+                self, q, uvT_halo=uvT_halo, primitives_ready=primitives_ready
             )
         F, _G, _p = inviscid_fluxes(q, self.gamma)
         if self.mu:
@@ -201,8 +205,8 @@ class FluxModel:
         ``ws``/``primitives_ready`` as in :meth:`axial_flux`.
         """
         if ws is not None:
-            return fused_radial_flux(
-                self, q, ws, uvT_halo=uvT_halo, primitives_ready=primitives_ready
+            return ws.radial_flux(
+                self, q, uvT_halo=uvT_halo, primitives_ready=primitives_ready
             )
         _F, G, p = inviscid_fluxes(q, self.gamma)
         tau_tt: np.ndarray | float = 0.0
@@ -491,6 +495,11 @@ class CompressibleSolver:
         for axis in (1, 2):
             low = self._state_ghosts(q, axis, "low")
             high = self._state_ghosts(q, axis, "high")
+            if ws is not None and ws.ops is not None:
+                # Compiled path: ghost extension folded into the filter
+                # kernel; ws.rate is free scratch after the sweeps.
+                ws.ops.filter_apply(q, low, high, axis, eps, ws.rate[0])
+                continue
             ix = self._filter_indices(axis, q.shape[axis])
             if ws is None:
                 ext = extend_axis(q, axis, low=low, high=high)

@@ -169,13 +169,40 @@ def _send_flux_columns(
         comm.send(dest, tag, np.ascontiguousarray(cols))
 
 
-def _recv_flux_columns(comm, source: int, tag: str, split: bool) -> np.ndarray:
-    """Receive a flux-line pair; returns shape ``(4, 2, n_perp)``."""
+def _recv_pair_stacked(comm, source: int, tag: str, reverse: bool) -> np.ndarray:
+    """Receive a ``(4, 2, n_perp)`` line pair and return it as a
+    ``(2, 4, n_perp)`` outward-ordered ghost stack.
+
+    Communicators that support zero-copy receive (``recv_view`` on the
+    shared-memory substrate) lend the payload in place: the stack copies
+    straight out of the ring slot, which is released immediately after —
+    one copy instead of two.  Everything else falls back to ``recv``.
+    """
+    rv = getattr(comm, "recv_view", None)
+    if rv is None:
+        cols = comm.recv(source, tag)
+        if reverse:
+            return np.stack([cols[:, 1], cols[:, 0]])
+        return np.stack([cols[:, 0], cols[:, 1]])
+    with rv(source, tag) as view:
+        cols = view.array
+        if reverse:
+            return np.stack([cols[:, 1], cols[:, 0]])
+        return np.stack([cols[:, 0], cols[:, 1]])
+
+
+def _recv_flux_stacked(
+    comm, source: int, tag: str, split: bool, reverse: bool
+) -> np.ndarray:
+    """Receive a flux-line pair as an outward-ordered ``(2, 4, n_perp)``
+    ghost stack (grouped single message, or per-column for Version 7)."""
     if split:
         c0 = comm.recv(source, f"{tag}:c0")
         c1 = comm.recv(source, f"{tag}:c1")
-        return np.stack([c0, c1], axis=1)
-    return comm.recv(source, tag)
+        if reverse:
+            return np.stack([c1, c0])
+        return np.stack([c0, c1])
+    return _recv_pair_stacked(comm, source, tag, reverse)
 
 
 @_traced("flux_high")
@@ -203,8 +230,9 @@ def exchange_flux_high(
         )
     if right is None:
         return None
-    cols = _recv_flux_columns(comm, right, t, policy.split_flux_columns)
-    return np.stack([cols[:, 0], cols[:, 1]])
+    return _recv_flux_stacked(
+        comm, right, t, policy.split_flux_columns, reverse=False
+    )
 
 
 @_traced("flux_low")
@@ -234,8 +262,9 @@ def exchange_flux_low(
         )
     if left is None:
         return None
-    cols = _recv_flux_columns(comm, left, t, policy.split_flux_columns)
-    return np.stack([cols[:, 1], cols[:, 0]])
+    return _recv_flux_stacked(
+        comm, left, t, policy.split_flux_columns, reverse=True
+    )
 
 
 @_traced("state_low")
@@ -254,8 +283,7 @@ def exchange_state_halo_low(
         comm.send(right, t, _pair(q, axis, slice(-2, None), buf))
     if left is None:
         return None
-    cols = comm.recv(left, t)
-    return np.stack([cols[:, 1], cols[:, 0]])
+    return _recv_pair_stacked(comm, left, t, reverse=True)
 
 
 class ExchangePlan:
@@ -375,5 +403,4 @@ def exchange_state_halo_high(
         comm.send(left, t, _pair(q, axis, slice(0, 2), buf))
     if right is None:
         return None
-    cols = comm.recv(right, t)
-    return np.stack([cols[:, 0], cols[:, 1]])
+    return _recv_pair_stacked(comm, right, t, reverse=False)

@@ -175,19 +175,17 @@ class BlockDistributedSolver(CompressibleSolver):
     def _uvT_halo_fused(self, q: np.ndarray, tag: str):
         """Halo exchange with primitives evaluated once into the workspace.
 
-        Returns ``(halo, primitives_ready)``: the fused flux kernels skip
-        their own primitive evaluation when the packing already did it
-        (bitwise the same values either way).
+        Returns ``(halo, primitives_ready)``: the workspace flux kernels
+        skip their own primitive evaluation when the packing already did
+        it (bitwise the same values either way).  Dispatching through
+        ``ws.primitives_into`` keeps the evaluation on whichever backend
+        owns the workspace (fused numpy or compiled native loops).
         """
-        from ..physics.fluxes import primitives_into
-
         ws = self._ws
         fm = self.fm
         if not fm.mu:
             return None, False
-        primitives_into(
-            q, fm.gamma, ws.inv_rho, ws.u, ws.v, ws.p, ws.t2a, ws.t2b, T=ws.T
-        )
+        ws.primitives_into(fm, q)
         return self._uvT_exchange(ws.u, ws.v, ws.T, tag), True
 
     def _flux_x(self, q, phase):

@@ -135,6 +135,17 @@ def _plain_flag(value: Any) -> Any:
         return True
 
 
+#: Backends whose results are bitwise-interchangeable (locked down by the
+#: tier-1 differential suite); they share one cache identity.  ``"compiled"``
+#: is deliberately absent — see :meth:`RunRequest.identity`.
+_EQUIVALENT_BACKENDS = (None, "baseline", "fused")
+
+
+def _backend_identity(backend: str | None) -> str | None:
+    """Collapse bitwise-equivalent backends onto one identity value."""
+    return None if backend in _EQUIVALENT_BACKENDS else backend
+
+
 def _faults_identity(faults: Any) -> Any:
     """A JSON-able identity for the ``faults`` field (name or plan dict)."""
     if faults is None or isinstance(faults, str):
@@ -305,6 +316,12 @@ class RunRequest:
         test suite), so the result cache soundly dedupes across them.
         ``substrate`` stays in the parallel identity because per-rank
         statistics and wall-clock observables differ across substrates.
+        ``backend`` is normalized the same way: ``None``/``"baseline"``/
+        ``"fused"`` collapse to one identity (bitwise-equal by the tier-1
+        differential suite), while ``"compiled"`` stays distinct — its
+        bitwise guarantee is per-platform (engines may pin a ULP bound
+        instead) and it may fall back to ``"fused"`` where no engine is
+        available, so its results are not universally interchangeable.
         """
         ex, rz = self.execution, self.resilience
         mode = self.mode
@@ -323,7 +340,7 @@ class RunRequest:
             "px": None,
             "pr": None,
             "version": ex.version if (parallel or simulated) else None,
-            "backend": ex.backend if not simulated else None,
+            "backend": _backend_identity(ex.backend) if not simulated else None,
             "steps_window": ex.steps_window if simulated else None,
             "faults": _faults_identity(rz.faults) if mode != "serial" else None,
             "fault_seed": rz.fault_seed if mode != "serial" else None,

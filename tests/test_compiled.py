@@ -1,0 +1,243 @@
+"""The compiled ("V6") kernel backend: differential + property wall.
+
+The compiled backend replays the paper's Version 5-6 compiler rung — the
+same physics, rebuilt as native loops (numba njit, a cached C shared
+object, or the uncompiled reference loops).  Like the fused backend, it
+must change performance only, never results:
+
+* every engine declares a **tolerance policy** through its ``bitwise``
+  flag — ``True`` (the default, honoured by every engine on this
+  container) makes bitwise equality the acceptance bar, and a platform
+  that cannot honour it (e.g. a toolchain ignoring ``-ffp-contract=off``)
+  flips the flag and is held to the pinned :data:`ULP_BOUND` instead;
+* the differential matrix mirrors ``tests/test_kernels.py``: Euler and
+  Navier-Stokes, serial and all three decompositions, both substrates;
+* selection mirrors the other backends: ``SolverConfig.backend``,
+  ``$REPRO_BACKEND``, and a clean ``BackendUnavailable`` fallback to the
+  fused workspace (with a ``RuntimeWarning``, never a crash).
+"""
+
+import copy
+import os
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario
+from repro.api import run
+from repro.numerics.kernels import (
+    BACKEND_ENV_VAR,
+    BackendUnavailable,
+    CompiledBackend,
+    CompiledWorkspace,
+    StepWorkspace,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.numerics.kernels.compiled import ENGINE_ENV_VAR, resolve_ops
+from repro.numerics.solver import CompressibleSolver
+
+#: Maximum per-element ULP distance tolerated from a compiled engine that
+#: cannot honour ``bitwise = True`` on its platform.  Engines that do
+#: declare bitwise equality are held to exactly 0.
+ULP_BOUND = 4
+
+
+def _ulp_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """The largest per-element spacing count between two float64 arrays."""
+    if np.array_equal(a, b):
+        return 0
+    ai = a.view(np.int64)
+    bi = b.view(np.int64)
+    # Map the sign-magnitude float ordering onto a monotonic integer line.
+    ai = np.where(ai < 0, np.int64(-(2**63) + 1) - ai, ai)
+    bi = np.where(bi < 0, np.int64(-(2**63) + 1) - bi, bi)
+    return int(np.abs(ai - bi).max())
+
+
+def assert_matches_policy(ops, got: np.ndarray, want: np.ndarray) -> None:
+    """Bitwise when the engine promises it, pinned ULP bound otherwise."""
+    if ops.bitwise:
+        assert np.array_equal(got, want), (
+            f"engine {ops.engine!r} declares bitwise=True but differs "
+            f"(max ulp {_ulp_distance(got, want)})"
+        )
+    else:
+        dist = _ulp_distance(got, want)
+        assert dist <= ULP_BOUND, (
+            f"engine {ops.engine!r} exceeds the {ULP_BOUND}-ulp tolerance "
+            f"policy (max ulp {dist})"
+        )
+
+
+def _evolve(backend, steps=5, nx=36, nr=18, viscous=True, mu_exp=0.0):
+    sc = jet_scenario(nx=nx, nr=nr, viscous=viscous)
+    cfg = copy.deepcopy(sc.solver.config)
+    cfg.backend = backend
+    cfg.mu_exponent = mu_exp
+    solver = CompressibleSolver(copy.deepcopy(sc.state), cfg)
+    for _ in range(steps):
+        solver.step()
+    return solver.state.q
+
+
+def _evolve_engine(engine, **kw):
+    """Evolve under the compiled backend with a forced engine choice."""
+    old = os.environ.get(ENGINE_ENV_VAR)
+    os.environ[ENGINE_ENV_VAR] = engine
+    try:
+        return _evolve("compiled", **kw)
+    finally:
+        if old is None:
+            del os.environ[ENGINE_ENV_VAR]
+        else:
+            os.environ[ENGINE_ENV_VAR] = old
+
+
+@pytest.fixture(scope="module")
+def ops():
+    """The resolved compiled ops, or skip when no engine exists."""
+    try:
+        return resolve_ops(os.environ.get(ENGINE_ENV_VAR) or None)
+    except BackendUnavailable as exc:  # pragma: no cover - bare container
+        pytest.skip(f"no compiled engine: {exc}")
+
+
+class TestSelection:
+    def test_registered(self):
+        assert "compiled" in available_backends()
+        assert isinstance(get_backend("compiled"), CompiledBackend)
+
+    def test_env_var_selects_compiled(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_backend(None).name == "compiled"
+
+    def test_config_selects_compiled_workspace(self, ops):
+        sc = jet_scenario(nx=16, nr=12)
+        cfg = copy.deepcopy(sc.solver.config)
+        cfg.backend = "compiled"
+        solver = CompressibleSolver(copy.deepcopy(sc.state), cfg)
+        assert isinstance(solver._ws, CompiledWorkspace)
+        assert solver._ws.ops is not None
+
+    def test_unavailable_falls_back_to_fused(self):
+        backend = CompiledBackend(engine="engine-that-does-not-exist")
+        sc = jet_scenario(nx=16, nr=12)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ws = backend.step_workspace(sc.solver)
+        assert type(ws) is StepWorkspace  # the fused workspace, not compiled
+        assert ws.ops is None
+
+    def test_fallback_run_is_bitwise_fused(self, monkeypatch):
+        """A fallback run produces the fused numbers, not an error."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, "engine-that-does-not-exist")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = _evolve("compiled", steps=3, nx=24, nr=12)
+        want = _evolve("fused", steps=3, nx=24, nr=12)
+        assert np.array_equal(got, want)
+
+    def test_unknown_engine_raises_structured(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "fortran-2077")
+        with pytest.raises(BackendUnavailable, match="fortran-2077"):
+            resolve_ops()
+
+    def test_available_reports_without_raising(self):
+        assert get_backend("compiled").available() in (True, False)
+        assert CompiledBackend(engine="no-such-engine").available() is False
+
+
+class TestDifferentialSerial:
+    """compiled == fused, serial, under the engine's tolerance policy."""
+
+    @pytest.mark.parametrize("viscous", [True, False],
+                             ids=["navier-stokes", "euler"])
+    def test_matches_fused(self, ops, viscous):
+        want = _evolve("fused", viscous=viscous)
+        got = _evolve("compiled", viscous=viscous)
+        assert_matches_policy(ops, got, want)
+
+    def test_matches_fused_mu_field(self, ops):
+        """Sutherland-style variable viscosity hits the mu-array kernels."""
+        want = _evolve("fused", mu_exp=0.7)
+        got = _evolve("compiled", mu_exp=0.7)
+        assert_matches_policy(ops, got, want)
+
+    def test_python_engine_matches_fused(self):
+        """The no-toolchain reference engine is always available and must
+        hold the same contract the optimized engines do."""
+        ops = resolve_ops("python")
+        got = _evolve_engine("python", steps=4, nx=20, nr=10)
+        want = _evolve("fused", steps=4, nx=20, nr=10)
+        assert_matches_policy(ops, got, want)
+
+
+class TestDifferentialDistributed:
+    """compiled == fused == serial across every decomposition/substrate."""
+
+    @pytest.mark.parametrize("scenario", ["jet", "jet-euler"])
+    @pytest.mark.parametrize(
+        "decomposition,nprocs,kw",
+        [
+            ("axial", 4, {}),
+            ("radial", 2, {}),
+            ("2d", 4, {"px": 2, "pr": 2}),
+        ],
+        ids=["axial-p4", "radial-p2", "2d-2x2"],
+    )
+    @pytest.mark.parametrize("substrate", ["virtual", "process"])
+    def test_matches_serial_fused(
+        self, ops, scenario, decomposition, nprocs, kw, substrate
+    ):
+        want = run(scenario, steps=4, nx=36, nr=18, backend="fused").state.q
+        got = run(
+            scenario, steps=4, nx=36, nr=18, backend="compiled",
+            nprocs=nprocs, decomposition=decomposition, substrate=substrate,
+            **kw,
+        ).state.q
+        assert_matches_policy(ops, got, want)
+
+
+class TestEngineCross:
+    """Engines must agree with each other, not only with fused."""
+
+    def test_python_vs_resolved_engine(self, ops):
+        if ops.engine == "python":
+            pytest.skip("resolved engine is already the python reference")
+        a = _evolve("compiled", steps=3, nx=24, nr=12)
+        b = _evolve_engine("python", steps=3, nx=24, nr=12)
+        ref = resolve_ops("python")
+        if ops.bitwise and ref.bitwise:
+            assert np.array_equal(a, b)
+        else:
+            assert _ulp_distance(a, b) <= 2 * ULP_BOUND
+
+    @pytest.mark.requires_numba
+    def test_numba_engine_matches_fused(self):
+        pytest.importorskip("numba")
+        nops = resolve_ops("numba")
+        got = _evolve_engine("numba", steps=4, nx=24, nr=12)
+        want = _evolve("fused", steps=4, nx=24, nr=12)
+        assert_matches_policy(nops, got, want)
+
+
+class TestWorkspaceReuse:
+    """Scratch buffers carry no state across steps or resets."""
+
+    def test_reset_and_rerun_is_bitwise_stable(self, ops):
+        sc = jet_scenario(nx=24, nr=12)
+        cfg = copy.deepcopy(sc.solver.config)
+        cfg.backend = "compiled"
+        q0 = sc.state.q.copy()
+        solver = CompressibleSolver(copy.deepcopy(sc.state), cfg)
+        for _ in range(3):
+            solver.step()
+        first = solver.state.q.copy()
+        # Rewind the state but keep the (now dirty) workspace.
+        solver.state.q[:] = q0
+        solver.t = 0.0
+        solver.nstep = 0
+        solver._dt_cached = None
+        for _ in range(3):
+            solver.step()
+        assert np.array_equal(solver.state.q, first)

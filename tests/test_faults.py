@@ -509,3 +509,80 @@ class TestCollectiveChaos:
 
     def test_collective_chaos_reproducible(self, chaos_seed):
         assert self._collect(chaos_seed) == self._collect(chaos_seed)
+
+
+class TestRecvViewThroughFaults:
+    """``recv_view`` composed with the fault layer (the V6 borrow API)."""
+
+    def test_disabled_plan_passes_borrow_through(self):
+        """With injection off the decorator must not tax the zero-copy
+        path: the inner slot-ring borrow comes back untouched."""
+        from repro.msglib import ProcessCluster
+
+        def program(comm):
+            fc = FaultyComm(comm, None)
+            if comm.rank == 0:
+                fc.send(1, "zc", np.arange(8.0))
+                return True
+            with fc.recv_view(0, "zc", timeout=20) as view:
+                assert view.zero_copy
+                return bool(np.array_equal(view.array, np.arange(8.0)))
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_enabled_plan_gives_owned_view(self, chaos_seed):
+        """Under injection the payload crosses the framed retransmission
+        transport, so the view is an owned copy — with the exact same
+        release discipline as a slot borrow."""
+        from repro.msglib import VirtualCluster
+
+        plan = FaultPlan(seed=chaos_seed, name="view-owned", drop=0.15,
+                         max_transmits=4, recv_timeout=0.3, recv_retries=4)
+
+        def program(comm):
+            fc = FaultyComm(comm, plan)
+            try:
+                if comm.rank == 0:
+                    fc.send(1, "zc", np.arange(6.0))
+                    return True
+                view = fc.recv_view(0, "zc", timeout=5)
+                assert not view.zero_copy
+                ok = bool(np.array_equal(view.array, np.arange(6.0)))
+                view.release()
+                with pytest.raises(RuntimeError, match="called twice"):
+                    view.release()
+                return ok
+            finally:
+                fc.drain()
+
+        assert VirtualCluster(2, timeout=30).run(program)[1] is True
+
+
+class TestCompiledBackendChaos:
+    """The compiled ("V6") backend behind the chaos wall: preset fault
+    storms on the real process substrate — where halo receives ride the
+    zero-copy ``recv_view`` path — still recover to the bitwise serial
+    answer (or fall back to fused, which must too)."""
+
+    def test_lossy_ethernet_process_compiled(self, ns_case, chaos_seed):
+        sc, config, ref = ns_case
+        config = dataclasses.replace(config, backend="compiled")
+        plan = fault_plan_by_name("lossy-ethernet", seed=chaos_seed)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, substrate="process",
+            faults=plan,
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_crash_rank1_process_compiled(self, ns_case, chaos_seed):
+        """A mid-run worker crash: resume from checkpoint, bitwise-exact."""
+        sc, config, ref = ns_case
+        config = dataclasses.replace(config, backend="compiled")
+        plan = fault_plan_by_name("crash-rank1", seed=chaos_seed)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, substrate="process",
+            faults=plan, checkpoint_every=2, max_restarts=3,
+        ).run(STEPS)
+        assert res.restarts >= 1
+        assert np.array_equal(res.state.q, ref.q)

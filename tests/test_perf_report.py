@@ -220,10 +220,11 @@ def test_committed_baseline_matches_schema():
         doc = json.load(fh)
     assert doc["schema"] == "repro.bench-core/1"
     assert doc["calibration_ms"] > 0
-    assert len(doc["cases"]) == 8
-    # Every decomposition is benchmarked on the process substrate.
+    assert len(doc["cases"]) == 9
+    # Every decomposition is benchmarked on the process substrate, and
+    # the compiled ("V6") rung is pinned alongside baseline/fused.
     assert {"ns-p2-process-fused", "ns-p2-radial-fused",
-            "ns-p4-2d-fused"} <= set(doc["cases"])
+            "ns-p4-2d-fused", "ns-serial-compiled"} <= set(doc["cases"])
     for case in doc["cases"].values():
         assert case["ms_per_step"] > 0
         assert len(case["fingerprint"]) == 12

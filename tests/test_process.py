@@ -192,7 +192,7 @@ class TestProcessCluster:
 
         def program(comm):
             if comm.rank == 0:
-                with pytest.raises(DeadlockError, match="stayed full"):
+                with pytest.raises(DeadlockError, match="stayed occupied"):
                     for _ in range(100):
                         comm.send(1, "flood", np.zeros(4))
                 return True
@@ -203,6 +203,143 @@ class TestProcessCluster:
             2, timeout=0.5, slots_per_channel=2
         ) as cluster:
             assert cluster.run(program) == [True, True]
+
+
+class TestRecvView:
+    """Zero-copy borrow receives on the shared-memory slot ring.
+
+    The contract under test: a slot handed out by ``recv_view`` stays
+    borrowed — the sender blocks rather than overwrite it — until the
+    exact moment ``release()`` runs; release is mandatory exactly once;
+    and payloads that never lived in a slot (inline/oversized) come back
+    as owned views with the identical release discipline.
+    """
+
+    def test_zero_copy_borrow_and_release(self):
+        payload = np.arange(32.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "zc", payload)
+                return True
+            view = comm.recv_view(0, "zc", timeout=20)
+            assert view.zero_copy
+            assert not view.array.flags.writeable
+            ok = bool(np.array_equal(view.array, payload))
+            view.release()
+            assert view.released
+            with pytest.raises(RuntimeError, match="after release"):
+                view.array
+            with pytest.raises(RuntimeError, match="called twice"):
+                view.release()
+            return ok
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_context_manager_scopes_the_borrow(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "zc", np.full(8, 3.0))
+                return True
+            with comm.recv_view(0, "zc", timeout=20) as view:
+                ok = bool(np.array_equal(view.array, np.full(8, 3.0)))
+            assert view.released
+            return ok
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_oversized_payload_gives_owned_view(self):
+        """Payloads that rode the queue inline still honour the view API
+        — just as owned copies, not borrows."""
+        big = np.arange(DEFAULT_SLOT_BYTES // 8 + 50, dtype=np.float64)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "big", big)
+                return True
+            view = comm.recv_view(0, "big", timeout=20)
+            assert not view.zero_copy
+            ok = bool(np.array_equal(view.array, big))
+            view.release()
+            with pytest.raises(RuntimeError, match="called twice"):
+                view.release()
+            return ok
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_borrowed_slot_survives_sender_flood(self):
+        """The chaos regression at the heart of the borrow contract: with
+        a 2-slot ring, a sender that wraps around to the borrowed slot
+        must park on it — not overwrite it — until release, and the
+        borrowed bytes stay intact the whole time."""
+        msgs = [np.full(16, float(i)) for i in range(6)]
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "m:0", msgs[0])
+                comm.recv(1, "go", timeout=30)  # rank 1 holds the borrow
+                for i in range(1, 6):
+                    # m:2 reuses the borrowed slot -> blocks until release.
+                    comm.send(1, f"m:{i}", msgs[i])
+                return True
+            view = comm.recv_view(0, "m:0", timeout=30)
+            assert view.zero_copy
+            comm.send(0, "go", np.zeros(1))
+            got1 = comm.recv(0, "m:1", timeout=30)
+            # The sender is now parked on the borrowed slot: m:2 can't land.
+            with pytest.raises(DeadlockError):
+                comm.recv(0, "m:2", timeout=0.4)
+            assert np.array_equal(view.array, msgs[0])
+            view.release()
+            rest = [comm.recv(0, f"m:{i}", timeout=30) for i in range(2, 6)]
+            return bool(
+                np.array_equal(got1, msgs[1])
+                and all(
+                    np.array_equal(r, msgs[i + 2]) for i, r in enumerate(rest)
+                )
+            )
+
+        with ProcessCluster(2, timeout=30, slots_per_channel=2) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_release_after_abort_is_structured(self):
+        """Releasing a borrow after the cluster died raises ClusterAborted
+        — the ring is gone and the borrowed bytes must be treated as lost."""
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "zc", np.ones(8))
+                time.sleep(1.0)  # no comm ops while rank 1 flags the abort
+                return True
+            view = comm.recv_view(0, "zc", timeout=20)
+            comm.cluster._abort.set()
+            with pytest.raises(ClusterAborted, match="after cluster abort"):
+                view.release()
+            assert view.released  # the view is dead either way
+            return True
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
+
+    def test_eager_recv_unaffected_by_view_api(self):
+        """Plain recv still owns its payload outright — mutating it never
+        touches the ring (the slot was freed at materialization)."""
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", np.full(8, 1.0))
+                comm.send(1, "b", np.full(8, 2.0))
+                return True
+            a = comm.recv(0, "a", timeout=20)
+            a[:] = -1.0  # owned: writable, detached from the ring
+            b = comm.recv(0, "b", timeout=20)
+            return bool(np.array_equal(b, np.full(8, 2.0)))
+
+        with ProcessCluster(2, timeout=20) as cluster:
+            assert cluster.run(program)[1] is True
 
 
 class TestExceptionPortability:

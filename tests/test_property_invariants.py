@@ -5,7 +5,9 @@ The property-based half of the ISSUE-3 harness (the chaos half lives in
 
 * **mass conservation** on periodic interiors — the conservative-form
   solver and filter must preserve the discrete totals to rounding, under
-  both kernel backends;
+  every kernel backend (baseline, fused, and the compiled "V6" rung —
+  which, on hosts with no engine, falls back to fused and still must
+  pass);
 * **filter contraction** — one more pass of the fourth-difference filter
   never moves the state further than the last pass did
   (``||F(F(q)) - F(q)|| <= ||F(q) - q||``, valid on periodic interiors
@@ -41,7 +43,17 @@ from test_solver_properties import _planar_config, _smooth_periodic_state
 #: The widest one-sided stencil the exchanges feed (two lines each way).
 STENCIL_RADIUS = 2
 
-BACKENDS = ["baseline", "fused"]
+
+def _compiled_bitwise() -> bool:
+    """True when a compiled engine exists *and* promises bitwise equality
+    (no engine means the backend falls back to fused — still correct, but
+    there is nothing distinct to compare)."""
+    from repro.numerics.kernels import get_backend
+
+    be = get_backend("compiled")
+    return be.available() and be.ops().bitwise
+
+BACKENDS = ["baseline", "fused", "compiled"]
 
 
 # ---------------------------------------------------------------------------
@@ -73,7 +85,10 @@ class TestConservation:
             EulerSolver(s, _planar_config(backend=backend)).run(4)
             return s.q
 
-        assert np.array_equal(evolve("baseline"), evolve("fused"))
+        base = evolve("baseline")
+        assert np.array_equal(base, evolve("fused"))
+        if _compiled_bitwise():
+            assert np.array_equal(base, evolve("compiled"))
 
     @given(seed=st.integers(0, 10_000), eps=st.floats(0.001, 0.1))
     @settings(max_examples=15, deadline=None)
@@ -95,12 +110,15 @@ class TestConservation:
 # filter contraction
 # ---------------------------------------------------------------------------
 class TestFilterContraction:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @given(seed=st.integers(0, 10_000), eps=st.floats(0.001, 0.1))
     @settings(max_examples=20, deadline=None)
-    def test_second_pass_moves_less(self, seed, eps):
+    def test_second_pass_moves_less(self, backend, seed, eps):
         grid = Grid(nx=14, nr=12, length_x=1.0, length_r=1.0)
         state = _smooth_periodic_state(grid, seed, 0.05)
-        solver = EulerSolver(state, _planar_config(dissipation=eps))
+        solver = EulerSolver(
+            state, _planar_config(dissipation=eps, backend=backend)
+        )
         q0 = state.q.copy()
         q1 = solver.apply_filter(q0.copy())
         q2 = solver.apply_filter(q1.copy())
@@ -108,9 +126,10 @@ class TestFilterContraction:
         step2 = np.linalg.norm(q2 - q1)
         assert step2 <= step1 + 1e-14
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10, deadline=None)
-    def test_filter_fixed_points_are_smooth(self, seed):
+    def test_filter_fixed_points_are_smooth(self, backend, seed):
         """Constant states are exact fixed points of the filter."""
         grid = Grid(nx=10, nr=10, length_x=1.0, length_r=1.0)
         rng = np.random.default_rng(seed)
@@ -118,8 +137,36 @@ class TestFilterContraction:
             rng.uniform(0.5, 2.0, size=4)[:, None, None], (1,) + grid.shape
         )
         state = FlowState(grid, q.copy())
-        solver = EulerSolver(state, _planar_config(dissipation=0.05))
+        solver = EulerSolver(
+            state, _planar_config(dissipation=0.05, backend=backend)
+        )
         assert np.array_equal(solver.apply_filter(q.copy()), q)
+
+
+# ---------------------------------------------------------------------------
+# workspace-reuse safety: scratch buffers carry no state between runs
+# ---------------------------------------------------------------------------
+class TestWorkspaceReuse:
+    @pytest.mark.parametrize("backend", ["fused", "compiled"])
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_dirty_workspace_replays_bitwise(self, backend, seed):
+        """Rewinding the state and re-running through an already-dirty
+        workspace must replay the exact same trajectory — proof the
+        persistent scratch arrays (and the compiled kernels writing into
+        them) never leak one step's values into the next."""
+        grid = Grid(nx=12, nr=10, length_x=1.0, length_r=1.0)
+        state = _smooth_periodic_state(grid, seed, 0.03)
+        q0 = state.q.copy()
+        solver = EulerSolver(state, _planar_config(backend=backend))
+        solver.run(4)
+        first = solver.state.q.copy()
+        solver.state.q[:] = q0
+        solver.t = 0.0
+        solver.nstep = 0
+        solver._dt_cached = None
+        solver.run(4)
+        assert np.array_equal(solver.state.q, first)
 
 
 # ---------------------------------------------------------------------------
