@@ -248,6 +248,71 @@ def test_metrics_on_overhead():
     )
 
 
+def test_stream_overhead():
+    """Step streaming must cost < 3% of a step on, < 1% off.
+
+    The hot seam publishes one compact record per solver step per rank
+    (``get_stream()`` + ``.enabled`` branch + record build + publish).
+    Same direct-measurement strategy as ``test_nulltracer_overhead``:
+    time the enabled path (record construction plus a buffered publish)
+    and the disabled path (global read plus branch) in isolation against
+    the median real step time, so the bound stays stable on loaded
+    machines.
+    """
+    import time
+
+    from repro.obs import (
+        BufferStepStream,
+        NullStepStream,
+        get_stream,
+        use_stream,
+    )
+
+    sc = jet_scenario(nx=64, nr=32, viscous=True)
+    sc.solver.run(2)
+    solver = sc.solver
+
+    # Median real step time with streaming off (the default path).
+    assert isinstance(get_stream(), NullStepStream)
+    samples = []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        solver.step()
+        samples.append(time.perf_counter() - t0)
+    step_seconds = sorted(samples)[len(samples) // 2]
+
+    # Enabled: one full record-build + publish per step.
+    buffer = BufferStepStream(capacity=256)
+    reps = 2000
+    with use_stream(buffer):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            stream = get_stream()
+            if stream.enabled:
+                stream.publish(
+                    solver._step_stream_record(1e-4, step_seconds)
+                )
+        per_publish = (time.perf_counter() - t0) / reps
+    assert buffer.published == reps
+    assert per_publish < 0.03 * step_seconds, (
+        f"streaming-on overhead {1e6 * per_publish:.1f}us/step exceeds "
+        f"3% of the {1e3 * step_seconds:.2f}ms step"
+    )
+
+    # Disabled: the hot seam is one global read plus a branch.
+    reps = 100_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        stream = get_stream()
+        if stream.enabled:  # never taken: the null stream is installed
+            stream.publish({})
+    per_off = (time.perf_counter() - t0) / reps
+    assert per_off < 0.01 * step_seconds, (
+        f"streaming-off overhead {1e9 * per_off:.1f}ns/step exceeds "
+        f"1% of the {1e3 * step_seconds:.2f}ms step"
+    )
+
+
 def test_faultycomm_passthrough_overhead():
     """A FaultyComm with injection disabled must cost < 3% of a step.
 

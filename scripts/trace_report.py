@@ -6,9 +6,15 @@ the Chrome ``trace_event`` JSON or the JSON-lines export — and prints the
 per-rank and mean computation / message-startup / data-transfer breakdown
 that Figures 5-6 of the paper plot per platform.
 
+Flight-recorder post-mortems (``*.flight.jsonl`` files flushed by
+``run(..., flight=...)`` or recovered by the run service after a killed
+worker) are autodetected by their ``repro.flight/1`` schema line and
+rendered as a per-rank table of each rank's last recorded events.
+
 Usage::
 
     python scripts/trace_report.py out.json [more.json ...]
+    python scripts/trace_report.py results/0af5d.flight.jsonl
     python scripts/trace_report.py --selftest
 
 ``--selftest`` records two fresh traces of the same deterministic simulated
@@ -56,11 +62,56 @@ def fault_timeline(trace, limit: int = 40) -> str:
     return table
 
 
+def _is_flight_file(path: str) -> bool:
+    """True when the file's first line carries the flight schema tag."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        return bool(first) and json.loads(first).get("schema") == (
+            "repro.flight/1"
+        )
+    except (OSError, ValueError):
+        return False
+
+
+def flight_report(path: str, last: int = 10) -> str:
+    """Per-rank table of the flight recorder's last events.
+
+    The recorder keeps only each rank's final ``capacity`` events, so this
+    is exactly the "what was every rank doing when it died" view.
+    """
+    from repro.analysis.report import format_table
+    from repro.obs import read_flight_jsonl
+
+    events_by_rank = read_flight_jsonl(path)
+    rows = []
+    for rank in sorted(events_by_rank):
+        events = events_by_rank[rank]
+        for e in events[-last:]:
+            detail = ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(e.items())
+                if k not in ("kind", "rank", "t")
+            )
+            rows.append([rank, f"{e.get('t', 0.0):.6f}", e.get("kind"), detail])
+    total = sum(len(v) for v in events_by_rank.values())
+    title = (
+        f"{path}: flight recorder, {len(events_by_rank)} rank(s), "
+        f"{total} surviving events (last {last} per rank shown)"
+    )
+    return format_table(["rank", "t (epoch s)", "event", "detail"], rows,
+                        title=title)
+
+
 def report(path: str) -> str:
     from repro.analysis.metrics import component_breakdown
     from repro.analysis.report import format_table
     from repro.obs import load_trace
 
+    if _is_flight_file(path):
+        return flight_report(path)
     trace = load_trace(path)
     bd = component_breakdown(trace)
     rows = []

@@ -32,6 +32,12 @@ Commands
     and stream its status; cached fingerprints return instantly.
 ``jobs [--socket PATH]``
     List the jobs the running service knows about.
+``top [--socket PATH]``
+    Live service utilization: queue depth, worker occupancy, dedupe hit
+    rate, and per-running-job step rates with straggler verdicts.
+``tail <job> [--socket PATH --timeout S]``
+    Stream a running job's per-step telemetry records (one line per rank
+    per step: step, t, dt, ms, comm split) until it completes.
 """
 
 from __future__ import annotations
@@ -371,6 +377,76 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from .service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.socket)
+    try:
+        top = client.top()
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    busy, workers = top["busy"], top["workers"]
+    util = 100.0 * busy / workers if workers else 0.0
+    print(
+        f"workers {busy}/{workers} busy ({util:.0f}%)  "
+        f"queue depth {top['queue_depth']}  "
+        f"jobs {top['jobs_total']} ({top['executed']} executed, "
+        f"dedupe hit rate {100.0 * top['dedupe_rate']:.0f}%)  "
+        f"stream records {top['stream_records']}"
+    )
+    for row in top["running"]:
+        line = (
+            f"  {row['id']}  {row.get('scenario') or '?':<12} "
+            f"pid={row['worker_pid']}"
+        )
+        if row.get("step") is not None:
+            line += f"  step {row['step']}"
+        if row.get("records_per_s") is not None:
+            line += f"  {row['records_per_s']:.1f} rec/s"
+        balance = row.get("balance")
+        if balance:
+            line += (
+                f"  [{balance['verdict']}: max/mean "
+                f"{balance['max_mean_step_ratio']:.2f}, slowest rank "
+                f"{balance['slowest_rank']}]"
+            )
+        print(line)
+    if not top["running"]:
+        print("  no running jobs")
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    from .service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.socket)
+    try:
+        for rec in client.tail(args.job, timeout=args.timeout):
+            comm = (
+                f"  comm {rec['comm_ms']:.2f} ms"
+                if rec.get("comm_ms") is not None
+                else ""
+            )
+            extra = ""
+            if rec.get("retries"):
+                extra += f"  retries {rec['retries']}"
+            if rec.get("lost"):
+                extra += f"  lost {rec['lost']}"
+            print(
+                f"rank {rec.get('rank', 0)}  step {rec.get('step'):>5}  "
+                f"t={rec.get('t'):.4f}  dt={rec.get('dt'):.2e}  "
+                f"{rec.get('ms'):7.2f} ms{comm}{extra}"
+            )
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -514,6 +590,21 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("jobs", help="list jobs on the running service")
     p.add_argument("--socket", default=None, metavar="PATH")
     p.set_defaults(fn=_cmd_jobs)
+
+    p = sub.add_parser(
+        "top", help="live service utilization and per-job step rates"
+    )
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.set_defaults(fn=_cmd_top)
+
+    p = sub.add_parser(
+        "tail", help="stream a job's per-rank per-step telemetry records"
+    )
+    p.add_argument("job", help="job id (from submit / jobs)")
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="stop following after this many seconds")
+    p.set_defaults(fn=_cmd_tail)
 
     p = sub.add_parser("jet", help="run the real solver")
     p.add_argument("--nx", type=int, default=96)

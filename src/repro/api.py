@@ -40,15 +40,21 @@ from dataclasses import dataclass, replace as _dc_replace
 from .config import default_ledger_path
 from .msglib.api import CommStats
 from .obs import (
+    BufferStepStream,
+    FlightRecorder,
     MetricsRegistry,
     PerfReport,
     Trace,
+    TraceContext,
     Tracer,
     append_ledger,
     build_perf_report,
+    use_flight,
     use_metrics,
+    use_stream,
     use_tracer,
     write_chrome_trace,
+    write_flight_jsonl,
 )
 from .physics.state import FlowState
 from .request import (
@@ -136,6 +142,8 @@ class RunResult:
     request: RunRequest | None = None
     """The typed request this result answered (``run_request`` sets it;
     its :meth:`~repro.request.RunRequest.fingerprint` is the cache key)."""
+    flight: dict | None = None
+    """``rank -> last flight-recorder events`` when ``flight=`` was on."""
 
     @property
     def interior_rank_stats(self) -> CommStats:
@@ -195,6 +203,29 @@ def _coerce_metrics(metrics, profile) -> MetricsRegistry | None:
     return None
 
 
+def _coerce_stream(stream):
+    """``stream`` may be falsy, True (buffered), or a live publisher."""
+    if not stream:
+        return None
+    if stream is True:
+        return BufferStepStream()
+    return stream
+
+
+def _coerce_flight(flight):
+    """``flight`` may be falsy, True, a capacity, a recorder, or a path
+    to flush the post-mortem JSON lines to."""
+    if not flight:
+        return None, None
+    if flight is True:
+        return FlightRecorder(), None
+    if isinstance(flight, int):
+        return FlightRecorder(capacity=flight), None
+    if hasattr(flight, "record"):
+        return flight, None
+    return FlightRecorder(), os.fspath(flight)
+
+
 def _profile_top(stats: dict, n: int) -> list[dict]:
     """Top-``n`` functions by cumulative time from ``cProfile`` raw stats."""
     rows = []
@@ -246,6 +277,8 @@ def run(
     metrics=None,
     profile: bool | int = False,
     ledger=None,
+    stream=None,
+    flight=None,
     **scenario_kw,
 ) -> RunResult:
     """Run ``scenario`` on the selected substrate and return a
@@ -333,6 +366,15 @@ def run(
         :func:`repro.config.default_ledger_path`) to append the
         :class:`~repro.obs.PerfReport` to as one JSON line.  Implies
         ``metrics``.
+    stream:
+        ``True`` (buffered) or a live publisher to stream one compact
+        ``repro.stream/1`` progress record per solver step per rank
+        (step, t, dt, ms, comm split) — see :mod:`repro.obs.stream`.
+    flight:
+        ``True`` (or a capacity / recorder / flush path) keeps a bounded
+        flight-recorder ring of each rank's last events (sends, recvs,
+        collectives, checkpoint marks) in ``RunResult.flight`` — see
+        :mod:`repro.obs.flight`.
 
     Notes
     -----
@@ -362,12 +404,16 @@ def run(
         metrics=metrics,
         profile=profile,
         ledger=ledger,
+        stream=stream,
+        flight=flight,
         **scenario_kw,
     )
     return run_request(req)
 
 
-def run_request(req: RunRequest) -> RunResult:
+def run_request(
+    req: RunRequest, *, context: TraceContext | None = None
+) -> RunResult:
     """Execute a typed :class:`~repro.request.RunRequest` — the canonical
     entry point behind :func:`run` and the unit of work the run service
     (:mod:`repro.service`) ships to its worker processes.
@@ -376,8 +422,12 @@ def run_request(req: RunRequest) -> RunResult:
     (``result.request``), and any :class:`~repro.obs.PerfReport` built for
     it is stamped with ``req.fingerprint()`` — the request-derived cache
     key, not a post-hoc hash of run outputs.
+
+    ``context`` joins this run to a distributed trace: the trace id is
+    stamped into the tracer (and inherited by forked rank processes), so
+    a service-executed run's spans line up under the submitting client's.
     """
-    from contextlib import nullcontext
+    from contextlib import ExitStack
 
     ex, rz, ob = req.execution, req.resilience, req.observability
     if ex.substrate not in ("virtual", "process"):
@@ -391,7 +441,11 @@ def run_request(req: RunRequest) -> RunResult:
         )
     sc = req.resolve_scenario()
     tracer, trace_path = _coerce_tracer(ob.trace)
+    if context is not None and tracer is not None:
+        tracer.adopt_context(context)
     reg = _coerce_metrics(ob.metrics, ob.profile or ob.ledger)
+    publisher = _coerce_stream(ob.stream)
+    flight, flight_path = _coerce_flight(ob.flight)
     from .faults import resolve_fault_plan
 
     plan = resolve_fault_plan(rz.faults, seed=rz.fault_seed)
@@ -400,7 +454,13 @@ def run_request(req: RunRequest) -> RunResult:
         import cProfile
 
         profiler = cProfile.Profile()
-    with use_metrics(reg) if reg is not None else nullcontext():
+    with ExitStack() as stack:
+        if reg is not None:
+            stack.enter_context(use_metrics(reg))
+        if publisher is not None:
+            stack.enter_context(use_stream(publisher))
+        if flight is not None:
+            stack.enter_context(use_flight(flight))
         if profiler is not None:
             profiler.enable()
         try:
@@ -429,6 +489,10 @@ def run_request(req: RunRequest) -> RunResult:
             if profiler is not None:
                 profiler.disable()
     result.request = req
+    if flight is not None and hasattr(flight, "events_by_rank"):
+        result.flight = flight.events_by_rank()
+        if flight_path is not None:
+            write_flight_jsonl(result.flight, flight_path)
     if tracer is not None and trace_path is not None:
         write_chrome_trace(tracer.trace, trace_path)
         result.trace_path = trace_path

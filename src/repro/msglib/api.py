@@ -235,9 +235,12 @@ class Communicator(abc.ABC):
         """Global minimum via gather-to-root + broadcast."""
         if self.size == 1:
             return value
-        from ..obs import get_tracer
+        from ..obs import get_flight, get_tracer
 
         wire = self._collective_tag(tag)
+        fl = get_flight()
+        if fl.enabled:
+            fl.record("collective", rank=self.rank, tag=wire, op="allreduce_min")
         tr = get_tracer()
         with tr.span("comm.allreduce", cat="collective", rank=self.rank, tag=tag):
             t0 = _time.perf_counter() if tr.enabled else 0.0
@@ -272,6 +275,11 @@ class Communicator(abc.ABC):
         after the gather cannot corrupt the gathered state.
         """
         wire = self._collective_tag(tag)
+        from ..obs import get_flight
+
+        fl = get_flight()
+        if fl.enabled:
+            fl.record("collective", rank=self.rank, tag=wire, op="gather_arrays")
         if self.rank == 0:
             out = [np.ascontiguousarray(array).copy()]
             for src in range(1, self.size):

@@ -51,6 +51,7 @@ import multiprocessing as _mp
 import os
 import pickle
 import queue as _queue
+import tempfile
 import time as _time
 from collections import defaultdict, deque
 from multiprocessing import shared_memory as _shm
@@ -59,13 +60,17 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..obs import (
+    FlightRing,
     MetricsRegistry,
     Tracer,
+    get_flight,
     get_metrics,
     get_tracer,
+    set_flight,
     set_metrics,
     set_tracer,
 )
+from ..obs.flight import DEFAULT_CAPACITY as _FLIGHT_CAPACITY
 from .api import Communicator, CommStats, Request
 from .vchannel import ClusterAborted, DeadlockError
 from .virtual import RankFailure, VirtualCluster
@@ -253,7 +258,15 @@ class ProcessCommunicator(Communicator):
         slot = self._tx_seq[dest] % self.cluster.slots_per_channel
         sem = self._slot_sem(self.rank, dest, slot)
         deadline = _time.monotonic() + self.cluster.timeout
+        waited = False
         while not sem.acquire(timeout=_POLL):
+            if not waited:
+                waited = True
+                fl = get_flight()
+                if fl.enabled:
+                    fl.record(
+                        "slot_wait", rank=self.rank, peer=dest, slot=slot
+                    )
             if self.cluster._abort.is_set():
                 raise ClusterAborted(
                     f"rank {self.rank}: cluster aborted while sending to "
@@ -322,6 +335,9 @@ class ProcessCommunicator(Communicator):
                 )
             seconds = _time.perf_counter() - t0
         self.stats.record_send(dest, tag, nbytes, seconds)
+        fl = get_flight()
+        if fl.enabled:
+            fl.record("send", rank=self.rank, peer=dest, tag=tag, nbytes=nbytes)
         if tr.enabled:
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_sent", nbytes, rank=self.rank)
@@ -411,6 +427,12 @@ class ProcessCommunicator(Communicator):
                 payload = payload.materialize()
             seconds = _time.perf_counter() - t0
         self.stats.record_recv(source, tag, payload.nbytes, seconds)
+        fl = get_flight()
+        if fl.enabled:
+            fl.record(
+                "recv", rank=self.rank, peer=source, tag=tag,
+                nbytes=payload.nbytes,
+            )
         if tr.enabled:
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_received", payload.nbytes, rank=self.rank)
@@ -504,6 +526,12 @@ class ProcessCommunicator(Communicator):
                 view = SlotView(item)
             seconds = _time.perf_counter() - t0
         self.stats.record_recv(source, tag, nbytes, seconds)
+        fl = get_flight()
+        if fl.enabled:
+            fl.record(
+                "recv_view", rank=self.rank, peer=source, tag=tag,
+                nbytes=nbytes,
+            )
         if tr.enabled:
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_received", nbytes, rank=self.rank)
@@ -516,6 +544,27 @@ class ProcessCommunicator(Communicator):
 
 #: Short alias, mirroring ``VirtualComm``.
 ProcessComm = ProcessCommunicator
+
+
+def bind_to_parent_lifetime() -> None:
+    """Ask the kernel to SIGTERM this process when its parent dies.
+
+    A SIGKILLed cluster parent (e.g. a run-service worker) must not leave
+    immortal rank orphans: an orphan's queue feeder threads block forever
+    on pipes nobody reads, and the orphan holds every inherited file
+    descriptor — including stdio, which hangs any pipeline reading the
+    original process's output.  Linux-only (``PR_SET_PDEATHSIG``);
+    elsewhere this is a silent no-op and orphans fall back to
+    communication timeouts.
+    """
+    try:
+        import ctypes
+        import signal as _signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, _signal.SIGTERM, 0, 0, 0)  # 1 = PR_SET_PDEATHSIG
+    except (OSError, AttributeError, TypeError):  # pragma: no cover
+        pass
 
 
 def _worker_main(
@@ -531,10 +580,16 @@ def _worker_main(
     fork, but records into *fresh* per-process instances (the parent's
     tracer and registry hold thread locks the child must not share) and
     ships the recorded data back with the result for an exact merge."""
+    bind_to_parent_lifetime()
+    if os.getppid() != cluster._owner_pid:
+        os._exit(1)  # parent died before the death signal was armed
     comm = ProcessCommunicator(cluster, rank)
+    parent_tracer = get_tracer()
     tracer = None
-    if get_tracer().enabled:
-        tracer = Tracer()
+    if parent_tracer.enabled:
+        # The distributed trace context (if any) crosses the fork so the
+        # rank's spans share the submit-time trace id.
+        tracer = Tracer(context=parent_tracer.context)
         set_tracer(tracer)
         tracer.bind_rank(rank)
     reg = None
@@ -542,6 +597,10 @@ def _worker_main(
         reg = MetricsRegistry()
         set_metrics(reg)
         reg.bind_rank(rank)
+    if cluster._flight_ring is not None:
+        # Record straight into the crash-survivable shared file: the
+        # parent (or the service, after a SIGKILL) reads it back by path.
+        set_flight(cluster._flight_ring.writer(rank))
     try:
         value = fn(comm, *args, *extra)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
@@ -597,6 +656,25 @@ class ProcessCluster:
         self._procs: list = []
         self._closed = False
         self._owner_pid = os.getpid()
+        # Flight recorder backing file: created while a recorder is
+        # installed, so rank events survive even a SIGKILLed worker.  An
+        # explicit recorder ``ring_path`` (the service points it into the
+        # result store) is reused; otherwise a throwaway temp file.
+        self._flight_ring: FlightRing | None = None
+        self._flight_ring_owned = False
+        recorder = get_flight()
+        if recorder.enabled:
+            path = getattr(recorder, "ring_path", None)
+            if path is None:
+                fd, path = tempfile.mkstemp(
+                    prefix="repro-flight-", suffix=".ring"
+                )
+                os.close(fd)
+                self._flight_ring_owned = True
+            self._flight_ring = FlightRing.create(
+                str(path), size,
+                capacity=getattr(recorder, "capacity", _FLIGHT_CAPACITY),
+            )
         self.last_stats: list[CommStats] = [CommStats() for _ in range(size)]
         #: Parent-side checkpoint hook: ``snapshot_sink(step, t, q)`` is
         #: called for every snapshot a worker submits (see
@@ -697,9 +775,26 @@ class ProcessCluster:
                 p.terminate()
                 p.join(timeout=5.0)
         self._absorb_observability(shipped_obs)
+        flight_events = self._collect_flight()
         if errors:
-            raise VirtualCluster._failure(errors)
+            failure = VirtualCluster._failure(errors)
+            if flight_events is not None:
+                failure.flight = flight_events
+            raise failure
         return results
+
+    def _collect_flight(self) -> dict[int, list] | None:
+        """Read every rank's surviving ring events back into the parent's
+        recorder; returns them (also attached to any RankFailure)."""
+        if self._flight_ring is None:
+            return None
+        events = self._flight_ring.read_all()
+        recorder = get_flight()
+        if recorder.enabled and hasattr(recorder, "ingest"):
+            for rank, evs in events.items():
+                if evs:
+                    recorder.ingest(rank, evs)
+        return events
 
     @staticmethod
     def _absorb_observability(shipped: list[tuple]) -> None:
@@ -740,6 +835,11 @@ class ProcessCluster:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
+        if self._flight_ring is not None:
+            self._flight_ring.close()
+            if self._flight_ring_owned:
+                self._flight_ring.unlink()
+            self._flight_ring = None
 
     def __enter__(self) -> "ProcessCluster":
         return self

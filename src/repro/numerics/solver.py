@@ -29,7 +29,7 @@ import numpy as np
 
 from .. import constants
 from ..grid import Grid
-from ..obs import get_metrics, get_tracer
+from ..obs import get_metrics, get_stream, get_tracer, step_record
 from ..physics import eos
 from ..physics.fluxes import axisymmetric_source, inviscid_fluxes
 from ..physics.state import FlowState
@@ -609,6 +609,20 @@ class CompressibleSolver:
                 float(q.shape[1] * q.shape[2]),
                 rank=rank,
             )
+        stream = get_stream()
+        if stream.enabled:
+            stream.publish(self._step_stream_record(dt, wall))
+
+    def _step_stream_record(self, dt: float, wall: float) -> dict:
+        """One ``repro.stream/1`` progress record for the step just taken
+        (distributed subclasses add comm/fault fields)."""
+        return step_record(
+            rank=self._trace_rank,
+            step=self.nstep,
+            t=self.t,
+            dt=dt,
+            ms=1e3 * wall,
+        )
 
     def restore(self, nstep: int, t: float) -> None:
         """Resume the step/time counters after reloading checkpointed state.

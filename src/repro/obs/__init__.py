@@ -40,10 +40,34 @@ from .tracer import (
     NullTracer,
     SpanRecord,
     Trace,
+    TraceContext,
     Tracer,
     get_tracer,
     set_tracer,
     use_tracer,
+)
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    FlightRing,
+    NullFlightRecorder,
+    get_flight,
+    read_flight_jsonl,
+    set_flight,
+    use_flight,
+    write_flight_jsonl,
+)
+from .stream import (
+    STREAM_SCHEMA,
+    BufferStepStream,
+    NullStepStream,
+    QueueStepStream,
+    StragglerDetector,
+    get_stream,
+    imbalance_verdict,
+    set_stream,
+    step_record,
+    use_stream,
 )
 from .export import (
     chrome_counter_events,
@@ -80,10 +104,30 @@ __all__ = [
     "NullTracer",
     "SpanRecord",
     "Trace",
+    "TraceContext",
     "Tracer",
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "FlightRing",
+    "NullFlightRecorder",
+    "get_flight",
+    "read_flight_jsonl",
+    "set_flight",
+    "use_flight",
+    "write_flight_jsonl",
+    "STREAM_SCHEMA",
+    "BufferStepStream",
+    "NullStepStream",
+    "QueueStepStream",
+    "StragglerDetector",
+    "get_stream",
+    "imbalance_verdict",
+    "set_stream",
+    "step_record",
+    "use_stream",
     "chrome_counter_events",
     "chrome_trace_events",
     "chrome_trace_json",

@@ -20,9 +20,11 @@ import hashlib
 import json
 import math
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullMetrics
+from .stream import imbalance_verdict
 
 __all__ = [
     "LEDGER_SCHEMA",
@@ -70,6 +72,10 @@ class PerfReport:
     restarts: int = 0
     trace_summary: dict | None = None
     profile_top: list[dict] | None = None
+    balance: dict | None = None
+    """Straggler/imbalance verdict over ``per_rank``
+    (:func:`repro.obs.stream.imbalance_verdict`); ``None`` for runs with
+    fewer than two timed ranks."""
     metrics: dict = field(default_factory=dict)
     """Full registry snapshot (:meth:`MetricsRegistry.snapshot`)."""
 
@@ -97,6 +103,7 @@ class PerfReport:
             "restarts": self.restarts,
             "trace_summary": self.trace_summary,
             "profile_top": self.profile_top,
+            "balance": self.balance,
             "metrics": self.metrics,
         }
 
@@ -126,6 +133,7 @@ class PerfReport:
             restarts=int(d.get("restarts", 0)),
             trace_summary=d.get("trace_summary"),
             profile_top=d.get("profile_top"),
+            balance=d.get("balance"),
             metrics=d.get("metrics", {}),
         )
 
@@ -413,6 +421,7 @@ def build_perf_report(
         restarts=result.restarts,
         trace_summary=trace_summary,
         profile_top=profile_top,
+        balance=imbalance_verdict(per_rank),
         metrics=metrics.snapshot(),
     )
 
@@ -431,20 +440,49 @@ def append_ledger(report: PerfReport, path: str | os.PathLike) -> str:
 
 
 def read_ledger(path: str | os.PathLike) -> list[PerfReport]:
-    """Parse every ledger line; unknown schemas raise ``ValueError``."""
+    """Parse every ledger line; unknown schemas raise ``ValueError``.
+
+    Truncated or partially-written lines (a worker killed mid-append
+    leaves a half JSON object, typically as the *last* line) are skipped
+    with a :class:`UserWarning` naming the line — one mangled line must
+    not poison the other hundreds of good ones.  An explicit *unknown
+    schema* on an otherwise well-formed line still raises: that is a
+    format break, not a torn write.
+    """
     reports = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
-            d = json.loads(line)
+            try:
+                d = json.loads(line)
+            except ValueError:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping truncated/corrupt ledger "
+                    f"line ({line[:40]!r}...)",
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(d, dict):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-object ledger line",
+                    stacklevel=2,
+                )
+                continue
             if d.get("schema") != LEDGER_SCHEMA:
                 raise ValueError(
                     f"{path}:{lineno}: unknown ledger schema "
                     f"{d.get('schema')!r} (expected {LEDGER_SCHEMA!r})"
                 )
-            reports.append(PerfReport.from_dict(d))
+            try:
+                reports.append(PerfReport.from_dict(d))
+            except (KeyError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping partially-written ledger "
+                    f"line ({type(exc).__name__}: {exc})",
+                    stacklevel=2,
+                )
     return reports
 
 
@@ -541,6 +579,19 @@ def render_report(report: PerfReport) -> str:
         lines.append(
             _table(["rank", "comp s", "comm s", "comp:comm", "bytes sent"],
                    rows, title="per-rank split")
+        )
+    if report.balance:
+        b = report.balance
+        lines.append("")
+        lines.append(
+            f"balance: {b['verdict']}"
+            f"  max/mean step={b['max_mean_step_ratio']:.2f}"
+            f" (slowest rank {b['slowest_rank']})"
+            + (
+                f"  comm-bound ranks={b['comm_bound_ranks']}"
+                if b["comm_bound_ranks"]
+                else ""
+            )
         )
     if report.faults:
         rows = [[k, f"{v:.0f}"] for k, v in report.faults.items()]

@@ -20,8 +20,52 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Distributed trace identity, carried across process/socket hops.
+
+    Minted once when a :class:`~repro.request.RunRequest` is submitted and
+    propagated through the service wire protocol and the fork-worker job
+    queue into every rank's tracer, so the spans of one logical run — on
+    the client, the service, the worker, and each rank — share a single
+    ``trace_id`` and assemble into one tree in a Perfetto export.
+
+    ``parent_span`` names the span in the *upstream* tier under which this
+    tier's spans nest (e.g. the worker runs under ``"service.worker"``).
+    """
+
+    trace_id: str
+    parent_span: str | None = None
+    origin: str = "client"
+
+    @classmethod
+    def mint(cls, origin: str = "client") -> "TraceContext":
+        """A fresh context with a new random trace id."""
+        return cls(trace_id=uuid.uuid4().hex[:16], origin=origin)
+
+    def child(self, parent_span: str, origin: str) -> "TraceContext":
+        """The same trace, one tier down (new parent span + origin)."""
+        return TraceContext(self.trace_id, parent_span, origin)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "parent_span": self.parent_span,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TraceContext":
+        return cls(
+            trace_id=doc["trace_id"],
+            parent_span=doc.get("parent_span"),
+            origin=doc.get("origin", "client"),
+        )
 
 
 @dataclass(frozen=True)
@@ -168,6 +212,7 @@ class NullTracer:
 
     enabled = False
     trace = None
+    context = None
 
     __slots__ = ()
 
@@ -200,16 +245,36 @@ class Tracer:
         timestamps and bypass the clock entirely.
     name:
         Stored in ``trace.meta['name']`` and carried into exports.
+    context:
+        Optional :class:`TraceContext` stamping this tracer's records with
+        a distributed trace identity (``trace.meta['trace_id']`` etc.).
     """
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter, name: str = "") -> None:
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        name: str = "",
+        context: TraceContext | None = None,
+    ) -> None:
         self.clock = clock
         self.trace = Trace(meta={"name": name} if name else {})
         self._seq = itertools.count()
         self._tls = threading.local()
         self._counter_lock = threading.Lock()
+        self.context = None
+        if context is not None:
+            self.adopt_context(context)
+
+    def adopt_context(self, context: TraceContext) -> None:
+        """Join a distributed trace: stamp its identity into ``meta``."""
+        self.context = context
+        meta = self.trace.meta
+        meta["trace_id"] = context.trace_id
+        meta["trace_origin"] = context.origin
+        if context.parent_span is not None:
+            meta["parent_span"] = context.parent_span
 
     # -- per-thread state -----------------------------------------------------
     def _stack(self) -> list[str]:

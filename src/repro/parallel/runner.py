@@ -27,7 +27,7 @@ from ..grid import Grid
 from ..msglib.api import CommStats
 from ..msglib.virtual import RankFailure, VirtualCluster
 from ..numerics.solver import SolverConfig
-from ..obs import Trace, Tracer, get_tracer, use_tracer
+from ..obs import Trace, Tracer, get_flight, get_tracer, use_tracer
 from ..physics.state import FlowState
 from .checkpoint import CheckpointStore, Snapshot
 from .spmd import DistributedSolver
@@ -233,6 +233,12 @@ class ParallelJetSolver:
                         snap = solver.checkpoint()
                         if snap is not None and save is not None:
                             save(*snap)
+                        fl = get_flight()
+                        if fl.enabled:
+                            fl.record(
+                                "checkpoint", rank=comm.rank,
+                                step=solver.nstep,
+                            )
                 gathered = solver.gather_state()
                 return (
                     gathered,
@@ -281,6 +287,14 @@ class ParallelJetSolver:
                     failure.last_good_step = (
                         latest.step if latest is not None else 0
                     )
+                    # Post-mortem: the last recorded events of every rank.
+                    # Process clusters attach their ring contents before
+                    # raising; virtual ranks share the parent's recorder.
+                    fl = get_flight()
+                    if not hasattr(failure, "flight") and fl.enabled and (
+                        hasattr(fl, "events_by_rank")
+                    ):
+                        failure.flight = fl.events_by_rank()
                     if self.faults is None or attempt >= self.max_restarts:
                         raise
                     attempt += 1

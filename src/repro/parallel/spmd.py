@@ -125,6 +125,28 @@ class BlockDistributedSolver(CompressibleSolver):
 
         get_tracer().bind_rank(comm.rank)
         get_metrics().bind_rank(comm.rank)
+        # Baselines for per-step comm deltas in the streamed records.
+        self._stream_comm_prev = (0.0, 0, 0)
+
+    def _step_stream_record(self, dt: float, wall: float) -> dict:
+        rec = super()._step_stream_record(dt, wall)
+        stats = getattr(self.comm, "stats", None)
+        if stats is not None:
+            comm_s = stats.send_seconds + stats.recv_seconds
+            sent = stats.bytes_sent
+            recvd = stats.bytes_received
+            p_comm, p_sent, p_recvd = self._stream_comm_prev
+            rec["comm_ms"] = 1e3 * (comm_s - p_comm)
+            rec["sent_bytes"] = sent - p_sent
+            rec["halo_bytes"] = (sent - p_sent) + (recvd - p_recvd)
+            self._stream_comm_prev = (comm_s, sent, recvd)
+        faults = getattr(self.comm, "fault_stats", None)
+        if faults is not None:
+            rec["retries"] = (
+                faults.retransmissions + faults.recv_retries
+            )
+            rec["lost"] = faults.lost_messages
+        return rec
 
     def _make_decomposition(self, global_grid: Grid, nranks: int):
         raise NotImplementedError

@@ -104,6 +104,11 @@ class ObservabilityConfig:
     """``True`` / top-N int for cProfile coverage (implies metrics)."""
     ledger: Any = None
     """Falsy, ``True`` (anchored default ledger) or an explicit path."""
+    stream: Any = None
+    """Falsy, ``True`` (buffered), or a live step-stream publisher."""
+    flight: Any = None
+    """Falsy, ``True``, a capacity int, a flush path, or a live
+    :class:`~repro.obs.FlightRecorder`."""
 
     def to_dict(self) -> dict:
         return {
@@ -111,6 +116,8 @@ class ObservabilityConfig:
             "metrics": _plain_flag(self.metrics),
             "profile": self.profile if isinstance(self.profile, int) else bool(self.profile),
             "ledger": _plain_flag(self.ledger),
+            "stream": _plain_flag(self.stream),
+            "flight": _plain_flag(self.flight),
         }
 
     @classmethod
@@ -120,6 +127,8 @@ class ObservabilityConfig:
             metrics=d.get("metrics"),
             profile=d.get("profile", False),
             ledger=d.get("ledger"),
+            stream=d.get("stream"),
+            flight=d.get("flight"),
         )
 
 
@@ -223,6 +232,8 @@ class RunRequest:
         metrics=None,
         profile=False,
         ledger=None,
+        stream=None,
+        flight=None,
         **scenario_kw,
     ) -> "RunRequest":
         """Build a request from :func:`repro.api.run`'s keyword surface.
@@ -270,7 +281,8 @@ class RunRequest:
                 max_restarts=max_restarts,
             ),
             observability=ObservabilityConfig(
-                trace=trace, metrics=metrics, profile=profile, ledger=ledger
+                trace=trace, metrics=metrics, profile=profile, ledger=ledger,
+                stream=stream, flight=flight,
             ),
             scenario_obj=scenario_obj,
             platform_obj=platform_obj,

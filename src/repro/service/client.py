@@ -68,11 +68,22 @@ class ServiceClient:
     def ping(self) -> dict:
         return self._call("ping")
 
-    def submit(self, request) -> dict:
+    def submit(self, request, context=None) -> dict:
         """Submit a RunRequest / ExperimentRequest (or wire dict); returns
-        the job record."""
+        the job record.
+
+        A :class:`~repro.obs.TraceContext` is minted here (origin
+        ``"client"``) unless one is passed in, so the job's whole
+        execution — service, worker, every forked rank — shares this
+        client call's trace id.
+        """
+        from ..obs import TraceContext
+
+        if context is None:
+            context = TraceContext.mint(origin="client")
         wire = request if isinstance(request, dict) else request.to_dict()
-        return self._call("submit", request=wire)["job"]
+        ctx = context if isinstance(context, dict) else context.to_dict()
+        return self._call("submit", request=wire, context=ctx)["job"]
 
     def jobs(self) -> list[dict]:
         return self._call("jobs")["jobs"]
@@ -103,6 +114,32 @@ class ServiceClient:
                 yield resp["job"]
                 if resp.get("final"):
                     return
+
+    def top(self) -> dict:
+        """Live service utilization: queue depth, busy workers, dedupe
+        hit rate, and per-running-job step rates / balance verdicts."""
+        return self._call("top")["top"]
+
+    def tail(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict]:
+        """Yield the job's per-step telemetry records as they stream."""
+        with self._connect() as s:
+            fh = s.makefile("rwb")
+            fh.write(
+                json.dumps(
+                    {"op": "tail", "job_id": job_id, "timeout": timeout}
+                ).encode()
+                + b"\n"
+            )
+            fh.flush()
+            for line in fh:
+                resp = json.loads(line)
+                if not resp.get("ok"):
+                    raise RuntimeError(resp.get("error", "tail failed"))
+                if resp.get("final"):
+                    return
+                yield resp["record"]
 
     def result(self, job_id: str, timeout: float | None = None) -> Any:
         """The completed job's payload (RunResult / experiment text)."""

@@ -12,7 +12,13 @@ from the shared filesystem (server and clients sit on one machine, by
 construction of a Unix socket).
 
 Ops: ``ping``, ``submit``, ``jobs``, ``status``, ``wait``, ``watch``,
-``result``, ``shutdown``.
+``result``, ``top``, ``tail``, ``shutdown``.
+
+``submit`` accepts an optional ``context`` (a
+:class:`~repro.obs.TraceContext` wire dict) so the client's trace id rides
+the socket into the service, the worker, and every rank.  ``tail``
+streams the job's live per-step telemetry records exactly like ``watch``
+streams status transitions.
 """
 
 from __future__ import annotations
@@ -76,7 +82,7 @@ class _Handler(socketserver.StreamRequestHandler):
         })
 
     def _op_submit(self, svc: RunService, req: dict) -> None:
-        job = svc.submit(req["request"])
+        job = svc.submit(req["request"], context=req.get("context"))
         self._send({"ok": True, "job": job.to_dict()})
 
     def _op_jobs(self, svc: RunService, req: dict) -> None:
@@ -132,6 +138,14 @@ class _Handler(socketserver.StreamRequestHandler):
             "kind": entry.kind,
             "payload_path": str(svc.store.root / entry.payload),
         })
+
+    def _op_top(self, svc: RunService, req: dict) -> None:
+        self._send({"ok": True, "top": svc.top()})
+
+    def _op_tail(self, svc: RunService, req: dict) -> None:
+        for record in svc.tail(req["job_id"], timeout=req.get("timeout")):
+            self._send({"ok": True, "record": record, "final": False})
+        self._send({"ok": True, "record": None, "final": True})
 
     def _op_shutdown(self, svc: RunService, req: dict) -> None:
         self._send({"ok": True, "stopping": True})

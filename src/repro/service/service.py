@@ -37,9 +37,21 @@ import queue as _queue
 import threading
 import time
 import traceback
+from collections import deque
+from struct import error as struct_error
 from dataclasses import dataclass, field, replace as _dc_replace
+from pathlib import Path
 from typing import Any, Iterator
 
+from ..obs import (
+    FlightRecorder,
+    QueueStepStream,
+    SpanRecord,
+    StragglerDetector,
+    Trace,
+    TraceContext,
+)
+from ..obs.flight import FlightRing, write_flight_jsonl
 from ..request import RunRequest
 from .experiments import EXPERIMENT_SCHEMA, ExperimentRequest
 from .store import ResultStore
@@ -48,6 +60,10 @@ __all__ = ["Job", "JobFailed", "RunService"]
 
 #: Liveness/queue poll interval for the pump thread (seconds).
 _POLL = 0.1
+#: After a job goes terminal, ``tail`` keeps draining the fan-in queue
+#: until no new record has arrived for this long (in-flight records can
+#: trail the worker's completion message through the queue feeders).
+_TAIL_GRACE = 0.5
 
 #: Job states.  ``cached`` is terminal-on-arrival: served from the store
 #: without execution.  ``attached`` jobs mirror their primary's state.
@@ -83,6 +99,15 @@ class Job:
     finished: float | None = None
     version: int = 0
     """Monotone transition counter (drives ``watch`` streaming)."""
+    context: dict | None = None
+    """Wire form of the job's :class:`~repro.obs.TraceContext`."""
+    flight: dict | None = None
+    """``rank -> last flight-recorder events`` recovered from a failed
+    execution (the post-mortem half of the failure report)."""
+    flight_path: str | None = None
+    """The worker's shared flight-ring file, announced before execution so
+    the parent can read the last events of every rank even after the
+    worker is SIGKILLed."""
 
     @property
     def terminal(self) -> bool:
@@ -103,6 +128,13 @@ class Job:
             "started": self.started,
             "finished": self.finished,
             "version": self.version,
+            "context": self.context,
+            "flight": (
+                {str(r): evs for r, evs in self.flight.items()}
+                if self.flight
+                else None
+            ),
+            "flight_path": self.flight_path,
         }
 
 
@@ -123,20 +155,49 @@ def _encode_request(request) -> tuple[str, dict, str]:
     )
 
 
-def _worker_main(tasks, results, store_root: str, policy: dict) -> None:
+def _flight_ring_path(store_root: str, fingerprint: str) -> str:
+    """Where a run's crash-survivable flight ring lives in the store."""
+    return str(Path(store_root) / "results" / f"{fingerprint}.flight.ring")
+
+
+def _flight_jsonl_path(ring_path: str) -> str:
+    """The flushed post-mortem file beside a ring (``.ring`` -> ``.jsonl``)."""
+    base = ring_path[: -len(".ring")] if ring_path.endswith(".ring") else ring_path
+    return base + ".jsonl"
+
+
+def _worker_main(tasks, results, store_root: str, policy: dict, stream_q) -> None:
     """Worker process loop: execute queued requests, ship results back.
 
     Payloads are written straight into the store's content-addressed
     ``results/`` directory (atomic rename); only small manifests cross
     the result queue.  ``None`` is the poison pill.
+
+    Telemetry plumbing per run job:
+
+    * per-step records flow through ``stream_q`` (a bounded fan-in queue
+      shared by all workers, tagged with the job id) — the rank processes
+      a process-substrate run forks inherit the queue and publish
+      directly;
+    * a flight ring file is announced to the parent *before* execution
+      (``("flight", ...)``) so the last events of every rank survive this
+      worker being SIGKILLed;
+    * the submit-time :class:`~repro.obs.TraceContext` is adopted one
+      tier down, so every rank's spans join the client's trace tree.
     """
+    from ..msglib.process import bind_to_parent_lifetime
+
+    # Workers are non-daemonic (they fork rank children), so they would
+    # survive a SIGKILLed service process; die with the parent instead.
+    bind_to_parent_lifetime()
     store = ResultStore(store_root)
     while True:
         item = tasks.get()
         if item is None:
             return
-        job_id, kind, req_dict = item
+        job_id, kind, req_dict, ctx_dict = item
         results.put(("started", job_id, os.getpid(), None))
+        ring_path = None
         try:
             if kind == "experiment":
                 req = ExperimentRequest.from_dict(req_dict)
@@ -147,18 +208,42 @@ def _worker_main(tasks, results, store_root: str, policy: dict) -> None:
                 from ..api import run_request
 
                 req = RunRequest.from_dict(req_dict)
-                if policy.get("force_metrics", True):
-                    req = req.replace(
-                        observability=_dc_replace(
-                            req.observability,
-                            metrics=True,
-                            ledger=req.observability.ledger
-                            or policy.get("ledger", False),
-                        )
+                fp = req.fingerprint()
+                ring_path = _flight_ring_path(store_root, fp)
+                os.makedirs(os.path.dirname(ring_path), exist_ok=True)
+                results.put(("flight", job_id, os.getpid(), ring_path))
+                obs = _dc_replace(
+                    req.observability,
+                    metrics=req.observability.metrics
+                    or policy.get("force_metrics", True),
+                    ledger=req.observability.ledger
+                    or policy.get("ledger", False),
+                    stream=(
+                        QueueStepStream(stream_q, job=job_id)
+                        if stream_q is not None
+                        else req.observability.stream
+                    ),
+                    flight=FlightRecorder(ring_path=ring_path),
+                )
+                req = req.replace(observability=obs)
+                context = (
+                    TraceContext.from_dict(ctx_dict).child(
+                        "service.worker", origin="worker"
                     )
-                result = run_request(req)
+                    if ctx_dict
+                    else None
+                )
+                result = run_request(req, context=context)
                 result.request = None  # live objects stay out of the pickle
-                store.write_payload(req.fingerprint(), result)
+                store.write_payload(fp, result)
+                if result.flight:
+                    write_flight_jsonl(
+                        result.flight, _flight_jsonl_path(ring_path)
+                    )
+                try:  # clean exit: the jsonl flush supersedes the ring
+                    os.unlink(ring_path)
+                except OSError:
+                    pass
                 report = result.perf.to_dict() if result.perf else {}
             results.put(("done", job_id, os.getpid(), report))
         except BaseException as exc:  # ship *everything* back structured
@@ -166,7 +251,48 @@ def _worker_main(tasks, results, store_root: str, policy: dict) -> None:
                 f"{type(exc).__name__}: {exc}\n"
                 + "".join(traceback.format_exception(exc)[-3:])
             )
-            results.put(("failed", job_id, os.getpid(), err))
+            detail: dict = {"message": err, "flight_path": ring_path}
+            flight = getattr(exc, "flight", None)
+            if flight:
+                detail["flight"] = {
+                    int(r): list(evs) for r, evs in flight.items()
+                }
+            results.put(("failed", job_id, os.getpid(), detail))
+
+
+class _JobStream:
+    """Parent-side view of one job's streamed step records.
+
+    A bounded ring of the most recent records (``tail`` serves from it),
+    a monotone ``_seq`` stamped on arrival (so tailers can resume), and a
+    live :class:`~repro.obs.StragglerDetector` fed every record (``top``
+    reports its verdict while the job runs).
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        self.records: deque = deque(maxlen=maxlen)
+        self.total = 0
+        self.first: float | None = None
+        self.last: float | None = None
+        self.detector = StragglerDetector()
+
+    def add(self, record: dict) -> None:
+        self.total += 1
+        record = dict(record)
+        record["_seq"] = self.total
+        now = time.monotonic()
+        if self.first is None:
+            self.first = now
+        self.last = now
+        self.records.append(record)
+        self.detector.observe(record)
+
+    @property
+    def record_rate(self) -> float | None:
+        """Streamed records per second (all ranks pooled), or ``None``."""
+        if self.first is None or self.total < 2 or self.last <= self.first:
+            return None
+        return (self.total - 1) / (self.last - self.first)
 
 
 class RunService:
@@ -215,6 +341,10 @@ class RunService:
             ) from None
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
+        # Bounded fan-in for per-step telemetry (publishers drop on full —
+        # a slow parent never stalls a solver step).
+        self._stream_q = self._ctx.Queue(4096)
+        self._streams: dict[str, _JobStream] = {}
         self._procs: list[Any] = []
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
@@ -258,10 +388,14 @@ class RunService:
             if p.is_alive():
                 p.terminate()
                 p.join(1.0)
+            if p.is_alive():  # non-daemonic workers must not outlive us
+                p.kill()
+                p.join(1.0)
         if self._pump is not None:
             self._pump.join(timeout=2.0)
         self._tasks.close()
         self._results.close()
+        self._stream_q.close()
 
     def __enter__(self) -> "RunService":
         return self.start()
@@ -270,11 +404,15 @@ class RunService:
         self.close()
 
     def _spawn_worker(self) -> None:
+        # NOT daemonic: a worker must be able to fork its own children —
+        # the process substrate runs one OS process per rank inside the
+        # worker, and daemonic processes may not have children.  close()
+        # joins, then terminates, then kills, so they never outlive us.
         p = self._ctx.Process(
             target=_worker_main,
             args=(self._tasks, self._results, str(self.store.root),
-                  dict(self._policy)),
-            daemon=True,
+                  dict(self._policy), self._stream_q),
+            daemon=False,
             name=f"repro-service-worker-{len(self._procs)}",
         )
         p.start()
@@ -282,15 +420,24 @@ class RunService:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, request) -> Job:
+    def submit(self, request, context=None) -> Job:
         """Enqueue (or instantly satisfy) one request; returns its Job.
 
         Dedupe order: persistent store first (``cached``), then in-flight
         fingerprints (``attached``), then a fresh queue entry.
+
+        ``context`` is the submitting client's
+        :class:`~repro.obs.TraceContext` (object or wire dict); ``None``
+        mints a fresh one, so every job carries a distributed trace
+        identity that the worker — and each forked rank — joins.
         """
         if self._pump is None:
             raise RuntimeError("RunService is not started (use 'with' or start())")
         kind, wire, fp = _encode_request(request)
+        if context is None:
+            context = TraceContext.mint(origin="service")
+        elif isinstance(context, dict):
+            context = TraceContext.from_dict(context)
         now = time.time()
         with self._lock:
             if self._closing:
@@ -301,6 +448,7 @@ class RunService:
                 kind=kind,
                 request=wire,
                 submitted=now,
+                context=context.to_dict(),
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -321,7 +469,7 @@ class RunService:
                 self._bump(job)
                 return _snapshot(job)
             self._inflight[fp] = job.id
-            self._tasks.put((job.id, kind, wire))
+            self._tasks.put((job.id, kind, wire, job.context))
             self._bump(job)
             return _snapshot(job)
 
@@ -401,7 +549,219 @@ class RunService:
         self.store.refresh()
         return self.store.load_result(fp)
 
+    # -- telemetry -----------------------------------------------------------
+
+    def tail(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict]:
+        """Yield the job's per-step stream records as they arrive.
+
+        Serves from the parent-side ring (records already buffered come
+        first), then follows the live stream; returns once the job is
+        terminal and the ring is drained (or on timeout).  Each yielded
+        record is a ``repro.stream/1`` dict plus ``_seq`` (arrival order)
+        and ``job`` tags.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_seq = 0
+        grace = None
+        while True:
+            with self._lock:
+                job = self._require(job_id)
+                ring = self._streams.get(job_id)
+                fresh = (
+                    [r for r in ring.records if r["_seq"] > last_seq]
+                    if ring is not None
+                    else []
+                )
+                if fresh:
+                    last_seq = fresh[-1]["_seq"]
+                    grace = None
+                else:
+                    if self._closing:
+                        return
+                    if job.terminal:
+                        # Records the ranks published just before finishing
+                        # may still be in flight through the fan-in queue's
+                        # feeder threads; keep draining through a short
+                        # grace window that fresh arrivals re-arm.
+                        if grace is None:
+                            grace = time.monotonic() + _TAIL_GRACE
+                        elif time.monotonic() >= grace:
+                            return
+                        self._drain_stream()
+                        self._changed.wait(timeout=0.02)
+                        continue
+                    remaining = _POLL
+                    if deadline is not None:
+                        remaining = min(
+                            _POLL, deadline - time.monotonic()
+                        )
+                        if remaining <= 0:
+                            return
+                    self._changed.wait(timeout=remaining)
+                    continue
+            for record in fresh:
+                yield dict(record)
+
+    def top(self) -> dict:
+        """A live utilization snapshot (the ``repro top`` payload).
+
+        Queue depth, busy workers, dedupe hit rate, and one row per
+        running job: latest step per rank pool, streamed-record rate, and
+        the online straggler verdict.
+        """
+        with self._lock:
+            jobs = [self._jobs[i] for i in self._order]
+            queued = sum(
+                1
+                for j in jobs
+                if j.status == "queued" and j.attached_to is None
+            )
+            running = [
+                j
+                for j in jobs
+                if j.status == "running" and j.attached_to is None
+            ]
+            dedupe_hits = sum(
+                1 for j in jobs if j.cached or j.attached_to is not None
+            )
+            rows = []
+            for j in running:
+                ring = self._streams.get(j.id)
+                row = {
+                    "id": j.id,
+                    "scenario": j.request.get("scenario"),
+                    "worker_pid": j.worker_pid,
+                    "step": None,
+                    "records_per_s": None,
+                    "balance": None,
+                }
+                if ring is not None and ring.records:
+                    row["step"] = max(
+                        r.get("step", 0) for r in ring.records
+                    )
+                    rate = ring.record_rate
+                    row["records_per_s"] = (
+                        round(rate, 2) if rate is not None else None
+                    )
+                    row["balance"] = ring.detector.verdict()
+                rows.append(row)
+            return {
+                "workers": self.workers,
+                "busy": len(self._pid_job),
+                "queue_depth": queued,
+                "jobs_total": len(jobs),
+                "executed": self.executed,
+                "dedupe_hits": dedupe_hits,
+                "dedupe_rate": (
+                    round(dedupe_hits / len(jobs), 4) if jobs else 0.0
+                ),
+                "stream_records": sum(
+                    s.total for s in self._streams.values()
+                ),
+                "running": rows,
+            }
+
+    def job_trace(self, job_id: str) -> Trace:
+        """One merged :class:`~repro.obs.Trace` for a completed job.
+
+        Synthetic service-tier spans (``client.submit`` → ``service.job``
+        → ``service.worker``, rank ``-1``) frame the stored worker trace;
+        worker spans are rebased onto the job's wall-clock epoch and
+        parentless ones re-parented under ``service.worker``, so a
+        Perfetto export of the result shows client, service, worker and
+        every rank as a single tree sharing the job's trace id.
+        """
+        with self._lock:
+            job = _snapshot(self._require(job_id))
+        if not job.terminal:
+            raise RuntimeError(
+                f"{job.id} is {job.status}; the merged trace exists once "
+                "the job completes"
+            )
+        merged = Trace(meta={"name": f"service:{job.id}"})
+        if job.context:
+            merged.meta["trace_id"] = job.context.get("trace_id")
+            merged.meta["trace_origin"] = "service"
+        started = job.started or job.submitted
+        finished = job.finished or started
+        merged.spans.append(
+            SpanRecord(
+                "client.submit", "service", -1, job.submitted, started, 0
+            )
+        )
+        merged.spans.append(
+            SpanRecord(
+                "service.job", "service", -1, job.submitted, finished, 1,
+                parent="client.submit",
+            )
+        )
+        merged.spans.append(
+            SpanRecord(
+                "service.worker", "service", -1, started, finished, 2,
+                parent="service.job",
+            )
+        )
+        seq = itertools.count(3)
+        inner = None
+        if job.status in ("done", "cached"):
+            self.store.refresh()
+            try:
+                inner = getattr(
+                    self.store.load_result(job.fingerprint), "trace", None
+                )
+            except (KeyError, OSError):
+                inner = None
+        if inner is not None:
+            stamps = [s.t0 for s in inner.spans]
+            stamps += [e.t for e in inner.events]
+            shift = (started - min(stamps)) if stamps else 0.0
+            for s in inner.ordered_spans():
+                merged.spans.append(
+                    _dc_replace(
+                        s,
+                        t0=s.t0 + shift,
+                        t1=s.t1 + shift,
+                        seq=next(seq),
+                        parent=s.parent or "service.worker",
+                    )
+                )
+            for e in inner.ordered_events():
+                merged.events.append(
+                    _dc_replace(e, t=e.t + shift, seq=next(seq))
+                )
+            merged.counters.update(inner.counters)
+        return merged
+
     # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _read_flight_ring(ring_path: str | None) -> dict | None:
+        """Recover ``rank -> events`` from a (possibly torn) ring file."""
+        if not ring_path or not os.path.exists(ring_path):
+            return None
+        try:
+            ring = FlightRing.open(ring_path)
+        except (OSError, ValueError, struct_error):
+            return None
+        try:
+            events = ring.read_all()
+        except (OSError, ValueError):
+            return None
+        finally:
+            ring.close()
+        return events if any(events.values()) else None
+
+    @staticmethod
+    def _flush_flight(ring_path: str | None, flight: dict) -> None:
+        """Best-effort post-mortem flush beside the ring file."""
+        if not ring_path:
+            return
+        try:
+            write_flight_jsonl(flight, _flight_jsonl_path(ring_path))
+        except OSError:
+            pass
 
     def _require(self, job_id: str) -> Job:
         try:
@@ -432,7 +792,29 @@ class RunService:
                 return
             if msg is not None:
                 self._handle(msg)
+            self._drain_stream()
             self._check_liveness()
+
+    def _drain_stream(self) -> None:
+        """Fold queued per-step records into their jobs' stream rings."""
+        while True:
+            try:
+                record = self._stream_q.get_nowait()
+            except _queue.Empty:
+                return
+            except (EOFError, OSError):
+                return
+            if not isinstance(record, dict):
+                continue
+            job_id = record.get("job")
+            if job_id is None:
+                continue
+            with self._lock:
+                ring = self._streams.get(job_id)
+                if ring is None:
+                    ring = self._streams[job_id] = _JobStream()
+                ring.add(record)
+                self._changed.notify_all()
 
     def _handle(self, msg) -> None:
         event, job_id, pid, detail = msg
@@ -446,6 +828,13 @@ class RunService:
                     j.status = "running"
                     j.started = time.time()
                     j.worker_pid = pid
+                    self._bump(j)
+                return
+            if event == "flight":
+                # The worker names its shared flight-ring file up front, so
+                # a SIGKILL later still leaves the parent a ring to read.
+                for j in self._group(job):
+                    j.flight_path = detail
                     self._bump(j)
                 return
             self._pid_job.pop(pid, None)
@@ -466,9 +855,22 @@ class RunService:
                     j.worker_pid = None
                     self._bump(j)
             else:  # failed
+                if isinstance(detail, dict):
+                    message = detail.get("message", "unknown failure")
+                    flight = detail.get("flight")
+                    flight_path = detail.get("flight_path") or job.flight_path
+                else:  # plain-string detail (older workers)
+                    message, flight, flight_path = detail, None, job.flight_path
+                if flight is None and flight_path:
+                    flight = self._read_flight_ring(flight_path)
+                if flight:
+                    self._flush_flight(flight_path, flight)
                 for j in self._group(job):
                     j.status = "failed"
-                    j.error = detail
+                    j.error = message
+                    j.flight = flight
+                    if flight_path:
+                        j.flight_path = flight_path
                     j.finished = time.time()
                     j.worker_pid = None
                     self._bump(j)
@@ -488,6 +890,11 @@ class RunService:
                     job = self._jobs.get(job_id)
                     if job is not None and not job.terminal:
                         self._inflight.pop(job.fingerprint, None)
+                        # Post-mortem: the dead worker's flight ring is a
+                        # plain file — read the last events of every rank.
+                        flight = self._read_flight_ring(job.flight_path)
+                        if flight:
+                            self._flush_flight(job.flight_path, flight)
                         err = (
                             f"worker process died (pid={p.pid}, "
                             f"exitcode={p.exitcode}) while running {job_id}"
@@ -495,6 +902,7 @@ class RunService:
                         for j in self._group(job):
                             j.status = "failed"
                             j.error = err
+                            j.flight = flight
                             j.finished = time.time()
                             j.worker_pid = None
                             self._bump(j)
