@@ -19,7 +19,10 @@ Navier-Stokes, plus process-substrate cases for all three decompositions
 gate exercises every hot seam the metrics layer instruments without
 making CI slow.  A separate speedup curve (serial vs 2/4 OS-process ranks on the
 paper's full 250 x 100 grid) is measured once per run and stored under
-``"speedup"`` — the repo's real multi-core numbers.
+``"speedup"`` — the repo's real multi-core numbers.  A blocking-vs-overlap
+communication comparison (the paper's Version 5 -> Version 6 transition,
+measured on the process substrate and predicted by the DES on the LACE)
+is stored under ``"overlap"``.
 """
 
 from __future__ import annotations
@@ -116,6 +119,22 @@ MATRIX = (
         "tolerance": 0.35,
     },
     {
+        # The overlapped twin of ns-p2-process-fused: identical physics
+        # (overlap never enters the request fingerprint — results are
+        # bitwise-equal), split-phase exchange forced on.  The "overlap"
+        # section of the output compares the two modes' communication
+        # time head to head.
+        "id": "ns-p2-overlap-fused",
+        "scenario": "jet",
+        "kw": {"nx": 64, "nr": 32},
+        "steps": 20,
+        "nprocs": 2,
+        "backend": "fused",
+        "substrate": "process",
+        "overlap": True,
+        "tolerance": 0.35,
+    },
+    {
         "id": "ns-p4-2d-fused",
         "scenario": "jet",
         "kw": {"nx": 64, "nr": 32},
@@ -182,6 +201,7 @@ def run_case(case: dict, repeats: int, ledger_path: str | None):
             decomposition=case.get("decomposition", "axial"),
             px=case.get("px"),
             pr=case.get("pr"),
+            overlap=case.get("overlap", False),
             metrics=True,
             **case["kw"],
         )
@@ -245,6 +265,105 @@ def run_speedup(repeats: int = 1, quick: bool = False) -> dict:
     }
 
 
+#: The blocking-vs-overlap communication measurement: the same 2-rank
+#: process-substrate run executed with the synchronous exchange and with
+#: the split-phase (post / interior-compute / finish) exchange.  Results
+#: are bitwise-identical; the point of the section is the *communication
+#: time* — under overlap only the residual ``finish()`` wait counts, so
+#: ``comm_ms_per_step`` is the paper's non-overlapped communication
+#: component.  ``scripts/perf_gate.py`` requires overlap's comm time to
+#: be strictly below blocking's on hosts with real parallel hardware.
+OVERLAP = {
+    "scenario": "jet",
+    "kw": {"nx": 96, "nr": 48},
+    "steps": 40,
+    "nprocs": 2,
+    "backend": "fused",
+    "substrate": "process",
+}
+
+
+def _comm_ms_per_step(perf) -> float:
+    """Mean per-rank communication milliseconds per step of one run."""
+    rows = perf.per_rank or []
+    if not rows:
+        return 0.0
+    comm = sum(r.get("comm_seconds", 0.0) for r in rows) / len(rows)
+    return 1e3 * comm / perf.steps
+
+
+def run_overlap_comparison(repeats: int = 3, quick: bool = False) -> dict:
+    """Blocking vs overlapped exchange, measured and DES-predicted.
+
+    The real half runs the :data:`OVERLAP` configuration twice (same
+    fingerprint, bitwise-equal results) and reports each mode's step time
+    and non-overlapped communication time.  The DES half simulates the
+    same Version 5 -> Version 6 transition on the paper's LACE/560 —
+    the model this measurement validates — so the JSON carries the
+    predicted and measured comm-time reductions side by side.
+    """
+    from repro.api import run
+    from repro.machines import LACE_560
+    from repro.simulate import NAVIER_STOKES, SimulatedMachine
+
+    steps = max(OVERLAP["steps"] // 4, 4) if quick else OVERLAP["steps"]
+    modes = {}
+    for label, overlap in (("blocking", False), ("overlap", True)):
+        best = None
+        for _ in range(repeats):
+            res = run(
+                OVERLAP["scenario"],
+                steps=steps,
+                nprocs=OVERLAP["nprocs"],
+                backend=OVERLAP["backend"],
+                substrate=OVERLAP["substrate"],
+                overlap=overlap,
+                metrics=True,
+                **OVERLAP["kw"],
+            )
+            if best is None or res.perf.ms_per_step < best.perf.ms_per_step:
+                best = res
+        modes[label] = {
+            "ms_per_step": best.perf.ms_per_step,
+            "comm_ms_per_step": _comm_ms_per_step(best.perf),
+        }
+        print(
+            f"  overlap[{label}]       {modes[label]['ms_per_step']:8.2f} "
+            f"ms/step  comm={modes[label]['comm_ms_per_step']:6.2f} ms/step",
+            flush=True,
+        )
+    b, o = modes["blocking"]["comm_ms_per_step"], modes["overlap"]["comm_ms_per_step"]
+    real_reduction = (1.0 - o / b) if b > 0.0 else None
+
+    des = {}
+    for vnum in (5, 6):
+        sim = SimulatedMachine(LACE_560, OVERLAP["nprocs"], version=vnum).run(
+            NAVIER_STOKES, steps_window=40
+        )
+        des[f"v{vnum}_comm_s_per_step"] = sim.comm_time / sim.total_steps
+    des_b = des["v5_comm_s_per_step"]
+    des_reduction = (
+        (1.0 - des["v6_comm_s_per_step"] / des_b) if des_b > 0.0 else None
+    )
+    return {
+        "scenario": OVERLAP["scenario"],
+        "grid": [OVERLAP["kw"]["nx"], OVERLAP["kw"]["nr"]],
+        "steps": steps,
+        "nprocs": OVERLAP["nprocs"],
+        "backend": OVERLAP["backend"],
+        "substrate": OVERLAP["substrate"],
+        "cpu_count": os.cpu_count(),
+        "real": {**modes, "comm_reduction": real_reduction},
+        "des": {
+            "platform": LACE_560.name,
+            "app": NAVIER_STOKES.name,
+            "nprocs": OVERLAP["nprocs"],
+            **des,
+            "comm_reduction": des_reduction,
+        },
+    }
+
+
 def run_matrix(
     repeats: int = 3, ledger_path: str | None = None, quick: bool = False
 ) -> dict:
@@ -288,6 +407,7 @@ def run_matrix(
         "repeats": repeats,
         "cases": cases,
         "speedup": run_speedup(quick=quick),
+        "overlap": run_overlap_comparison(quick=quick),
     }
 
 

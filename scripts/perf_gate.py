@@ -218,6 +218,63 @@ def check_speedup(current: dict) -> tuple[list[str], list[str]]:
     return failures, notes
 
 
+def check_overlap(current: dict) -> tuple[list[str], list[str]]:
+    """Gate the blocking-vs-overlap comm comparison: (failures, notes).
+
+    The section must exist (bench_core.py always measures it).  On hosts
+    with real parallel hardware (``cpu_count >= SPEEDUP_MIN_CORES``) the
+    overlapped exchange must deliver: its non-overlapped communication
+    time per step strictly below blocking's, and its step time no worse.
+    On smaller hosts the ranks time-share one core, so both numbers are
+    reported as notes only.
+    """
+    ov = current.get("overlap")
+    if not ov or "real" not in ov:
+        return (
+            ["overlap: no blocking-vs-overlap comparison in current "
+             "results; re-run benchmarks/bench_core.py (make bench)"],
+            [],
+        )
+    real = ov["real"]
+    blocking, overlap = real.get("blocking", {}), real.get("overlap", {})
+    b_comm = float(blocking.get("comm_ms_per_step") or 0.0)
+    o_comm = float(overlap.get("comm_ms_per_step") or 0.0)
+    b_ms = float(blocking.get("ms_per_step") or 0.0)
+    o_ms = float(overlap.get("ms_per_step") or 0.0)
+    cores = ov.get("cpu_count") or 0
+    notes = [
+        f"overlap (p={ov.get('nprocs')}, {cores} core(s)): comm "
+        f"{b_comm:.2f} -> {o_comm:.2f} ms/step, step "
+        f"{b_ms:.2f} -> {o_ms:.2f} ms"
+    ]
+    des = ov.get("des") or {}
+    if des.get("comm_reduction") is not None:
+        red = real.get("comm_reduction")
+        measured = f", measured {red:+.0%}" if red is not None else ""
+        notes.append(
+            f"overlap DES check ({des.get('platform')}): predicted comm "
+            f"reduction {des['comm_reduction']:+.0%}{measured}"
+        )
+    failures: list[str] = []
+    if cores >= SPEEDUP_MIN_CORES:
+        if not (o_comm < b_comm):
+            failures.append(
+                f"overlap: non-overlapped comm {o_comm:.2f} ms/step is not "
+                f"below blocking's {b_comm:.2f} on {cores} cores"
+            )
+        if o_ms > b_ms * (1.0 + DEFAULT_TOLERANCE):
+            failures.append(
+                f"overlap: step time {o_ms:.2f} ms regressed past blocking's "
+                f"{b_ms:.2f} (+{DEFAULT_TOLERANCE:.0%} allowed)"
+            )
+    else:
+        notes.append(
+            f"overlap threshold not enforced: {cores} core(s) < "
+            f"{SPEEDUP_MIN_CORES} (ranks time-share the CPU)"
+        )
+    return failures, notes
+
+
 def render_text(rows: list[dict], scale_note: str) -> str:
     lines = [f"perf gate ({scale_note})"]
     for r in rows:
@@ -302,6 +359,9 @@ def main(argv=None) -> int:
     parity_failures, parity_notes = check_decomposition_parity(current)
     failures.extend(parity_failures)
     speedup_notes.extend(parity_notes)
+    overlap_failures, overlap_notes = check_overlap(current)
+    failures.extend(overlap_failures)
+    speedup_notes.extend(overlap_notes)
     cal_cur = current.get("calibration_ms") or 0.0
     cal_base = baseline.get("calibration_ms") or 0.0
     scale_note = (

@@ -423,6 +423,15 @@ def _cmd_tail(args) -> int:
     client = ServiceClient(args.socket)
     try:
         for rec in client.tail(args.job, timeout=args.timeout):
+            if rec.get("kind") == "cached":
+                # Dedupe hit: the job never executed, so there is no
+                # per-step telemetry to follow.
+                print(
+                    f"{args.job}: served from cache "
+                    f"(fingerprint {rec.get('fingerprint')}); "
+                    "no step records"
+                )
+                continue
             comm = (
                 f"  comm {rec['comm_ms']:.2f} ms"
                 if rec.get("comm_ms") is not None

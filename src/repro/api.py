@@ -270,6 +270,7 @@ def run(
     timeout: float = 120.0,
     substrate: str = "virtual",
     steps_window: int = 30,
+    overlap: bool = False,
     faults=None,
     fault_seed: int | None = None,
     checkpoint_every: int = 0,
@@ -331,6 +332,13 @@ def run(
     steps_window:
         Simulated steps actually executed by the DES before scaling
         (simulated route only).
+    overlap:
+        ``True`` forces the overlapped (split-phase) halo exchange on the
+        distributed route regardless of ``version``; the default
+        ``False`` keeps the version's behaviour (V6+ overlaps, V5
+        blocks).  Overlapped runs are bitwise-identical to blocking ones
+        and share their cache fingerprint — this switch only changes
+        *when* the per-step flux halos travel, not the numbers.
     faults:
         ``None`` (default), a preset name (``"lossy-ethernet"``,
         ``"jittery-now"``, ``"drop-storm"``, ``"crash-rank1"``,
@@ -397,6 +405,7 @@ def run(
         timeout=timeout,
         substrate=substrate,
         steps_window=steps_window,
+        overlap=overlap,
         faults=faults,
         fault_seed=fault_seed,
         checkpoint_every=checkpoint_every,
@@ -484,6 +493,7 @@ def run_request(
                     checkpoint_every=rz.checkpoint_every,
                     max_restarts=rz.max_restarts,
                     substrate=ex.substrate,
+                    overlap=ex.overlap,
                 )
         finally:
             if profiler is not None:
@@ -596,6 +606,7 @@ def _run_parallel(
     checkpoint_every: int = 0,
     max_restarts: int = 2,
     substrate: str = "virtual",
+    overlap: bool = False,
 ) -> RunResult:
     from .parallel.runner import ParallelJetSolver
 
@@ -613,6 +624,10 @@ def _run_parallel(
         faults=faults,
         checkpoint_every=checkpoint_every,
         max_restarts=max_restarts,
+        # False means "the version's default", not "force blocking":
+        # request-level overlap is an opt-in override on top of the
+        # version policy (V6+ already overlaps).
+        overlap=True if overlap else None,
     )
     t0 = _time.perf_counter()
     res = solver.run(steps, tracer=tracer)

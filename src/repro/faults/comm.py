@@ -337,15 +337,15 @@ class FaultyComm(Communicator):
         """Borrow-style receive through the fault layer.
 
         With injection disabled this passes straight through to the
-        inner communicator's zero-copy ``recv_view`` when it has one.
+        inner communicator's ``recv_view`` (zero-copy on the process
+        substrate, owned copy everywhere else via the ABC default).
         With injection enabled the payload necessarily crosses the
         framed retransmission path (a raw slot holds a *frame*, not the
         payload), so the view is an owned copy — but the release
         discipline stays uniform for callers either way.
         """
-        from ..msglib.process import SlotView
+        if not self._enabled:
+            return self.inner.recv_view(source, tag, timeout=timeout)
+        from ..msglib.api import OwnedView
 
-        inner_rv = getattr(self.inner, "recv_view", None)
-        if not self._enabled and inner_rv is not None:
-            return inner_rv(source, tag, timeout=timeout)
-        return SlotView(self.recv(source, tag, timeout=timeout))
+        return OwnedView(self.recv(source, tag, timeout=timeout))

@@ -154,6 +154,53 @@ class CompletedRequest(Request):
         return self._value
 
 
+class OwnedView:
+    """Copy-semantics receive view: an owned, read-only payload.
+
+    Duck-types :class:`~repro.msglib.process.SlotView` (``.array``,
+    ``.release()``, context manager, ``zero_copy``) so exchange code can
+    hold any communicator's view across an interior compute without
+    substrate branches.  The payload is owned by this view — releasing it
+    frees nothing, but the access protocol (no reads after release,
+    exactly one release) is enforced identically to the zero-copy case so
+    lifetime bugs surface on every substrate, not just the process one.
+    """
+
+    __slots__ = ("_array", "_released")
+
+    #: Owned views never alias transport memory.
+    zero_copy = False
+
+    def __init__(self, array: np.ndarray) -> None:
+        array.setflags(write=False)
+        self._array = array
+        self._released = False
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._released:
+            raise RuntimeError("OwnedView.array accessed after release()")
+        return self._array
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        if self._released:
+            raise RuntimeError(
+                "OwnedView.release() called twice (view already returned)"
+            )
+        self._released = True
+
+    def __enter__(self) -> "OwnedView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._released:
+            self.release()
+
+
 class Communicator(abc.ABC):
     """Abstract point-to-point + collective interface for SPMD programs."""
 
@@ -213,6 +260,45 @@ class Communicator(abc.ABC):
                 return self._value
 
         return _LazyRecv()
+
+    def recv_view(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> OwnedView:
+        """Blocking receive returning a view (copy semantics by default).
+
+        Backends whose transport can lend message memory (the process
+        substrate's shared-memory slots) override this with a zero-copy
+        borrow; everywhere else the payload is simply an owned read-only
+        array wrapped in the same view protocol, so exchange code never
+        needs a substrate branch or ``hasattr`` guard.
+        """
+        return OwnedView(self.recv(source, tag, timeout=timeout))
+
+    def irecv_view(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> Request:
+        """Non-blocking receive whose ``wait()`` yields a view.
+
+        The split-phase exchange posts these before the interior compute;
+        ``wait()`` returns the same view type :meth:`recv_view` does.
+        Default implementation wraps :meth:`irecv` and wraps the payload
+        at completion; backends with zero-copy views override.
+        """
+        inner = self.irecv(source, tag, timeout=timeout)
+
+        class _ViewRecv(Request):
+            def __init__(self) -> None:
+                self._view: OwnedView | None = None
+
+            def test(self) -> bool:
+                return self._view is not None or inner.test()
+
+            def wait(self) -> OwnedView:
+                if self._view is None:
+                    self._view = OwnedView(inner.wait())
+                return self._view
+
+        return _ViewRecv()
 
     # -- collectives (generic implementations over send/recv) -----------------
     def _collective_tag(self, tag: str) -> str:

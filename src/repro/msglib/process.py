@@ -93,6 +93,13 @@ DEFAULT_SLOTS_PER_CHANNEL = 8
 #: Poll interval for abort-aware blocking waits (seconds).
 _POLL = 0.05
 
+#: How long a receive may observe "ring head borrowed by us + nothing
+#: arriving" before it is declared a borrow deadlock.  Long enough for a
+#: genuinely in-flight control record (oversized inline payloads pickle
+#: through the queue feeder) to land, short enough that the failure is
+#: prompt next to the cluster-level timeout.
+_BORROW_GRACE = 1.0
+
 
 class RemoteRankError(RuntimeError):
     """A worker failure whose original exception could not cross the
@@ -231,6 +238,13 @@ class ProcessCommunicator(Communicator):
         self._stash: dict[tuple[int, str], deque] = defaultdict(deque)
         self._lazy: dict[int, deque] = defaultdict(deque)
         self._tx_seq = [0] * cluster.size
+        # Borrow-deadlock bookkeeping: per-source count of shared-memory
+        # envelopes ingested (mirrors the sender's _tx_seq once the queue
+        # drains) and the set of ring slots currently borrowed out via
+        # recv_view.  Together they tell a blocked receive whether the
+        # sender's *next* slot is one we ourselves are holding.
+        self._rx_ingested: dict[int, int] = defaultdict(int)
+        self._borrowed: dict[int, set] = defaultdict(set)
         self._aborted: str | None = None
 
     # -- shared-memory ring helpers --------------------------------------------
@@ -364,6 +378,7 @@ class ProcessCommunicator(Communicator):
         kind = record[0]
         if kind == "shm":
             _, src, tag, slot, shape, dtype, nbytes = record
+            self._rx_ingested[src] += 1
             ref = _SlotRef(self, src, slot, shape, dtype, nbytes)
             self._stash[(src, tag)].append(ref)
             lz = self._lazy[src]
@@ -395,6 +410,7 @@ class ProcessCommunicator(Communicator):
         limit = self.cluster.timeout if timeout is None else timeout
         key = (source, tag)
         deadline = _time.monotonic() + limit
+        borrow_deadline: float | None = None
         while True:
             if self._stash[key]:
                 return self._stash[key].popleft()
@@ -412,8 +428,53 @@ class ProcessCommunicator(Communicator):
             try:
                 record = self._q.get(timeout=min(remaining, _POLL))
             except _queue.Empty:
+                borrow_deadline = self._borrow_deadlock_check(
+                    source, tag, borrow_deadline
+                )
                 continue
             self._ingest(record)
+            borrow_deadline = None  # progress from this drain re-arms
+
+    def _borrow_deadlock_check(
+        self, source: int, tag: str, armed: float | None
+    ) -> float | None:
+        """Detect a receive wedged behind our own ``recv_view`` borrow.
+
+        Senders write ring slots in strict sequence, so if the *next* slot
+        ``source`` will write is one this rank currently holds borrowed,
+        the sender's next shared-memory send blocks on our own semaphore
+        and the message this receive waits for can never arrive: a true
+        deadlock, not a slow peer.  The condition must persist for
+        :data:`_BORROW_GRACE` (envelopes already sent but still pickling
+        through the queue feeder, and oversized payloads that bypass the
+        ring entirely, both land within it) before the structured
+        :class:`DeadlockError` — carrying ``rank`` / ``source`` / ``slot``
+        attributes — replaces what would otherwise be a full cluster-
+        timeout hang.
+        """
+        held = self._borrowed.get(source)
+        if not held:
+            return None
+        nxt = self._rx_ingested[source] % self.cluster.slots_per_channel
+        if nxt not in held:
+            return None
+        now = _time.monotonic()
+        if armed is None:
+            return now + _BORROW_GRACE
+        if now < armed:
+            return armed
+        exc = DeadlockError(
+            f"rank {self.rank}: waiting for a message from {source} tag "
+            f"{tag!r} while holding slot {nxt} of the "
+            f"{self.cluster.slots_per_channel}-slot ring borrowed via "
+            "recv_view — the sender blocks on exactly that slot, so this "
+            "receive can never complete; release the view (or deepen the "
+            "ring) before receiving more"
+        )
+        exc.rank = self.rank
+        exc.source = source
+        exc.slot = nxt
+        raise exc
 
     def recv(
         self, source: int, tag: str, timeout: float | None = None
@@ -475,6 +536,35 @@ class ProcessCommunicator(Communicator):
 
         return _ProbingRecv()
 
+    def _make_view(self, item) -> tuple[SlotView, int]:
+        """Wrap a stash item as a :class:`SlotView` (borrowing lazy slot
+        refs in place); returns ``(view, nbytes)``."""
+        if isinstance(item, _SlotRef):
+            item.claimed = True
+            nbytes = item.nbytes
+            if item.lazy:
+                src, slot = item.src, item.slot
+                sem = self._slot_sem(src, self.rank, slot)
+                self._borrowed[src].add(slot)
+
+                def _release() -> None:
+                    self._borrowed[src].discard(slot)
+                    if (
+                        self._aborted is not None
+                        or self.cluster._abort.is_set()
+                    ):
+                        raise ClusterAborted(
+                            f"rank {self.rank}: released a borrowed "
+                            f"slot from {src} after cluster abort — "
+                            "the slot ring is gone and the borrowed "
+                            "data must be treated as lost"
+                        )
+                    sem.release()
+
+                return SlotView(self._slot_array(item), _release), nbytes
+            return SlotView(item.array), nbytes
+        return SlotView(item), item.nbytes
+
     def recv_view(
         self, source: int, tag: str, timeout: float | None = None
     ) -> SlotView:
@@ -498,32 +588,7 @@ class ProcessCommunicator(Communicator):
         ):
             t0 = _time.perf_counter()
             item = self._mailbox_get(source, tag, timeout)
-            if isinstance(item, _SlotRef):
-                item.claimed = True
-                nbytes = item.nbytes
-                if item.lazy:
-                    src, slot = item.src, item.slot
-                    sem = self._slot_sem(src, self.rank, slot)
-
-                    def _release() -> None:
-                        if (
-                            self._aborted is not None
-                            or self.cluster._abort.is_set()
-                        ):
-                            raise ClusterAborted(
-                                f"rank {self.rank}: released a borrowed "
-                                f"slot from {src} after cluster abort — "
-                                "the slot ring is gone and the borrowed "
-                                "data must be treated as lost"
-                            )
-                        sem.release()
-
-                    view = SlotView(self._slot_array(item), _release)
-                else:
-                    view = SlotView(item.array)
-            else:
-                nbytes = item.nbytes
-                view = SlotView(item)
+            view, nbytes = self._make_view(item)
             seconds = _time.perf_counter() - t0
         self.stats.record_recv(source, tag, nbytes, seconds)
         fl = get_flight()
@@ -536,6 +601,38 @@ class ProcessCommunicator(Communicator):
             tr.count("messages", 1, rank=self.rank)
             tr.count("bytes_received", nbytes, rank=self.rank)
         return view
+
+    def irecv_view(
+        self, source: int, tag: str, timeout: float | None = None
+    ) -> Request:
+        """Non-blocking :meth:`recv_view`: ``test()`` probes the control
+        queue and borrows the slot the moment the envelope lands, so a
+        split-phase exchange can post the borrow before the interior
+        compute and alias the slot zero-copy at ``wait()``."""
+        comm = self
+        key = (source, tag)
+
+        class _ProbingRecvView(Request):
+            def __init__(self) -> None:
+                self._view: SlotView | None = None
+
+            def test(self) -> bool:
+                if self._view is not None:
+                    return True
+                comm._drain_nowait()
+                if comm._stash[key]:
+                    item = comm._stash[key].popleft()
+                    view, nbytes = comm._make_view(item)
+                    comm.stats.record_recv(source, tag, nbytes)
+                    self._view = view
+                return self._view is not None
+
+            def wait(self) -> SlotView:
+                if self._view is None:
+                    self._view = comm.recv_view(source, tag, timeout=timeout)
+                return self._view
+
+        return _ProbingRecvView()
 
     def pending(self) -> int:
         """Stashed (unconsumed) envelopes — should be 0 at a clean exit."""

@@ -104,6 +104,31 @@ class _OpsBase:
     def filter_apply(self, q, lo, hi, axis, eps, scratch):  # pragma: no cover
         raise NotImplementedError
 
+    # -- overlapped-exchange loop variants (shared across engines) ---------
+    def rate_interior(self, f, lo, hi, axis, h, forward, source, iw, out):
+        """Provisional rate pass for the overlap window.
+
+        The in-flight side's ghost argument is ``None`` (every engine's
+        rate kernel then cubic-extrapolates it, the serial-boundary
+        path), so all interior columns come out final and only the two
+        edge columns on the in-flight side are provisional — exactly the
+        strip :meth:`rate_edges` recomputes after the exchange lands.
+        """
+        return self.rate(f, lo, hi, axis, h, forward, source, iw, out)
+
+    def rate_edges(self, f, ghosts, axis, h, forward, source, iw, out):
+        """Recompute the two ghost-dependent edge columns of ``out``.
+
+        Engine-neutral by construction: the strip replay in
+        :func:`repro.numerics.kernels.overlap.rate_edges` follows the
+        identical strict-IEEE op chain all engines implement, so its
+        columns are bitwise what this engine's full kernel would have
+        produced with the real ghosts.
+        """
+        from .overlap import rate_edges as _rate_edges
+
+        return _rate_edges(f, ghosts, axis, h, forward, source, iw, out)
+
     def warmup(self) -> None:
         """Run every kernel once on a tiny grid.
 

@@ -173,18 +173,13 @@ def _recv_pair_stacked(comm, source: int, tag: str, reverse: bool) -> np.ndarray
     """Receive a ``(4, 2, n_perp)`` line pair and return it as a
     ``(2, 4, n_perp)`` outward-ordered ghost stack.
 
-    Communicators that support zero-copy receive (``recv_view`` on the
-    shared-memory substrate) lend the payload in place: the stack copies
-    straight out of the ring slot, which is released immediately after —
-    one copy instead of two.  Everything else falls back to ``recv``.
+    ``recv_view`` is part of the :class:`~repro.msglib.api.Communicator`
+    contract: zero-copy on the shared-memory substrate (the stack copies
+    straight out of the ring slot, released immediately after — one copy
+    instead of two), an owned read-only view everywhere else, so no
+    substrate guard is needed here.
     """
-    rv = getattr(comm, "recv_view", None)
-    if rv is None:
-        cols = comm.recv(source, tag)
-        if reverse:
-            return np.stack([cols[:, 1], cols[:, 0]])
-        return np.stack([cols[:, 0], cols[:, 1]])
-    with rv(source, tag) as view:
+    with comm.recv_view(source, tag) as view:
         cols = view.array
         if reverse:
             return np.stack([cols[:, 1], cols[:, 0]])
@@ -265,6 +260,129 @@ def exchange_flux_low(
     return _recv_flux_stacked(
         comm, left, t, policy.split_flux_columns, reverse=True
     )
+
+
+class PendingGhosts:
+    """An in-flight flux-ghost exchange (the split-phase V6 protocol).
+
+    Created by :func:`post_flux_exchange` *after* the send legs have been
+    deposited and the receive has been posted; the caller runs its
+    interior compute while the message crosses, then calls
+    :meth:`finish` exactly once to wait, unpack and get back the same
+    outward-ordered ``(2, 4, n_perp)`` ghost stack the blocking exchange
+    returns.  ``finish`` returns ``None`` when nothing was in flight (a
+    physical boundary on the receive side) — the provisional ghosts used
+    during the overlap window were already final.
+
+    ``side`` names which ghost side (``"low"``/``"high"``) the exchange
+    feeds, so the edge-strip recompute knows which columns to redo.
+
+    Borrow lifetime: on the process substrate the grouped (non-split)
+    receive borrows a ring slot zero-copy from ``test()``-completion
+    until ``finish`` unpacks it.  ``finish`` releases the slot before
+    returning, so a plan that posts at most one exchange per peer per
+    phase can never exhaust the ring; holding ``finish`` off across
+    *further* receives from the same peer risks the borrow deadlock
+    :class:`~repro.msglib.vchannel.DeadlockError` documents.
+    """
+
+    __slots__ = ("comm", "tag", "side", "_reqs", "_split", "_reverse",
+                 "_done")
+
+    def __init__(self, comm, tag, side, reqs, split, reverse) -> None:
+        self.comm = comm
+        self.tag = tag
+        self.side = side
+        self._reqs = reqs
+        self._split = split
+        self._reverse = reverse
+        self._done = False
+
+    @property
+    def in_flight(self) -> bool:
+        return self._reqs is not None and not self._done
+
+    def finish(self):
+        """Wait for the posted receive; the ghost stack, or ``None``."""
+        if self._done:
+            raise RuntimeError("PendingGhosts.finish() called twice")
+        self._done = True
+        if self._reqs is None:
+            return None
+        return _finish_flux(
+            self.comm, self.tag, self._reqs, self._split, self._reverse
+        )
+
+
+@_traced("post")
+def post_flux_exchange(
+    comm,
+    tag: str,
+    F: np.ndarray,
+    left: int | None,
+    right: int | None,
+    policy: ExchangePolicy,
+    *,
+    high: bool,
+    axis: int = 1,
+    buf: np.ndarray | None = None,
+) -> PendingGhosts:
+    """Split-phase counterpart of :func:`exchange_flux_high` / ``_low``.
+
+    Deposits the same send legs (same wire tags, same message
+    granularity — grouped pair or per-column — so the on-wire traffic is
+    indistinguishable from the blocking exchange) and *posts* the
+    receive instead of blocking on it: per-column messages via ``irecv``,
+    grouped pairs via ``irecv_view`` so the process substrate borrows the
+    ring slot zero-copy across the overlap window.
+    """
+    split = policy.split_flux_columns
+    if high:
+        t = f"{tag}:fxh"
+        send_to, recv_from = left, right
+        sl = slice(0, 2)
+        reverse = False
+    else:
+        t = f"{tag}:fxl"
+        send_to, recv_from = right, left
+        sl = slice(-2, None)
+        reverse = True
+    if send_to is not None:
+        _send_flux_columns(comm, send_to, t, _pair(F, axis, sl, buf), split)
+    side = "high" if high else "low"
+    if recv_from is None:
+        return PendingGhosts(comm, t, side, None, split, reverse)
+    if split:
+        reqs = (
+            comm.irecv(recv_from, f"{t}:c0"),
+            comm.irecv(recv_from, f"{t}:c1"),
+        )
+    else:
+        reqs = (comm.irecv_view(recv_from, t),)
+    # Opportunistic probe: when phase skew means the neighbour's message
+    # already landed, complete the receive now — on the process substrate
+    # the grouped pair's ring slot is then borrowed zero-copy across the
+    # whole interior compute and only unpacked at finish().
+    for r in reqs:
+        r.test()
+    return PendingGhosts(comm, t, side, reqs, split, reverse)
+
+
+@_traced("finish")
+def _finish_flux(comm, tag, reqs, split: bool, reverse: bool) -> np.ndarray:
+    """Wait + unpack for :meth:`PendingGhosts.finish` (traced so halo
+    metrics cover the non-overlapped remainder of the exchange)."""
+    if split:
+        c0 = reqs[0].wait()
+        c1 = reqs[1].wait()
+        if reverse:
+            return np.stack([c1, c0])
+        return np.stack([c0, c1])
+    with reqs[0].wait() as view:
+        cols = view.array
+        if reverse:
+            return np.stack([cols[:, 1], cols[:, 0]])
+        return np.stack([cols[:, 0], cols[:, 1]])
 
 
 @_traced("state_low")
@@ -359,6 +477,31 @@ class ExchangePlan:
         return exchange_flux_low(
             self.comm, tag, F, self.lower, self.upper, self.policy, axis=2,
             buf=self._fit(self._pair_r, F.shape[1]),
+        )
+
+    # -- split-phase flux ghosts (overlapped V6 exchange) --------------------
+    def post_flux_high_x(self, tag: str, F) -> PendingGhosts:
+        return post_flux_exchange(
+            self.comm, tag, F, self.left, self.right, self.policy,
+            high=True, axis=1, buf=self._fit(self._pair_x, F.shape[2]),
+        )
+
+    def post_flux_low_x(self, tag: str, F) -> PendingGhosts:
+        return post_flux_exchange(
+            self.comm, tag, F, self.left, self.right, self.policy,
+            high=False, axis=1, buf=self._fit(self._pair_x, F.shape[2]),
+        )
+
+    def post_flux_high_r(self, tag: str, F) -> PendingGhosts:
+        return post_flux_exchange(
+            self.comm, tag, F, self.lower, self.upper, self.policy,
+            high=True, axis=2, buf=self._fit(self._pair_r, F.shape[1]),
+        )
+
+    def post_flux_low_r(self, tag: str, F) -> PendingGhosts:
+        return post_flux_exchange(
+            self.comm, tag, F, self.lower, self.upper, self.policy,
+            high=False, axis=2, buf=self._fit(self._pair_r, F.shape[1]),
         )
 
     # -- state halos (fourth-difference filter) ------------------------------

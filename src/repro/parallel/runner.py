@@ -118,6 +118,10 @@ class ParallelJetSolver:
     max_restarts:
         Checkpoint restarts allowed after a
         :class:`~repro.msglib.virtual.RankFailure` before it propagates.
+    overlap:
+        ``True`` forces the overlapped (split-phase) halo exchange,
+        ``False`` forces blocking, ``None`` follows the version (6
+        overlaps).  Bitwise-identical results either way.
     """
 
     def __init__(
@@ -134,6 +138,7 @@ class ParallelJetSolver:
         faults=None,
         checkpoint_every: int = 0,
         max_restarts: int = 2,
+        overlap: bool | None = None,
     ) -> None:
         from ..faults import resolve_fault_plan
         if substrate not in ("virtual", "process"):
@@ -162,26 +167,30 @@ class ParallelJetSolver:
         self.faults = resolve_fault_plan(faults)
         self.checkpoint_every = checkpoint_every
         self.max_restarts = max_restarts
+        self.overlap = overlap
 
     def _make_solver(self, comm, q_global: np.ndarray):
         """Build the per-rank solver from a (possibly restored) global q."""
         grid = self.global_grid
         config = self.config
         version = self.version
+        overlap = self.overlap
         if self.decomposition == "radial":
             from .spmd_radial import RadialDistributedSolver
 
             return RadialDistributedSolver(
-                comm, grid, q_global, config, version=version
+                comm, grid, q_global, config, version=version, overlap=overlap
             )
         if self.decomposition == "2d":
             from .spmd2d import Distributed2DSolver
 
             return Distributed2DSolver(
                 comm, grid, q_global, config,
-                px=self.px, pr=self.pr, version=version,
+                px=self.px, pr=self.pr, version=version, overlap=overlap,
             )
-        return DistributedSolver(comm, grid, q_global, config, version=version)
+        return DistributedSolver(
+            comm, grid, q_global, config, version=version, overlap=overlap
+        )
 
     def _attempt(
         self,

@@ -77,6 +77,13 @@ class BlockDistributedSolver(CompressibleSolver):
     decomp:
         Optional explicit decomposition instance (otherwise built by
         :meth:`_make_decomposition`).
+    overlap:
+        Overlapped (split-phase) flux-ghost exchange: ``True``/``False``
+        forces it on/off; ``None`` (default) follows the version's
+        :class:`~repro.parallel.halo.ExchangePolicy` — i.e. Version 6
+        overlaps, the others block.  Requires a kernel workspace (fused
+        or compiled backend); the baseline backend silently stays
+        blocking.  Results are bitwise-identical either way.
     """
 
     def __init__(
@@ -87,8 +94,10 @@ class BlockDistributedSolver(CompressibleSolver):
         config: SolverConfig,
         version: int | Version = 5,
         decomp=None,
+        overlap: bool | None = None,
     ) -> None:
         self.comm = comm
+        self._overlap = False  # finalized below, after the workspace exists
         if decomp is None:
             decomp = self._make_decomposition(global_grid, comm.size)
         self.decomp = decomp
@@ -116,6 +125,12 @@ class BlockDistributedSolver(CompressibleSolver):
             raise ValueError("sponge width exceeds the top radial slab")
         super().__init__(local_state, config)
         self.fm.halo_axis = decomp.halo_axis
+        # The overlapped rate path lives in the scratch-backed _rate_into,
+        # so overlap needs a workspace; without one (baseline backend) the
+        # solver degrades to the blocking exchange.
+        requested = self.policy.overlap if overlap is None else overlap
+        self._overlap = bool(requested) and self._ws is not None
+        self.overlap = self._overlap
         self.plan = ExchangePlan(comm, self.topo, self.policy, self.state.q.shape)
         # Attribute this solver's spans to its rank (also bound as the
         # thread default so MacCormack-phase spans inherit it under MPI,
@@ -249,11 +264,28 @@ class BlockDistributedSolver(CompressibleSolver):
                 return solver.plan.flux_low_x(solver._tag("x", phase), F)
             return None
 
+        post_ghosts = None
+        if self._overlap:
+
+            def post_ghosts(F, phase):
+                # Split phase: deposit send legs + post the receive for
+                # the side this phase differences toward; the provisional
+                # pass uses cubic ghosts on both sides (the inactive side
+                # is never read by the one-sided stencil, the in-flight
+                # side is recomputed from the real ghosts at finish).
+                tag = solver._tag("x", phase)
+                if solver._active_high(variant, phase):
+                    pending = solver.plan.post_flux_high_x(tag, F)
+                else:
+                    pending = solver.plan.post_flux_low_x(tag, F)
+                return None, None, pending
+
         return SweepWorkspace(
             flux=flux,
             low_ghosts=low_ghosts,
             high_ghosts=high_ghosts,
             scratch=scratch,
+            post_ghosts=post_ghosts,
         )
 
     def _radial_ghost_callbacks(self, variant: int, tag_op: str):
@@ -285,6 +317,31 @@ class BlockDistributedSolver(CompressibleSolver):
 
         return low_ghosts, high_ghosts
 
+    def _radial_post_ghosts(self, variant: int, tag_op: str):
+        """Split-phase ghost supply for an r-sweep over a radial block.
+
+        The provisional ghosts mirror the blocking callbacks' *local*
+        decisions exactly: the axis rank mirrors across the axis on the
+        low side (for the active-low case no receive is ever posted
+        there, so the mirror is already final and ``finish`` returns
+        ``None``); everywhere else the in-flight side extrapolates
+        cubically and is recomputed at finish.
+        """
+        solver = self
+
+        def post_ghosts(rG, phase):
+            tag = solver._tag(tag_op, phase)
+            at_axis = solver.lower is None
+            if solver._active_high(variant, phase):
+                pending = solver.plan.post_flux_high_r(tag, rG)
+                lo = apply_axis_ghosts(rG) if at_axis else None
+                return lo, None, pending
+            pending = solver.plan.post_flux_low_r(tag, rG)
+            lo = apply_axis_ghosts(rG) if at_axis else None
+            return lo, None, pending
+
+        return post_ghosts
+
     def _r_workspace(self, variant: int | None = None) -> SweepWorkspace:  # type: ignore[override]
         solver = self
         ws = self._ws
@@ -313,6 +370,11 @@ class BlockDistributedSolver(CompressibleSolver):
             high_ghosts=high,
             inv_weight=self._inv_weight,
             scratch=scratch,
+            post_ghosts=(
+                self._radial_post_ghosts(variant, "r")
+                if self._overlap
+                else None
+            ),
         )
 
     def _operators(self, variant: int):  # type: ignore[override]

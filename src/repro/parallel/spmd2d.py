@@ -44,6 +44,7 @@ class Distributed2DSolver(BlockDistributedSolver):
         px: int,
         pr: int,
         version: int | Version = 5,
+        overlap: bool | None = None,
     ) -> None:
         if px * pr != comm.size:
             raise ValueError(
@@ -58,4 +59,5 @@ class Distributed2DSolver(BlockDistributedSolver):
             decomp=CartesianDecomposition(
                 global_grid.nx, global_grid.nr, px, pr
             ),
+            overlap=overlap,
         )

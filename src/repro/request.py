@@ -73,6 +73,13 @@ class ExecutionConfig:
     timeout: float = 120.0
     """Wall-clock guard for distributed runs — never part of the
     fingerprint (a slower timeout is the same workload)."""
+    overlap: bool = False
+    """Force the overlapped (split-phase) halo exchange on distributed
+    runs regardless of code version; ``False`` keeps the version's
+    default (V6+ overlaps, V5 blocks).  Never part of the fingerprint:
+    overlapped runs are bitwise-identical to blocking ones (enforced by
+    the tier-1 differential suite), so the result cache soundly dedupes
+    across the two modes."""
 
 
 @dataclass(frozen=True)
@@ -225,6 +232,7 @@ class RunRequest:
         timeout: float = 120.0,
         substrate: str = "virtual",
         steps_window: int = 30,
+        overlap: bool = False,
         faults=None,
         fault_seed: int | None = None,
         checkpoint_every: int = 0,
@@ -273,6 +281,7 @@ class RunRequest:
                 backend=backend,
                 steps_window=steps_window,
                 timeout=timeout,
+                overlap=overlap,
             ),
             resilience=ResilienceConfig(
                 faults=faults,
@@ -407,6 +416,7 @@ class RunRequest:
                 "backend": ex.backend,
                 "steps_window": ex.steps_window,
                 "timeout": ex.timeout,
+                "overlap": ex.overlap,
             },
             "resilience": {
                 "faults": _faults_identity(rz.faults),

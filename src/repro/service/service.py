@@ -561,7 +561,26 @@ class RunService:
         terminal and the ring is drained (or on timeout).  Each yielded
         record is a ``repro.stream/1`` dict plus ``_seq`` (arrival order)
         and ``job`` tags.
+
+        A ``cached`` job (store dedupe hit at submit) never forked a
+        worker, so no stream records exist or will ever arrive; tailing
+        one yields a single served-from-cache marker record and returns
+        immediately instead of waiting out the post-terminal grace
+        window.
         """
+        with self._lock:
+            job = self._require(job_id)
+            if job.cached:
+                from ..obs.stream import STREAM_SCHEMA
+
+                yield {
+                    "schema": STREAM_SCHEMA,
+                    "kind": "cached",
+                    "job": job_id,
+                    "fingerprint": job.fingerprint,
+                    "_seq": 0,
+                }
+                return
         deadline = None if timeout is None else time.monotonic() + timeout
         last_seq = 0
         grace = None

@@ -27,6 +27,13 @@ class LoopbackComm:
     def recv(self, source, tag):
         return self.inbox[(source, tag)]
 
+    def recv_view(self, source, tag, timeout=None):
+        # recv_view is part of the Communicator contract now (the ABC
+        # supplies this exact copy-semantics default).
+        from repro.msglib.api import OwnedView
+
+        return OwnedView(np.array(self.recv(source, tag)))
+
 
 GROUPED = ExchangePolicy(split_flux_columns=False)
 SPLIT = ExchangePolicy(split_flux_columns=True)

@@ -1,0 +1,368 @@
+"""Overlapped (split-phase) halo exchange: the bitwise wall + protocol units.
+
+The tentpole invariant: a distributed run with ``overlap=True`` is
+**bitwise-identical** to the blocking exchange — across scenarios
+(Euler / Navier-Stokes), decompositions (axial / radial / 2-D),
+substrates (virtual / process) and kernel backends (fused / compiled).
+The wall compares every overlapped run against the serial reference *of
+the same backend*; the existing differential suites pin blocking
+distributed == serial, so equality here pins overlap == blocking too.
+
+The protocol units cover the split-phase machinery directly: the
+provisional-pass edge recompute (``rate_edges``), the
+:class:`~repro.parallel.halo.PendingGhosts` lifetime rules, the
+:class:`~repro.msglib.api.OwnedView` copy-semantics default of the
+``Communicator`` ABC, and the fingerprint normalization (overlapped and
+blocking requests share one cache identity).
+
+The chaos half lives at the bottom: the self-healing transport and
+checkpoint/restart must compose with in-flight posted receives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import jet_scenario
+from repro.faults import FaultPlan, fault_plan_by_name
+from repro.msglib import VirtualCluster
+from repro.msglib.api import OwnedView
+from repro.numerics.kernels.base import StepWorkspace
+from repro.numerics.kernels.overlap import rate_edges
+from repro.numerics.stencils import (
+    backward_difference,
+    extend_axis,
+    forward_difference,
+)
+from repro.obs import Tracer
+from repro.parallel.halo import PendingGhosts
+from repro.parallel.runner import ParallelJetSolver, serial_reference
+from repro.request import RunRequest
+
+STEPS = 6
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _case(viscous: bool, backend: str):
+    sc = jet_scenario(nx=48, nr=16, viscous=viscous)
+    config = dataclasses.replace(
+        sc.solver.config, dt_recompute_every=1, backend=backend
+    )
+    ref = serial_reference(sc.state, config, steps=STEPS)
+    return sc, config, ref
+
+
+@pytest.fixture(scope="module")
+def cases():
+    """(viscous, backend) -> (scenario, config, serial reference)."""
+    built = {}
+
+    def get(viscous: bool, backend: str):
+        key = (viscous, backend)
+        if key not in built:
+            built[key] = _case(viscous, backend)
+        return built[key]
+
+    return get
+
+
+# -- the differential wall ----------------------------------------------------
+
+
+class TestOverlapBitwiseWall:
+    """overlap == blocking, everywhere the blocking exchange runs."""
+
+    @pytest.mark.parametrize("backend", ["fused", "compiled"])
+    @pytest.mark.parametrize(
+        "substrate",
+        [
+            "virtual",
+            pytest.param(
+                "process",
+                marks=pytest.mark.skipif(not HAS_FORK, reason="needs fork"),
+            ),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "decomp_kw",
+        [
+            dict(decomposition="axial"),
+            dict(decomposition="radial"),
+            dict(decomposition="2d", px=2, pr=1),
+        ],
+        ids=["axial", "radial", "2d"],
+    )
+    @pytest.mark.parametrize("viscous", [False, True], ids=["euler", "ns"])
+    def test_overlap_matches_serial(
+        self, cases, viscous, decomp_kw, substrate, backend
+    ):
+        sc, config, ref = cases(viscous, backend)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, substrate=substrate,
+            overlap=True, **decomp_kw,
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_overlap_actually_engages(self, cases):
+        """Guard against a silent degrade: the overlapped run must emit
+        split-phase halo spans (post + finish), and fewer blocking flux
+        exchanges than the blocking run."""
+        sc, config, _ = cases(True, "fused")
+        tracer = Tracer(name="overlap")
+        ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, overlap=True
+        ).run(2, tracer=tracer)
+        names = {s.name for s in tracer.trace.spans}
+        assert "halo.post" in names
+        assert "halo.finish" in names
+        assert "halo.flux_high" not in names
+        assert "halo.flux_low" not in names
+
+    def test_version_6_overlaps_by_default(self, cases):
+        """True V6: the version's ExchangePolicy turns the split-phase
+        exchange on without an explicit ``overlap=`` request."""
+        sc, config, ref = cases(True, "fused")
+        tracer = Tracer(name="v6")
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, version=6
+        ).run(STEPS, tracer=tracer)
+        assert np.array_equal(res.state.q, ref.q)
+        assert "halo.post" in {s.name for s in tracer.trace.spans}
+
+    def test_baseline_backend_degrades_to_blocking(self, cases):
+        """Without a kernel workspace there is no scratch-backed rate
+        path to overlap into; the request is honoured as blocking —
+        still bitwise-correct, never an error."""
+        sc, _, _ = cases(True, "fused")
+        config = dataclasses.replace(
+            sc.solver.config, dt_recompute_every=1, backend="baseline"
+        )
+        ref = serial_reference(sc.state, config, steps=STEPS)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=60, overlap=True
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_four_ranks_interior_and_edge(self, cases):
+        """Interior ranks post on both sides per step; edge ranks mix a
+        posted receive with a serial boundary."""
+        sc, config, ref = cases(True, "fused")
+        res = ParallelJetSolver(
+            sc.state, config, nranks=4, timeout=60, overlap=True
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+
+# -- the provisional-pass edge recompute --------------------------------------
+
+
+def _full_rate(flux, lo, hi, axis, h, forward, source, iw):
+    """The reference rate: real ghosts through the fused ufunc chain."""
+    ext = extend_axis(flux, axis, low=lo, high=hi)
+    diff = forward_difference if forward else backward_difference
+    d = diff(ext, axis, h)
+    d = -d if source is None else source - d
+    if not (isinstance(iw, float) and iw == 1.0):
+        d = d * iw
+    return d
+
+
+class TestRateEdges:
+    """rate_edges must land bit-for-bit on the full-ghost rate's edge
+    columns — that equality is the whole overlap correctness argument."""
+
+    @pytest.mark.parametrize("axis", [1, 2])
+    @pytest.mark.parametrize("forward", [True, False])
+    @pytest.mark.parametrize("with_source", [False, True])
+    @pytest.mark.parametrize("with_iw", [False, True])
+    def test_matches_full_ghost_rate(self, axis, forward, with_source, with_iw):
+        rng = np.random.default_rng(42 + axis + 2 * forward)
+        shape = (4, 9, 7)
+        flux = rng.random(shape)
+        ghost_shape = (2,) + shape[:axis] + shape[axis + 1:]
+        ghosts = rng.random(ghost_shape)
+        source = rng.random(shape) if with_source else None
+        if with_iw:
+            iw = 1.0 / np.linspace(1.0, 2.0, shape[2])
+        else:
+            iw = 1.0
+        h = 0.013
+        lo, hi = (None, ghosts) if forward else (ghosts, None)
+        want = _full_rate(flux, lo, hi, axis, h, forward, source, iw)
+        # Provisional pass: the in-flight side is None (cubic), then the
+        # two edge columns are recomputed from the real ghosts.
+        got = _full_rate(flux, None, None, axis, h, forward, source, iw)
+        rate_edges(flux, ghosts, axis, h, forward, source, iw, got)
+        assert np.array_equal(got, want)
+
+    def test_only_two_edge_columns_touched(self):
+        rng = np.random.default_rng(7)
+        flux = rng.random((4, 9, 7))
+        ghosts = rng.random((2, 7))
+        provisional = _full_rate(flux, None, None, 1, 0.1, True, None, 1.0)
+        out = provisional.copy()
+        rate_edges(flux, ghosts, 1, 0.1, True, None, 1.0, out)
+        # Forward differencing: only the two high-side columns change.
+        assert np.array_equal(out[:, :-2, :], provisional[:, :-2, :])
+
+    def test_workspace_facade_dispatch(self):
+        """StepWorkspace.rate_interior/rate_edges — the named loop
+        variants of the kernel-backend API — compose to the full rate."""
+        rng = np.random.default_rng(3)
+        shape = (4, 9, 7)
+        ws = StepWorkspace(shape, viscous=False)
+        sc = ws.sweep_x
+        flux = rng.random(shape)
+        ghosts = rng.random((2, 7))
+        want = _full_rate(flux, None, ghosts, 1, 0.05, True, None, 1.0)
+        got = ws.rate_interior(
+            sc, flux, None, None, 1, 0.05, True, None, 1.0
+        )
+        ws.rate_edges(flux, ghosts, 1, 0.05, True, None, 1.0, got)
+        assert np.array_equal(got, want)
+
+
+# -- split-phase protocol objects ---------------------------------------------
+
+
+class TestPendingGhosts:
+    def test_finish_twice_raises(self):
+        pending = PendingGhosts(None, "t", "high", None, False, False)
+        assert not pending.in_flight
+        assert pending.finish() is None
+        with pytest.raises(RuntimeError, match="called twice"):
+            pending.finish()
+
+
+class TestOwnedView:
+    """The Communicator ABC's copy-semantics recv_view default."""
+
+    def test_protocol(self):
+        view = OwnedView(np.arange(5.0))
+        assert not view.zero_copy
+        assert not view.array.flags.writeable
+        assert np.array_equal(view.array, np.arange(5.0))
+        view.release()
+        assert view.released
+        with pytest.raises(RuntimeError, match="after release"):
+            view.array
+        with pytest.raises(RuntimeError, match="called twice"):
+            view.release()
+
+    def test_context_manager(self):
+        with OwnedView(np.ones(3)) as view:
+            assert view.array.sum() == 3.0
+        assert view.released
+
+    def test_virtual_comm_recv_view_default(self):
+        """VirtualComm has no recv_view of its own — the ABC default
+        supplies owned views with the uniform release discipline, so no
+        call site needs a hasattr guard."""
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "v", np.arange(6.0))
+                return True
+            with comm.recv_view(0, "v", timeout=20) as view:
+                assert not view.zero_copy
+                return bool(np.array_equal(view.array, np.arange(6.0)))
+
+        assert VirtualCluster(2, timeout=20).run(program)[1] is True
+
+    def test_virtual_comm_irecv_view_default(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "v", np.full(4, 2.0))
+                return True
+            req = comm.irecv_view(0, "v", timeout=20)
+            with req.wait() as view:
+                return bool(np.array_equal(view.array, np.full(4, 2.0)))
+
+        assert VirtualCluster(2, timeout=20).run(program)[1] is True
+
+
+# -- fingerprint normalization ------------------------------------------------
+
+
+class TestOverlapIdentity:
+    def test_overlap_does_not_change_fingerprint(self):
+        kw = dict(steps=6, nx=48, nr=24, nprocs=2)
+        blocking = RunRequest.from_run_args("jet", **kw)
+        overlapped = RunRequest.from_run_args("jet", overlap=True, **kw)
+        assert overlapped.fingerprint() == blocking.fingerprint()
+
+    def test_overlap_round_trips_on_the_wire(self):
+        req = RunRequest.from_run_args(
+            "jet", steps=6, nprocs=2, overlap=True
+        )
+        wire = req.to_dict()
+        assert wire["execution"]["overlap"] is True
+        back = RunRequest.from_dict(wire)
+        assert back.execution.overlap is True
+        assert back.fingerprint() == req.fingerprint()
+
+    def test_old_wire_form_still_parses(self):
+        """Requests serialized before the overlap field default to the
+        blocking exchange."""
+        wire = RunRequest.from_run_args("jet", steps=6, nprocs=2).to_dict()
+        del wire["execution"]["overlap"]
+        back = RunRequest.from_dict(wire)
+        assert back.execution.overlap is False
+
+
+# -- chaos over the overlapped path -------------------------------------------
+
+#: One plan per fault mechanism (mirrors test_faults.FAULT_KINDS): each
+#: recovery path must also hold while receives are posted early and slot
+#: borrows span the interior compute.
+OVERLAP_FAULT_KINDS = {
+    "drop": dict(drop=0.15, max_transmits=4),
+    "duplicate": dict(duplicate=0.25),
+    "reorder": dict(reorder=0.2),
+    "mixed": dict(drop=0.08, duplicate=0.08, reorder=0.08, truncate=0.05,
+                  delay=0.15, max_delay=0.001, max_transmits=4),
+}
+
+
+class TestOverlapChaos:
+    @pytest.mark.parametrize("kind", sorted(OVERLAP_FAULT_KINDS))
+    def test_healing_transport_composes(self, cases, chaos_seed, kind):
+        sc, config, ref = cases(True, "fused")
+        plan = FaultPlan(
+            seed=chaos_seed, name=f"overlap-{kind}", recv_timeout=0.3,
+            recv_retries=4, **OVERLAP_FAULT_KINDS[kind],
+        )
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=30, faults=plan,
+            overlap=True,
+        ).run(STEPS)
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_crash_restart_composes(self, cases, chaos_seed):
+        """An injected crash leaves posted receives in flight on the
+        survivors; the restart must rebuild the exchange from the
+        checkpoint, bitwise-exact."""
+        sc, config, ref = cases(True, "fused")
+        plan = FaultPlan(seed=chaos_seed, crashes=((1, 4),),
+                         recv_timeout=0.2, recv_retries=2)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=30, faults=plan,
+            checkpoint_every=2, overlap=True,
+        ).run(STEPS)
+        assert res.restarts == 1
+        assert np.array_equal(res.state.q, ref.q)
+
+    def test_lossy_crash_preset_composes(self, cases, chaos_seed):
+        sc, config, ref = cases(True, "fused")
+        plan = fault_plan_by_name("lossy-crash", seed=chaos_seed)
+        res = ParallelJetSolver(
+            sc.state, config, nranks=2, timeout=30, faults=plan,
+            checkpoint_every=2, max_restarts=3, overlap=True,
+        ).run(STEPS)
+        assert res.restarts >= 1
+        assert np.array_equal(res.state.q, ref.q)

@@ -305,6 +305,35 @@ class TestRecvView:
         with ProcessCluster(2, timeout=30, slots_per_channel=2) as cluster:
             assert cluster.run(program)[1] is True
 
+    def test_borrow_exhausting_the_ring_raises_structured(self):
+        """The overlap-window regression: a receive that can only be
+        satisfied by the slot the receiver itself is borrowing is a
+        self-inflicted deadlock — the receiver must get a structured
+        DeadlockError naming the held slot (not a generic timeout), and
+        releasing the borrow must unwedge the parked sender."""
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", np.arange(4.0))
+                # Parks on the 1-slot ring until rank 1 releases "a".
+                comm.send(1, "b", np.ones(4))
+                return True
+            view = comm.recv_view(0, "a", timeout=20)
+            with pytest.raises(DeadlockError, match="recv_view") as exc:
+                comm.recv(0, "b", timeout=10)
+            assert exc.value.rank == 1
+            assert exc.value.source == 0
+            assert exc.value.slot == 0
+            ok = bool(np.array_equal(view.array, np.arange(4.0)))
+            view.release()
+            got = comm.recv(0, "b", timeout=20)
+            return ok and bool(np.array_equal(got, np.ones(4)))
+
+        with ProcessCluster(
+            2, timeout=30, slots_per_channel=1
+        ) as cluster:
+            assert cluster.run(program)[1] is True
+
     def test_release_after_abort_is_structured(self):
         """Releasing a borrow after the cluster died raises ClusterAborted
         — the ring is gone and the borrowed bytes must be treated as lost."""

@@ -120,6 +120,29 @@ class TestPersistentStore:
             assert svc2.executed == 0
         assert np.array_equal(first.state.rho, again.state.rho)
 
+    def test_tail_of_cached_job_returns_immediately(self, tmp_path):
+        """``tail`` on a cache-resolved job must not wait the grace window.
+
+        Cached jobs never executed in this service, so no step stream will
+        ever appear; tail yields a single served-from-cache marker at once
+        instead of blocking until the tail grace deadline expires."""
+        req = sod_request()
+        with make_service(tmp_path) as svc:
+            job = svc.submit(req)
+            svc.wait(job.id, timeout=120)
+        with make_service(tmp_path) as svc2:
+            job = svc2.submit(req)
+            assert job.status == "cached"
+            t0 = time.monotonic()
+            records = list(svc2.tail(job.id, timeout=30))
+            elapsed = time.monotonic() - t0
+        assert elapsed < 0.25  # well under the 0.5 s tail grace
+        assert len(records) == 1
+        marker = records[0]
+        assert marker["kind"] == "cached"
+        assert marker["job"] == job.id
+        assert marker["fingerprint"] == req.fingerprint()
+
     def test_store_entry_carries_request_and_report(self, tmp_path):
         req = sod_request()
         with make_service(tmp_path) as svc:
